@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, beyond what
+ * the paper itself sweeps:
+ *
+ *  1. Retry-rate switch: WBHT always-on vs gated (the paper's
+ *     section 2.2 motivation -- always-on should hurt at low memory
+ *     pressure).
+ *  2. Snarf victim choice: Invalid-only vs Invalid+Shared (the paper
+ *     argues invalid space alone is insufficient).
+ *  3. Snarf insertion position: MRU (default) vs LRU at the
+ *     recipient ("managing the LRU information at the recipient
+ *     cache").
+ *  4. Retry-switch threshold sensitivity.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+namespace
+{
+
+double
+improvementVsBaseline(const std::string &wl, const PolicyConfig &p,
+                      unsigned outstanding)
+{
+    const auto base = runCell(
+        wl, PolicyConfig::make(WbPolicy::Baseline), outstanding);
+    const auto opt = runCell(wl, p, outstanding);
+    return improvementPct(base, opt);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations: retry switch, snarf victim choice, snarf "
+           "insertion, switch threshold");
+
+    std::cout << "--- 1. WBHT retry-rate switch (improvement %, "
+                 "low vs high pressure) ---\n";
+    std::cout << std::left << std::setw(12) << "workload"
+              << std::right << std::setw(14) << "gated@1"
+              << std::setw(14) << "always@1" << std::setw(14)
+              << "gated@6" << std::setw(14) << "always@6" << "\n";
+    for (const auto &name : workloads::allNames()) {
+        PolicyConfig gated = PolicyConfig::make(WbPolicy::Wbht);
+        PolicyConfig always = gated;
+        always.useRetrySwitch = false;
+        std::cout << std::left << std::setw(12) << name << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(14)
+                  << improvementVsBaseline(name, gated, 1)
+                  << std::setw(14)
+                  << improvementVsBaseline(name, always, 1)
+                  << std::setw(14)
+                  << improvementVsBaseline(name, gated, 6)
+                  << std::setw(14)
+                  << improvementVsBaseline(name, always, 6) << "\n";
+    }
+
+    std::cout << "\n--- 2. Snarf victim choice (improvement % @6) "
+                 "---\n";
+    std::cout << std::left << std::setw(12) << "workload"
+              << std::right << std::setw(16) << "invalid-only"
+              << std::setw(16) << "invalid+shared" << "\n";
+    for (const auto &name : workloads::allNames()) {
+        PolicyConfig inv_only = PolicyConfig::make(WbPolicy::Snarf);
+        inv_only.snarfSharedVictims = false;
+        PolicyConfig with_shared = PolicyConfig::make(WbPolicy::Snarf);
+        std::cout << std::left << std::setw(12) << name << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(16)
+                  << improvementVsBaseline(name, inv_only, 6)
+                  << std::setw(16)
+                  << improvementVsBaseline(name, with_shared, 6)
+                  << "\n";
+    }
+
+    std::cout << "\n--- 3. Snarf insertion position (improvement % "
+                 "@6) ---\n";
+    std::cout << std::left << std::setw(12) << "workload"
+              << std::right << std::setw(12) << "MRU" << std::setw(12)
+              << "LRU" << "\n";
+    for (const auto &name : workloads::allNames()) {
+        PolicyConfig mru = PolicyConfig::make(WbPolicy::Snarf);
+        PolicyConfig lru = mru;
+        lru.snarfInsert = InsertPos::Lru;
+        std::cout << std::left << std::setw(12) << name << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(12)
+                  << improvementVsBaseline(name, mru, 6)
+                  << std::setw(12)
+                  << improvementVsBaseline(name, lru, 6) << "\n";
+    }
+
+    std::cout << "\n--- 4. Retry-switch threshold sweep (TP "
+                 "improvement %) ---\n";
+    std::cout << std::left << std::setw(12) << "threshold"
+              << std::right << std::setw(10) << "@2" << std::setw(10)
+              << "@6" << "\n";
+    for (const std::uint64_t thr : {25ull, 100ull, 400ull, 1600ull}) {
+        PolicyConfig p = PolicyConfig::make(WbPolicy::Wbht);
+        p.retry.threshold = thr; // window applied by paperConfig()...
+        // paperConfig overwrites retry params; run directly instead.
+        auto run = [&](unsigned outstanding) {
+            SystemConfig cfg = paperConfig(p, outstanding);
+            cfg.policy.retry.threshold = thr;
+            const auto wl = workloads::byName("TP", refsPerThread(),
+                                              BenchSeed);
+            const auto opt = runExperiment(cfg, wl);
+            const auto base = runCell(
+                "TP", PolicyConfig::make(WbPolicy::Baseline),
+                outstanding);
+            return improvementPct(base, opt);
+        };
+        std::cout << std::left << std::setw(12) << thr << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(10) << run(2) << std::setw(10)
+                  << run(6) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's *future work* proposals, implemented and measured:
+ *
+ *  1. Coarse-grained WBHT entries ("allow each entry in the table to
+ *     serve multiple cache lines, reducing the size of each entry and
+ *     providing greater coverage at the risk of increased prediction
+ *     errors"): a small table with multi-line entries vs the same
+ *     small table with per-line entries vs the full 32 K table.
+ *
+ *  2. History-informed L2 replacement ("new replacement algorithms
+ *     that take into account information contained in the history
+ *     tables"): when picking an L2 victim, prefer cold lines the WBHT
+ *     knows are already valid in the L3 -- their eviction is nearly
+ *     free (write back aborted, refetch at L3 latency).
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Future-work extensions: coarse WBHT entries and "
+           "WBHT-informed replacement");
+
+    std::cout << "--- 1. Coarse-grained WBHT entries (improvement % "
+                 "over baseline @6) ---\n";
+    std::cout << std::left << std::setw(12) << "workload"
+              << std::right << std::setw(14) << "8K x 1-line"
+              << std::setw(14) << "8K x 4-line" << std::setw(14)
+              << "32K x 1-line" << "\n";
+    for (const auto &name : workloads::allNames()) {
+        const auto base =
+            runCell(name, PolicyConfig::make(WbPolicy::Baseline), 6);
+
+        PolicyConfig small = PolicyConfig::make(WbPolicy::Wbht);
+        small.wbht.entries = 8192;
+
+        PolicyConfig coarse = small;
+        coarse.wbht.linesPerEntry = 4; // covers as much as 32K x 1
+
+        PolicyConfig full = PolicyConfig::make(WbPolicy::Wbht);
+
+        std::cout << std::left << std::setw(12) << name << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(14)
+                  << improvementPct(base, runCell(name, small, 6))
+                  << std::setw(14)
+                  << improvementPct(base, runCell(name, coarse, 6))
+                  << std::setw(14)
+                  << improvementPct(base, runCell(name, full, 6))
+                  << "\n";
+    }
+
+    std::cout << "\n--- 2. WBHT-informed L2 replacement (improvement "
+                 "% over baseline @6) ---\n";
+    std::cout << std::left << std::setw(12) << "workload"
+              << std::right << std::setw(14) << "wbht"
+              << std::setw(18) << "wbht+informed" << "\n";
+    for (const auto &name : workloads::allNames()) {
+        const auto base =
+            runCell(name, PolicyConfig::make(WbPolicy::Baseline), 6);
+        PolicyConfig plain = PolicyConfig::make(WbPolicy::Wbht);
+        PolicyConfig informed = plain;
+        informed.wbhtInformedReplacement = true;
+        std::cout << std::left << std::setw(12) << name << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(14)
+                  << improvementPct(base, runCell(name, plain, 6))
+                  << std::setw(18)
+                  << improvementPct(base, runCell(name, informed, 6))
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * L3-latency sensitivity: the paper's introduction motivates both
+ * mechanisms with the growing gap between L3 and memory latency, and
+ * its future work anticipates silicon-carrier technology bringing the
+ * L3 "on-chip". This bench sweeps the L3 data-array latency --
+ * on-chip (40 cycles), the paper's off-chip baseline (112, composing
+ * to the 167-cycle load-to-use), and a pessimistic far L3 (224) --
+ * and reports each mechanism's improvement at 6 loads/thread.
+ *
+ * Expected shape: the WBHT's value *grows* as the L3 gets slower
+ * relative to the L2s (redundant write-back traffic holds demand
+ * requests hostage for longer), while snarfing's value grows with the
+ * L2-to-L3 latency ratio (each converted L3 hit saves more cycles).
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+namespace
+{
+
+double
+improvementAt(const std::string &wl, WbPolicy p, Tick l3_latency)
+{
+    auto base_cfg = paperConfig(
+        PolicyConfig::make(WbPolicy::Baseline), 6);
+    base_cfg.l3.accessLatency = l3_latency;
+    auto opt_cfg = paperConfig(PolicyConfig::make(p), 6);
+    opt_cfg.l3.accessLatency = l3_latency;
+
+    const auto workload =
+        workloads::byName(wl, refsPerThread(), BenchSeed);
+    const auto base = runExperiment(base_cfg, workload);
+    const auto opt = runExperiment(opt_cfg, workload);
+    return improvementPct(base, opt);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: sensitivity to the L3 data-array latency "
+           "(on-chip vs off-chip vs far)");
+
+    const std::vector<std::pair<const char *, Tick>> points = {
+        {"on-chip (40)", 40},
+        {"paper (112)", 112},
+        {"far (224)", 224},
+    };
+
+    for (const auto policy : {WbPolicy::Wbht, WbPolicy::Snarf}) {
+        std::cout << "--- " << toString(policy)
+                  << " improvement % over baseline @6 ---\n";
+        std::cout << std::left << std::setw(16) << "L3 latency";
+        for (const auto &name : workloads::allNames())
+            std::cout << std::right << std::setw(12) << name;
+        std::cout << "\n";
+        for (const auto &[label, lat] : points) {
+            std::cout << std::left << std::setw(16) << label;
+            for (const auto &name : workloads::allNames()) {
+                std::cout << std::right << std::setw(12) << std::fixed
+                          << std::setprecision(2)
+                          << improvementAt(name, policy, lat);
+            }
+            std::cout << "\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

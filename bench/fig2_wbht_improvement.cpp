@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: percentage runtime improvement of the
+ * 32 K-entry WBHT over the baseline, for 1..6 maximum outstanding
+ * loads per thread.
+ *
+ * Expected shape (paper): no benefit (or tiny losses) at 1-2
+ * outstanding loads -- the retry-rate switch keeps the WBHT idle when
+ * memory pressure is low; TP alone trips the switch early and *dips
+ * negative* (its low L3 hit rate makes mispredictions expensive);
+ * gains grow with pressure for CPW2, TP and Trade2 (several percent
+ * to low teens at 6); NotesBench stays flat near zero throughout.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Figure 2: Runtime Improvement Over Baseline of Write Back "
+           "History Table");
+    const auto rows =
+        runImprovementSweep(PolicyConfig::make(WbPolicy::Wbht));
+    printSweep("WBHT (32K entries) % improvement vs outstanding "
+               "loads/thread",
+               rows);
+    return 0;
+}

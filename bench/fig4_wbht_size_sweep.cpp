@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: runtime with WBHT sizes from 512 to 64 K
+ * entries, normalized to the 512-entry configuration, at six
+ * outstanding loads per thread.
+ *
+ * Expected shape (paper): performance improves monotonically with
+ * table size; Trade2 is by far the most sensitive (many of its lines
+ * are written back and re-referenced hundreds of times, so keeping
+ * them in the table pays off), while CPW2, NotesBench and TP grow
+ * much more slowly.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Figure 4: Normalized Runtime of Varying L2 WBHT Sizes "
+           "(Normalized to 512-Entry WBHT)");
+    const std::vector<std::uint64_t> sizes = {512,  1024, 2048,  4096,
+                                              8192, 16384, 32768,
+                                              65536};
+    const auto rows = runSizeSweep(WbPolicy::Wbht, sizes);
+    printSizeSweep("WBHT size sweep @ 6 outstanding loads/thread",
+                   rows);
+    return 0;
+}

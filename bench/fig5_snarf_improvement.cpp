@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: percentage runtime improvement of
+ * allowing L2-to-L2 write backs (snarfing, 32 K-entry snarf table)
+ * over the baseline, for 1..6 outstanding loads per thread.
+ *
+ * Expected shape (paper): CPW2 and NotesBench stay relatively flat
+ * (~2%) across pressure levels; Trade2 rises to ~6% at high pressure;
+ * TP gains the most (up to ~13%) because snarfing and peer squashing
+ * eliminate nearly all of its L3-issued retries.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Figure 5: Runtime Improvement Over Baseline of Allowing "
+           "L2 Snarfing");
+    const auto rows =
+        runImprovementSweep(PolicyConfig::make(WbPolicy::Snarf));
+    printSweep("Snarfing (32K-entry table) % improvement vs "
+               "outstanding loads/thread",
+               rows);
+    return 0;
+}

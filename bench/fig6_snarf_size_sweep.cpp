@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: runtime with snarf-table sizes from 512
+ * entries up, normalized to the 512-entry configuration, at six
+ * outstanding loads per thread.
+ *
+ * Expected shape (paper): table size matters much less than for the
+ * WBHT ("little impact beyond a certain point"); Trade2 again shows
+ * the most sensitivity but improves only ~4.5% even at 64 K entries.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Figure 6: Runtime of Varying L2 Snarf Table Sizes "
+           "(Normalized to 512-Entry Snarf Table)");
+    const std::vector<std::uint64_t> sizes = {512,  1024, 2048,  4096,
+                                              8192, 16384, 32768,
+                                              65536};
+    const auto rows = runSizeSweep(WbPolicy::Snarf, sizes);
+    printSizeSweep("Snarf-table size sweep @ 6 outstanding "
+                   "loads/thread",
+                   rows);
+    return 0;
+}

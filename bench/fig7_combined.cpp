@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: both mechanisms combined, each table
+ * halved to 16 K entries so the total space matches the individual
+ * 32 K configurations.
+ *
+ * Expected shape (paper): the benefits are *not additive*; Trade2's
+ * combined gain falls short of its WBHT-only gain under high
+ * pressure but beats it at low pressure (snarfing helps where the
+ * retry switch keeps the WBHT off); TP does better combined than
+ * under either mechanism alone, despite the halved tables.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Figure 7: Runtime Improvement Over Baseline of Combined "
+           "Tables (16K + 16K entries)");
+    const auto rows =
+        runImprovementSweep(PolicyConfig::combinedDefault());
+    printSweep("Combined % improvement vs outstanding loads/thread",
+               rows);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core data structures: the
+ * history table (WBHT / snarf table substrate), the set-associative
+ * tag array, the event queue, and the Zipf sampler that drives the
+ * workload generators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/history_table.hh"
+#include "common/random.hh"
+#include "mem/tag_array.hh"
+#include "sim/event_queue.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+void
+BM_HistoryTableLookup(benchmark::State &state)
+{
+    HistoryTable table(32768, 16, 128);
+    Rng rng(1);
+    for (int i = 0; i < 32768; ++i)
+        table.allocate(rng.next() << 7);
+    Rng probe(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.contains(probe.next() << 7));
+    }
+}
+BENCHMARK(BM_HistoryTableLookup);
+
+void
+BM_HistoryTableAllocate(benchmark::State &state)
+{
+    HistoryTable table(static_cast<std::uint64_t>(state.range(0)), 16,
+                       128);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.allocate(rng.next() << 7));
+    }
+}
+BENCHMARK(BM_HistoryTableAllocate)->Arg(512)->Arg(32768)->Arg(65536);
+
+void
+BM_TagArrayLookupHit(benchmark::State &state)
+{
+    TagArray tags(2 * 1024 * 1024, 8, 128,
+                  makeReplacementPolicy("lru"));
+    // Fill the array with a dense footprint so probes hit.
+    for (Addr a = 0; a < 2 * 1024 * 1024; a += 128)
+        tags.insert(tags.findVictim(a), a, LineState::Shared);
+    Rng probe(5);
+    for (auto _ : state) {
+        const Addr a = (probe.next() % (2 * 1024 * 1024)) & ~Addr{127};
+        benchmark::DoNotOptimize(tags.lookup(a));
+    }
+}
+BENCHMARK(BM_TagArrayLookupHit);
+
+void
+BM_TagArrayFillEvict(benchmark::State &state)
+{
+    TagArray tags(64 * 1024, 8, 128, makeReplacementPolicy("lru"));
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr a = (rng.next() % (16 * 1024 * 1024)) & ~Addr{127};
+        TagEntry *v = tags.findVictim(a);
+        tags.insert(v, a, LineState::Shared);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_TagArrayFillEvict);
+
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    EventQueue eq;
+    struct Nop : Event
+    {
+        void process() override {}
+    } nop;
+    Rng rng(11);
+    for (auto _ : state) {
+        eq.schedule(&nop, eq.curTick() + 1 + rng.below(16));
+        eq.step();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler z(static_cast<std::size_t>(state.range(0)), 0.8);
+    Rng rng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(z.sample(rng));
+    }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(32768);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction benches.
+ *
+ * All benches use the paper's machine (Table 3 defaults) with the
+ * retry-rate switch scaled to our shorter synthetic traces: the paper
+ * counts 2,000 retries per 1,000,000 cycles on multi-billion-cycle
+ * hardware traces; our runs are a few million cycles, so the same
+ * *rate*-style gate uses a 250,000-cycle window with a threshold of
+ * 100. Trace length defaults to 30,000 references per thread
+ * (~480,000 total) and scales with the CMPCACHE_REFS environment
+ * variable.
+ */
+
+#ifndef CMPCACHE_BENCH_SUPPORT_HH
+#define CMPCACHE_BENCH_SUPPORT_HH
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/workloads_commercial.hh"
+
+namespace cmpcache
+{
+namespace bench
+{
+
+inline std::uint64_t
+refsPerThread()
+{
+    return benchRecordsPerThread(60000);
+}
+
+constexpr std::uint64_t BenchSeed = 1;
+
+/** Retry-switch parameters scaled to bench trace lengths. */
+inline RetryMonitor::Params
+scaledRetryParams()
+{
+    RetryMonitor::Params p;
+    p.windowCycles = 250000;
+    p.threshold = 100;
+    return p;
+}
+
+/** The paper's machine with the given policy and pressure level. */
+inline SystemConfig
+paperConfig(PolicyConfig policy, unsigned outstanding,
+            bool reuse_tracker = false)
+{
+    SystemConfig cfg;
+    policy.retry = scaledRetryParams();
+    cfg.policy = policy;
+    cfg.cpu.maxOutstanding = outstanding;
+    cfg.enableWbReuseTracker = reuse_tracker;
+    return cfg;
+}
+
+/** Run one (workload, policy, pressure) cell. */
+inline ExperimentResult
+runCell(const std::string &workload, PolicyConfig policy,
+        unsigned outstanding, bool reuse_tracker = false)
+{
+    const auto wl =
+        workloads::byName(workload, refsPerThread(), BenchSeed);
+    return runExperiment(paperConfig(policy, outstanding, reuse_tracker),
+                         wl);
+}
+
+/** Print a sweep table: rows = outstanding loads, cols = workloads. */
+inline void
+printSweep(const std::string &title,
+           const std::map<unsigned,
+                          std::map<std::string, double>> &rows,
+           const std::string &unit = "%")
+{
+    std::cout << title << "\n";
+    std::cout << std::left << std::setw(14) << "outstanding";
+    for (const auto &name : workloads::allNames())
+        std::cout << std::right << std::setw(12) << name;
+    std::cout << "\n";
+    for (const auto &[outstanding, cols] : rows) {
+        std::cout << std::left << std::setw(14) << outstanding;
+        for (const auto &name : workloads::allNames()) {
+            const auto it = cols.find(name);
+            std::cout << std::right << std::setw(12) << std::fixed
+                      << std::setprecision(2)
+                      << (it == cols.end() ? 0.0 : it->second);
+        }
+        std::cout << "\n";
+    }
+    std::cout << "(" << unit << ")\n";
+}
+
+/**
+ * Sweep memory pressure 1..6 and report the runtime improvement of
+ * @p policy over the baseline for every workload (the paper's
+ * Figures 2, 3, 5 and 7 are all this shape).
+ */
+inline std::map<unsigned, std::map<std::string, double>>
+runImprovementSweep(const PolicyConfig &policy)
+{
+    std::map<unsigned, std::map<std::string, double>> rows;
+    for (unsigned outstanding = 1; outstanding <= 6; ++outstanding) {
+        for (const auto &name : workloads::allNames()) {
+            const auto base = runCell(
+                name, PolicyConfig::make(WbPolicy::Baseline),
+                outstanding);
+            const auto opt = runCell(name, policy, outstanding);
+            rows[outstanding][name] = improvementPct(base, opt);
+        }
+    }
+    return rows;
+}
+
+/**
+ * Sweep a history-table size and report runtimes normalized to the
+ * 512-entry configuration (Figures 4 and 6).
+ */
+inline std::map<std::uint64_t, std::map<std::string, double>>
+runSizeSweep(WbPolicy which, const std::vector<std::uint64_t> &sizes,
+             unsigned outstanding = 6)
+{
+    std::map<std::uint64_t, std::map<std::string, double>> rows;
+    std::map<std::string, double> base512;
+    for (const auto size : sizes) {
+        for (const auto &name : workloads::allNames()) {
+            PolicyConfig policy = PolicyConfig::make(which);
+            if (which == WbPolicy::Snarf)
+                policy.snarf.entries = size;
+            else
+                policy.wbht.entries = size;
+            const auto r = runCell(name, policy, outstanding);
+            if (size == sizes.front())
+                base512[name] = static_cast<double>(r.execTime);
+            rows[size][name] =
+                static_cast<double>(r.execTime) / base512[name];
+        }
+    }
+    return rows;
+}
+
+inline void
+printSizeSweep(
+    const std::string &title,
+    const std::map<std::uint64_t, std::map<std::string, double>> &rows)
+{
+    std::cout << title << "\n";
+    std::cout << std::left << std::setw(14) << "entries";
+    for (const auto &name : workloads::allNames())
+        std::cout << std::right << std::setw(12) << name;
+    std::cout << "\n";
+    for (const auto &[size, cols] : rows) {
+        std::cout << std::left << std::setw(14) << size;
+        for (const auto &name : workloads::allNames())
+            std::cout << std::right << std::setw(12) << std::fixed
+                      << std::setprecision(4) << cols.at(name);
+        std::cout << "\n";
+    }
+    std::cout << "(runtime normalized to the smallest table)\n";
+}
+
+inline void
+banner(const std::string &what)
+{
+    std::cout << "==============================================\n"
+              << what << "\n"
+              << "refs/thread=" << refsPerThread()
+              << " (set CMPCACHE_REFS to scale)\n"
+              << "==============================================\n\n";
+}
+
+} // namespace bench
+} // namespace cmpcache
+
+#endif // CMPCACHE_BENCH_SUPPORT_HH

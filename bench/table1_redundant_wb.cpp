@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Table 1: percentage of clean L2 write backs that
+ * are already valid in the L3 cache (baseline system, 6 outstanding
+ * loads per thread).
+ *
+ * Paper values: CPW2 60.0%, NotesBench 59.1%, TP 42.1%, Trade2 79.1%.
+ * Expected shape: TP lowest, Trade2 highest, CPW2 ~ NotesBench in the
+ * middle -- i.e. more than half of all clean write backs are
+ * redundant for three of the four workloads.
+ */
+
+#include "support.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::bench;
+
+int
+main()
+{
+    banner("Table 1: Percentage of Clean L2 Write Backs Already "
+           "Present in the L3 Cache");
+
+    const std::map<std::string, double> paper = {
+        {"CPW2", 60.0},
+        {"NotesBench", 59.1},
+        {"TP", 42.1},
+        {"Trade2", 79.1},
+    };
+
+    std::cout << std::left << std::setw(12) << "workload"
+              << std::right << std::setw(12) << "measured"
+              << std::setw(12) << "paper" << "\n";
+    for (const auto &name : workloads::allNames()) {
+        const auto r =
+            runCell(name, PolicyConfig::make(WbPolicy::Baseline), 6);
+        std::cout << std::left << std::setw(12) << name << std::right
+                  << std::setw(11) << std::fixed
+                  << std::setprecision(1) << r.cleanWbRedundantPct
+                  << "%" << std::setw(11) << paper.at(name) << "%\n";
+    }
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * cmpsim: the full-featured command-line driver.
+ *
+ *   # paper workload, any config key as a positional override
+ *   ./examples/cmpsim --workload=Trade2 --refs=30000 \
+ *       policy=combined cpu.outstanding=6
+ *
+ *   # version-controlled experiment files
+ *   ./examples/cmpsim --config=exp.cfg --workload=TP
+ *
+ *   # raw (pre-L1) trace file, filtered through private L1s
+ *   ./examples/cmpsim --trace=/tmp/raw.trace --l1-filter
+ *
+ *   # dump every statistic and the effective configuration
+ *   ./examples/cmpsim --workload=CPW2 --stats --dump-config
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "l1/l1_cache.hh"
+#include "sim/config_io.hh"
+#include "sim/experiment.hh"
+#include "trace/trace_io.hh"
+#include "trace/workload_config.hh"
+#include "trace/workloads_commercial.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "cmpsim -- CMP cache-hierarchy simulator (ISCA'05 repro)\n\n"
+        "input (one of):\n"
+        "  --workload=TP|CPW2|NotesBench|Trade2   synthetic workload\n"
+        "  --trace=FILE                            trace file\n\n"
+        "options:\n"
+        "  --refs=N           references/thread for workloads\n"
+        "  --seed=N           workload seed\n"
+        "  --config=FILE      load key=value configuration\n"
+        "  KEY=VALUE          positional config overrides, e.g.\n"
+        "                     policy=wbht cpu.outstanding=6\n"
+        "  --l1-filter        filter input through private L1s\n"
+        "  --stats[=FILE]     dump all statistics\n"
+        "  --csv[=FILE]       dump statistics as CSV\n"
+        "  --dump-config      print the effective configuration\n"
+        "  --help             this text\n\n"
+        "config keys:\n";
+    for (const auto &k : configKeys())
+        std::cout << "  " << k << "\n";
+    std::cout << "\nworkload keys (customize the synthetic "
+                 "generator):\n";
+    for (const auto &k : workloadConfigKeys())
+        std::cout << "  " << k << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    if (args.getBool("help", false)) {
+        usage();
+        return 0;
+    }
+
+    SystemConfig cfg;
+    // Scaled retry switch suited to short synthetic runs; override
+    // via config for paper-scale traces.
+    cfg.policy.retry.windowCycles = 250000;
+    cfg.policy.retry.threshold = 100;
+
+    if (args.has("config"))
+        loadConfigFile(cfg, args.getString("config", ""));
+    // Positional key=value arguments act as overrides; "wl.*" keys
+    // customize the synthetic workload.
+    std::vector<std::pair<std::string, std::string>> wl_overrides;
+    for (const auto &pos : args.positional()) {
+        const auto eq = pos.find('=');
+        if (eq == std::string::npos)
+            cmp_fatal("positional argument '", pos,
+                      "' is not a key=value override");
+        const auto key = pos.substr(0, eq);
+        const auto value = pos.substr(eq + 1);
+        if (isWorkloadKey(key))
+            wl_overrides.emplace_back(key, value);
+        else
+            applyConfigOption(cfg, key, value);
+    }
+    if (args.getBool("dump-config", false))
+        saveConfig(cfg, std::cout);
+
+    // Build the input bundle.
+    TraceBundle bundle;
+    std::string input_name;
+    if (args.has("trace")) {
+        const auto records =
+            readTraceFile(args.getString("trace", ""));
+        bundle = splitByThread(records, cfg.numThreads());
+        input_name = args.getString("trace", "");
+    } else {
+        const auto refs = static_cast<std::uint64_t>(args.getInt(
+            "refs",
+            static_cast<std::int64_t>(benchRecordsPerThread(30000))));
+        auto wl = workloads::byName(
+            args.getString("workload", "TP"), refs,
+            static_cast<std::uint64_t>(args.getInt("seed", 1)));
+        for (const auto &[key, value] : wl_overrides)
+            applyWorkloadOption(wl, key, value);
+        input_name = wl.name;
+        SyntheticWorkload synth(wl);
+        bundle = synth.makeBundle();
+        cfg.l2.lineSize = wl.lineSize;
+        cfg.l3.lineSize = wl.lineSize;
+    }
+
+    if (args.getBool("l1-filter", false)) {
+        L1Params l1p;
+        l1p.lineSize = cfg.l2.lineSize;
+        bundle = filterThroughL1(std::move(bundle), l1p);
+    }
+
+    CmpSystem sys(cfg, std::move(bundle));
+    if (cfg.warmupPass && !args.has("trace")) {
+        const auto refs = static_cast<std::uint64_t>(args.getInt(
+            "refs",
+            static_cast<std::int64_t>(benchRecordsPerThread(30000))));
+        auto wl = workloads::byName(
+            args.getString("workload", "TP"), refs,
+            static_cast<std::uint64_t>(args.getInt("seed", 1)));
+        for (const auto &[key, value] : wl_overrides)
+            applyWorkloadOption(wl, key, value);
+        SyntheticWorkload synth(wl);
+        sys.functionalWarmup(synth.makeBundle());
+    }
+
+    const Tick t = sys.run();
+    const auto r = collectResult(sys, t, input_name);
+
+    std::cout << input_name << ": " << t << " cycles\n"
+              << "  L2 hit rate        " << r.l2HitRatePct << "%\n"
+              << "  L3 load hit rate   " << r.l3LoadHitRatePct << "%\n"
+              << "  clean WB redundant " << r.cleanWbRedundantPct
+              << "%\n"
+              << "  L2 WB requests     " << r.l2WbRequests << "\n"
+              << "  L3 retries         " << r.l3Retries << "\n"
+              << "  off-chip accesses  " << r.offChipAccesses << "\n";
+    if (sys.config().policy.usesWbht())
+        std::cout << "  WBHT correct       " << r.wbhtCorrectPct
+                  << "% (aborted " << r.wbAborted << ")\n";
+
+    if (args.has("stats")) {
+        const auto path = args.getString("stats", "true");
+        if (path == "true") {
+            sys.dump(std::cout);
+        } else {
+            std::ofstream os(path);
+            sys.dump(os);
+        }
+    }
+    if (args.has("csv")) {
+        const auto path = args.getString("csv", "true");
+        if (path == "true") {
+            sys.dumpCsv(std::cout);
+        } else {
+            std::ofstream os(path);
+            sys.dumpCsv(os);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cache-line coherence states.
+ *
+ * The protocol is a POWER4-flavoured snooping MESI extension with two
+ * extra states the paper's mechanisms rely on:
+ *
+ *  - SL ("Shared Last"): a shared copy designated to source
+ *    cache-to-cache interventions ("a subset of lines in the shared
+ *    state" can intervene in the paper's words).
+ *  - T ("Tagged"): a dirty line that has been read by another cache;
+ *    the owner still sources interventions and is responsible for the
+ *    eventual dirty write back.
+ */
+
+#ifndef CMPCACHE_COHERENCE_STATE_HH
+#define CMPCACHE_COHERENCE_STATE_HH
+
+#include <cstdint>
+
+namespace cmpcache
+{
+
+enum class LineState : std::uint8_t
+{
+    Invalid = 0,
+    Shared,     ///< clean, other copies may exist, cannot intervene
+    SharedLast, ///< clean, designated intervention source (SL)
+    Exclusive,  ///< clean, only cached copy
+    Tagged,     ///< dirty, shared with other caches, owner (T)
+    Modified,   ///< dirty, only cached copy
+};
+
+constexpr bool
+isValid(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+constexpr bool
+isDirty(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Tagged;
+}
+
+/** Can this copy source a cache-to-cache transfer? */
+constexpr bool
+canIntervene(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Tagged
+           || s == LineState::SharedLast || s == LineState::Exclusive;
+}
+
+/** Is a store hit allowed without a bus transaction? Tagged lines are
+ * dirty but *shared*: a store must first invalidate the other copies
+ * with an Upgrade. */
+constexpr bool
+canSilentStore(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Exclusive;
+}
+
+const char *toString(LineState s);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_COHERENCE_STATE_HH

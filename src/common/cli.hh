@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal --key=value command-line option parsing for the example and
+ * benchmark drivers.
+ */
+
+#ifndef CMPCACHE_COMMON_CLI_HH
+#define CMPCACHE_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cmpcache
+{
+
+/**
+ * Parses "--key=value" / "--flag" style arguments. Unknown positional
+ * arguments are collected in order.
+ */
+class CliArgs
+{
+  public:
+    CliArgs(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Environment-variable integer override helper. */
+    static std::int64_t envInt(const char *name, std::int64_t def);
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_COMMON_CLI_HH

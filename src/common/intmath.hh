@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Integer math helpers used throughout the cache models.
+ */
+
+#ifndef CMPCACHE_COMMON_INTMATH_HH
+#define CMPCACHE_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+/** True iff @p n is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** floor(log2(n)); n must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(log2(n)); n must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** Round @p n up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t n, std::uint64_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/** Round @p n down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t n, std::uint64_t align)
+{
+    return n & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t m =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (val >> first) & m;
+}
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_COMMON_INTMATH_HH

@@ -1,0 +1,57 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cmpcache
+{
+namespace logging_detail
+{
+
+namespace
+{
+std::ostream *logSink = nullptr;
+
+std::ostream &
+sink()
+{
+    return logSink ? *logSink : std::cerr;
+}
+} // namespace
+
+void
+setLogSink(std::ostream *s)
+{
+    logSink = s;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    sink() << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    sink() << "info: " << msg << std::endl;
+}
+
+} // namespace logging_detail
+} // namespace cmpcache

@@ -1,0 +1,143 @@
+#include "core/history_table.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+HistoryTable::HistoryTable(std::uint64_t num_entries, unsigned assoc,
+                           unsigned line_size, bool protect_used)
+    : assoc_(assoc),
+      lineShift_(floorLog2(line_size)),
+      protectUsed_(protect_used)
+{
+    cmp_assert(isPowerOf2(line_size), "line size must be 2^k");
+    cmp_assert(assoc > 0 && num_entries % assoc == 0,
+               "entries must divide into full sets");
+    const std::uint64_t sets = num_entries / assoc;
+    cmp_assert(isPowerOf2(sets), "history table sets must be 2^k (",
+               num_entries, " entries / ", assoc, "-way)");
+    numSets_ = static_cast<unsigned>(sets);
+    entries_.resize(num_entries);
+}
+
+unsigned
+HistoryTable::setOf(Addr line) const
+{
+    return static_cast<unsigned>((line >> lineShift_) & (numSets_ - 1));
+}
+
+HistoryTable::Entry *
+HistoryTable::find(Addr addr)
+{
+    const Addr line = (addr >> lineShift_) << lineShift_;
+    auto *base =
+        &entries_[static_cast<std::size_t>(setOf(line)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid() && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+bool
+HistoryTable::contains(Addr addr, bool touch)
+{
+    Entry *e = find(addr);
+    if (!e)
+        return false;
+    if (touch)
+        e->stamp = ++clock_;
+    return true;
+}
+
+bool
+HistoryTable::useBitSet(Addr addr, bool touch)
+{
+    Entry *e = find(addr);
+    if (!e)
+        return false;
+    if (touch)
+        e->stamp = ++clock_;
+    return e->useBit;
+}
+
+bool
+HistoryTable::allocate(Addr addr)
+{
+    const Addr line = (addr >> lineShift_) << lineShift_;
+    if (Entry *e = find(line)) {
+        e->stamp = ++clock_;
+        return false;
+    }
+    auto *base =
+        &entries_[static_cast<std::size_t>(setOf(line)) * assoc_];
+    Entry *victim = nullptr;
+    Entry *unused_victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!base[w].valid()) {
+            victim = &base[w];
+            unused_victim = victim;
+            break;
+        }
+        if (!victim || base[w].stamp < victim->stamp)
+            victim = &base[w];
+        if (!base[w].useBit
+            && (!unused_victim
+                || base[w].stamp < unused_victim->stamp)) {
+            unused_victim = &base[w];
+        }
+    }
+    if (protectUsed_ && unused_victim)
+        victim = unused_victim;
+    const bool evicted = victim->valid();
+    victim->tag = line;
+    victim->stamp = ++clock_;
+    victim->useBit = false;
+    return evicted;
+}
+
+bool
+HistoryTable::markUsed(Addr addr)
+{
+    Entry *e = find(addr);
+    if (!e)
+        return false;
+    e->useBit = true;
+    e->stamp = ++clock_;
+    return true;
+}
+
+bool
+HistoryTable::erase(Addr addr)
+{
+    Entry *e = find(addr);
+    if (!e)
+        return false;
+    e->tag = InvalidAddr;
+    e->useBit = false;
+    return true;
+}
+
+std::uint64_t
+HistoryTable::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid())
+            ++n;
+    return n;
+}
+
+void
+HistoryTable::clear()
+{
+    for (auto &e : entries_) {
+        e.tag = InvalidAddr;
+        e.useBit = false;
+        e.stamp = 0;
+    }
+}
+
+} // namespace cmpcache

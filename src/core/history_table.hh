@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The set-associative tag history table underlying both of the
+ * paper's adaptive mechanisms.
+ *
+ * "The proposed selective write back mechanism uses a small lookup
+ *  table [...] organized and accessed just like a cache tag array."
+ *
+ * The table stores only line tags (no data), is managed LRU within
+ * each set, and carries one optional payload bit per entry (the snarf
+ * table's "use bit"). The default geometry matches the paper: 32 K
+ * entries, 16-way.
+ */
+
+#ifndef CMPCACHE_CORE_HISTORY_TABLE_HH
+#define CMPCACHE_CORE_HISTORY_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cmpcache
+{
+
+class HistoryTable
+{
+  public:
+    /**
+     * @param num_entries  total entries (power of two)
+     * @param assoc        associativity (divides num_entries)
+     * @param line_size    cache line size for address alignment
+     * @param protect_used prefer evicting entries whose use bit is
+     *        clear; entries with demonstrated reuse survive the
+     *        allocation churn of unproven lines (the snarf table
+     *        enables this, the WBHT does not use payload bits)
+     */
+    HistoryTable(std::uint64_t num_entries, unsigned assoc,
+                 unsigned line_size, bool protect_used = false);
+
+    std::uint64_t numEntries() const
+    {
+        return static_cast<std::uint64_t>(numSets_) * assoc_;
+    }
+    unsigned assoc() const { return assoc_; }
+    unsigned numSets() const { return numSets_; }
+
+    /**
+     * Is the line present?
+     * @param touch refresh the entry's LRU position on hit
+     */
+    bool contains(Addr addr, bool touch = true);
+
+    /** Present with the payload ("use") bit set? */
+    bool useBitSet(Addr addr, bool touch = true);
+
+    /**
+     * Insert the line (LRU-evicting within its set if needed). An
+     * existing entry is refreshed; its use bit is left untouched.
+     * @return true if the insertion evicted a valid entry
+     */
+    bool allocate(Addr addr);
+
+    /** Set the payload bit if the line is present.
+     * @return true if the entry existed */
+    bool markUsed(Addr addr);
+
+    /** Drop the line if present. @return true if it existed */
+    bool erase(Addr addr);
+
+    /** Number of currently valid entries (O(size); tests/analysis). */
+    std::uint64_t countValid() const;
+
+    /** Remove every entry. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Addr tag = InvalidAddr;
+        std::uint64_t stamp = 0;
+        bool useBit = false;
+
+        bool valid() const { return tag != InvalidAddr; }
+    };
+
+    Entry *find(Addr line);
+    unsigned setOf(Addr line) const;
+
+    unsigned assoc_;
+    unsigned lineShift_;
+    unsigned numSets_;
+    bool protectUsed_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_CORE_HISTORY_TABLE_HH

@@ -1,0 +1,61 @@
+#include "core/policy.hh"
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+const char *
+toString(WbPolicy p)
+{
+    switch (p) {
+      case WbPolicy::Baseline:
+        return "baseline";
+      case WbPolicy::Wbht:
+        return "wbht";
+      case WbPolicy::WbhtGlobal:
+        return "wbht-global";
+      case WbPolicy::Snarf:
+        return "snarf";
+      case WbPolicy::Combined:
+        return "combined";
+    }
+    return "?";
+}
+
+WbPolicy
+wbPolicyFromString(const std::string &name)
+{
+    if (name == "baseline")
+        return WbPolicy::Baseline;
+    if (name == "wbht")
+        return WbPolicy::Wbht;
+    if (name == "wbht-global")
+        return WbPolicy::WbhtGlobal;
+    if (name == "snarf")
+        return WbPolicy::Snarf;
+    if (name == "combined")
+        return WbPolicy::Combined;
+    cmp_fatal("unknown write-back policy '", name, "' (expected "
+              "baseline, wbht, wbht-global, snarf or combined)");
+}
+
+PolicyConfig
+PolicyConfig::make(WbPolicy p)
+{
+    PolicyConfig c;
+    c.policy = p;
+    return c;
+}
+
+PolicyConfig
+PolicyConfig::combinedDefault()
+{
+    PolicyConfig c;
+    c.policy = WbPolicy::Combined;
+    c.wbht.entries = 16384;
+    c.snarf.entries = 16384;
+    return c;
+}
+
+} // namespace cmpcache

@@ -1,0 +1,47 @@
+#include "core/retry_monitor.hh"
+
+namespace cmpcache
+{
+
+RetryMonitor::RetryMonitor(stats::Group *parent, const Params &p)
+    : stats::Group(parent, "retry_monitor"),
+      params_(p),
+      active_(p.initiallyActive),
+      retriesSeen_(this, "retries_seen", "retry responses observed"),
+      windowsOn_(this, "windows_on",
+                 "windows that enabled the WBHT"),
+      windowsOff_(this, "windows_off",
+                  "windows that disabled the WBHT")
+{
+}
+
+void
+RetryMonitor::rollWindows(Tick now)
+{
+    while (now >= windowStart_ + params_.windowCycles) {
+        active_ = windowCount_ >= params_.threshold;
+        if (active_)
+            ++windowsOn_;
+        else
+            ++windowsOff_;
+        windowStart_ += params_.windowCycles;
+        windowCount_ = 0;
+    }
+}
+
+void
+RetryMonitor::recordRetry(Tick now)
+{
+    rollWindows(now);
+    ++windowCount_;
+    ++retriesSeen_;
+}
+
+bool
+RetryMonitor::active(Tick now)
+{
+    rollWindows(now);
+    return active_;
+}
+
+} // namespace cmpcache

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The retry-rate "on/off switch" for the WBHT (paper section 2.2).
+ *
+ * With low memory pressure, filtering clean write backs only hurts
+ * (no contention to relieve, and mispredictions cost a full memory
+ * access). The paper therefore counts ring retry transactions in a
+ * fixed window and disables WBHT *decisions* (the table stays
+ * up-to-date) whenever the count falls below a threshold. "A common
+ * threshold of two thousand retries every one million processor
+ * cycles works well."
+ */
+
+#ifndef CMPCACHE_CORE_RETRY_MONITOR_HH
+#define CMPCACHE_CORE_RETRY_MONITOR_HH
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace cmpcache
+{
+
+class RetryMonitor : public stats::Group
+{
+  public:
+    struct Params
+    {
+        /** Window length in core cycles (paper: 1,000,000). */
+        Tick windowCycles = 1000000;
+        /** Retries per window required to enable the WBHT
+         * (paper: 2,000). */
+        std::uint64_t threshold = 2000;
+        /** WBHT state before the first full window completes. */
+        bool initiallyActive = false;
+    };
+
+    RetryMonitor(stats::Group *parent, const Params &p);
+
+    /** A retry combined-response occurred at @p now. */
+    void recordRetry(Tick now);
+
+    /** Is the WBHT currently allowed to filter write backs? */
+    bool active(Tick now);
+
+    const Params &params() const { return params_; }
+
+  private:
+    /** Close any windows that ended before @p now. */
+    void rollWindows(Tick now);
+
+    Params params_;
+    Tick windowStart_ = 0;
+    std::uint64_t windowCount_ = 0;
+    bool active_ = false;
+
+    stats::Scalar retriesSeen_;
+    stats::Scalar windowsOn_;
+    stats::Scalar windowsOff_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_CORE_RETRY_MONITOR_HH

@@ -1,0 +1,683 @@
+#include "l2/l2_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+/** Self-deleting deferred callback. */
+class DeferredEvent : public Event
+{
+  public:
+    explicit DeferredEvent(std::function<void()> fn) : fn_(std::move(fn))
+    {
+    }
+
+    void
+    process() override
+    {
+        fn_();
+        delete this;
+    }
+
+    std::string name() const override { return "l2-deferred"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+} // namespace
+
+L2Cache::L2Cache(stats::Group *parent, EventQueue &eq,
+                 const std::string &name, AgentId id, unsigned ring_stop,
+                 const L2Params &p, const PolicyConfig &policy,
+                 Ring &ring, RetryMonitor *retry_monitor)
+    : SimObject(parent, name, eq),
+      id_(id),
+      stop_(ring_stop),
+      params_(p),
+      policy_(policy),
+      ring_(ring),
+      retryMonitor_(retry_monitor),
+      tags_(p.sizeBytes, p.assoc, p.lineSize,
+            makeReplacementPolicy(p.replPolicy)),
+      mshrs_(p.mshrs),
+      wbq_(p.wbqDepth),
+      sliceFree_(p.slices, 0),
+      wbDrainEvent_([this] { drainWriteBacks(); }, name + "-wb-drain"),
+      accesses_(this, "accesses", "CPU-side demand accesses"),
+      loads_(this, "loads", "demand loads and ifetches"),
+      stores_(this, "stores", "demand stores"),
+      hits_(this, "hits", "demand hits"),
+      misses_(this, "misses", "demand misses (MSHR allocations)"),
+      upgradeRequests_(this, "upgrade_requests",
+                       "stores needing an Upgrade transaction"),
+      coalescedMisses_(this, "coalesced_misses",
+                       "misses folded into an existing MSHR"),
+      blockedMshr_(this, "blocked_mshr",
+                   "accesses rejected: MSHRs full"),
+      blockedWbq_(this, "blocked_wbq",
+                  "accesses rejected: write-back queue full"),
+      busRetriesSeen_(this, "bus_retries_seen",
+                      "own transactions answered with Retry"),
+      missLatency_(this, "miss_latency",
+                   "demand miss latency (cycles)", 0, 1200, 24),
+      wbEnqueued_(this, "wb_enqueued", "victims entering the WB queue"),
+      wbIssued_(this, "wb_issued",
+                "write-back bus transactions issued (incl. retries)"),
+      wbIssuedClean_(this, "wb_issued_clean",
+                     "clean write-back transactions issued"),
+      wbIssuedDirty_(this, "wb_issued_dirty",
+                     "dirty write-back transactions issued"),
+      wbAbortedByWbht_(this, "wb_aborted_by_wbht",
+                       "clean write backs aborted by the WBHT"),
+      wbSquashed_(this, "wb_squashed",
+                  "own write backs squashed (copy already valid)"),
+      wbSnarfedOut_(this, "wb_snarfed_out",
+                    "own write backs absorbed by a peer L2"),
+      wbAcceptedL3_(this, "wb_accepted_l3",
+                    "own write backs accepted by the L3"),
+      interventionsSupplied_(this, "interventions_supplied",
+                             "lines sourced to peer L2 misses"),
+      snarfedReceived_(this, "snarfed_received",
+                       "peer write backs absorbed into this cache"),
+      snarfedDropped_(this, "snarfed_dropped",
+                      "won snarfs dropped (victim disappeared)"),
+      snarfLocalUse_(this, "snarf_local_use",
+                     "snarfed lines later hit by a local thread"),
+      snarfInterventionUse_(this, "snarf_intervention_use",
+                            "snarfed lines later sourced to peers")
+{
+    if (policy_.usesWbht()) {
+        auto wp = policy_.wbht;
+        wp.lineSize = p.lineSize;
+        wbht_ = std::make_unique<WriteBackHistoryTable>(this, wp);
+    }
+    if (policy_.usesSnarf()) {
+        auto sp = policy_.snarf;
+        sp.lineSize = p.lineSize;
+        snarfTable_ = std::make_unique<SnarfTable>(this, sp);
+    }
+}
+
+double
+L2Cache::hitRate() const
+{
+    const auto a = accesses_.value();
+    return a ? static_cast<double>(hits_.value())
+                   / static_cast<double>(a)
+             : 0.0;
+}
+
+bool
+L2Cache::wbhtDecisionsActive() const
+{
+    if (!policy_.usesWbht())
+        return false;
+    if (!policy_.useRetrySwitch)
+        return true;
+    cmp_assert(retryMonitor_ != nullptr,
+               "retry switch enabled without a monitor");
+    return retryMonitor_->active(curTick());
+}
+
+// --------------------------------------------------------- CPU side
+
+L2Cache::AccessResult
+L2Cache::access(ThreadId tid, Addr addr, MemOp op)
+{
+    const Addr line = tags_.lineAlign(addr);
+    const bool is_store = op == MemOp::Store;
+    // Blocked attempts are re-issued by the CPU and must not inflate
+    // the demand-access denominator; count on acceptance only.
+    const auto count_access = [&] {
+        ++accesses_;
+        if (is_store)
+            ++stores_;
+        else
+            ++loads_;
+    };
+
+    TagEntry *entry = tags_.lookup(line);
+    if (entry) {
+        // Loads and ifetches hit on any valid state; stores need
+        // write permission.
+        if (!is_store || canSilentStore(entry->state)) {
+            count_access();
+            ++hits_;
+            if (is_store && entry->state == LineState::Exclusive)
+                entry->state = LineState::Modified;
+            if (entry->snarfed && !entry->snarfUsedLocal) {
+                entry->snarfUsedLocal = true;
+                ++snarfLocalUse_;
+            }
+            return AccessResult::Hit;
+        }
+        // Store to S/SL/T: upgrade required.
+        if (Mshr *m = mshrs_.find(line)) {
+            mshrs_.addWaiter(m, tid, true, curTick());
+            count_access();
+            ++coalescedMisses_;
+            return AccessResult::Miss;
+        }
+        if (mshrs_.full()) {
+            ++blockedMshr_;
+            return AccessResult::Blocked;
+        }
+        count_access();
+        ++misses_;
+        ++upgradeRequests_;
+        Mshr *m = mshrs_.allocate(line, BusCmd::Upgrade, tid, true,
+                                  curTick());
+        tryIssue(m);
+        return AccessResult::Miss;
+    }
+
+    // Tag miss.
+    if (Mshr *m = mshrs_.find(line)) {
+        mshrs_.addWaiter(m, tid, is_store, curTick());
+        count_access();
+        ++coalescedMisses_;
+        return AccessResult::Miss;
+    }
+    if (mshrs_.full()) {
+        ++blockedMshr_;
+        return AccessResult::Blocked;
+    }
+    if (wbq_.full()) {
+        // Fills need a WB-queue slot for the victim; conservatively
+        // hold new misses off until one frees up (the paper's
+        // "misses to the L2 will be blocked").
+        ++blockedWbq_;
+        return AccessResult::Blocked;
+    }
+    count_access();
+    ++misses_;
+    Mshr *m = mshrs_.allocate(
+        line, is_store ? BusCmd::ReadExcl : BusCmd::Read, tid, is_store,
+        curTick());
+    tryIssue(m);
+    return AccessResult::Miss;
+}
+
+void
+L2Cache::tryIssue(Mshr *mshr)
+{
+    cmp_assert(!mshr->inService, "double issue of MSHR");
+    mshr->inService = true;
+    BusRequest req;
+    req.lineAddr = mshr->lineAddr;
+    req.cmd = mshr->cmd;
+    req.requester = id_;
+    ring_.issue(req);
+}
+
+// -------------------------------------------------- write-back path
+
+void
+L2Cache::queueWriteBack(const TagEntry &victim)
+{
+    cmp_assert(!wbq_.full(), "WB queue overflow");
+    const bool dirty = isDirty(victim.state);
+    Tick ready = curTick();
+    if (!dirty && policy_.usesWbht())
+        ready += params_.wbhtLookupDelay;
+    wbq_.push(victim.lineAddr, dirty, ready);
+    ++wbEnqueued_;
+    scheduleWbDrain();
+}
+
+void
+L2Cache::scheduleWbDrain()
+{
+    if (wbDrainEvent_.scheduled())
+        return;
+    const Tick earliest = wbq_.earliestReady();
+    if (earliest == MaxTick)
+        return;
+    eventq().schedule(&wbDrainEvent_, std::max(earliest, curTick()));
+}
+
+void
+L2Cache::drainWriteBacks()
+{
+    const Tick now = curTick();
+    while (WbEntry *e = wbq_.nextReady(now)) {
+        if (!e->dirty && policy_.usesWbht() && wbhtDecisionsActive()) {
+            const bool in_l3 = l3Peek_ ? l3Peek_(e->lineAddr) : false;
+            if (wbht_->shouldAbort(e->lineAddr, in_l3)) {
+                ++wbAbortedByWbht_;
+                wbq_.remove(e);
+                continue;
+            }
+        }
+        BusRequest req;
+        req.lineAddr = e->lineAddr;
+        req.cmd = e->dirty ? BusCmd::WbDirty : BusCmd::WbClean;
+        req.requester = id_;
+        if (policy_.usesSnarf())
+            req.snarfHint = snarfTable_->shouldFlagSnarf(e->lineAddr);
+        e->snarfHint = req.snarfHint;
+        e->inFlight = true;
+        ++wbIssued_;
+        if (e->dirty)
+            ++wbIssuedDirty_;
+        else
+            ++wbIssuedClean_;
+        ring_.issue(req);
+    }
+    scheduleWbDrain();
+}
+
+// ------------------------------------------------------- snoop side
+
+bool
+L2Cache::snarfVictimAvailable(Addr addr)
+{
+    // Invalid ways are free space.
+    if (tags_.anyInSet(addr,
+                       [](const TagEntry &e) { return !e.valid(); })) {
+        return true;
+    }
+    if (!policy_.snarfSharedVictims)
+        return false;
+    // Accept over a Shared line when the set is not starved of them:
+    // either the set's next replacement victim is Shared (so the
+    // displacement was imminent anyway), or several Shared copies
+    // coexist (another cache very likely holds a duplicate).
+    const TagEntry *v = tags_.findVictim(addr);
+    if (v && v->state == LineState::Shared)
+        return true;
+    unsigned shared_ways = 0;
+    tags_.anyInSet(addr, [&shared_ways](const TagEntry &e) {
+        shared_ways += e.state == LineState::Shared;
+        return false;
+    });
+    return shared_ways >= 2;
+}
+
+SnoopResponse
+L2Cache::snoop(const BusRequest &req)
+{
+    SnoopResponse resp;
+    resp.responder = id_;
+    const Addr line = req.lineAddr;
+
+    if (isWriteBack(req.cmd)) {
+        // Peer L2s only examine their tags for snarf-flagged write
+        // backs (pressure on L2 tags is why the snarf table exists).
+        if (!policy_.usesSnarf() || !req.snarfHint)
+            return resp;
+
+        const TagEntry *entry = tags_.peek(line);
+        if (entry) {
+            // Valid copy here: the write back is redundant; squash it
+            // via the special snoop reply.
+            resp.hasLine = true;
+            resp.hasDirty = isDirty(entry->state);
+            return resp;
+        }
+        // Offer to absorb if we have buffers, a victim candidate, and
+        // no conflicting activity on the line.
+        if (snarfInFlight_ < policy_.snarfBuffers
+            && !mshrs_.find(line) && !wbq_.find(line)
+            && !pendingSnarfs_.count(line)
+            && snarfVictimAvailable(line)) {
+            resp.snarfAccept = true;
+        }
+        return resp;
+    }
+
+    // Demand request from a peer.
+    // Address-collision serialization keeps concurrent misses to one
+    // line from installing inconsistent states (the paper's protocol
+    // counts such "race condition" retries in its retry-rate switch
+    // input). We retry the peer when the line sits in our write-back
+    // queue, or when our own transaction for it has already won the
+    // bus (awaitingData). A merely-queued transaction of ours does
+    // NOT retry -- otherwise two racing requesters would retry each
+    // other forever; the one that combines first wins, the other
+    // backs off.
+    if (wbq_.find(line) || pendingSnarfs_.count(line)) {
+        resp.retry = true;
+        return resp;
+    }
+    if (const Mshr *m = mshrs_.find(line)) {
+        if (m->awaitingData) {
+            resp.retry = true;
+            return resp;
+        }
+        // Our request lost the race; it will be retried/serviced
+        // against the peer's installed copy later. Respond from the
+        // tags below (nothing valid yet).
+    }
+
+    const TagEntry *entry = tags_.peek(line);
+    if (entry) {
+        resp = protocol::l2Snoop(entry->state, req.cmd, id_);
+        if (!params_.cleanInterventions && !resp.hasDirty)
+            resp.canSupply = false;
+    }
+    return resp;
+}
+
+Tick
+L2Cache::scheduleSupply(const BusRequest &req, Tick combine_time)
+{
+    const unsigned slice =
+        (req.lineAddr / params_.lineSize) % params_.slices;
+    Tick start = std::max(combine_time, sliceFree_[slice]);
+    sliceFree_[slice] = start + params_.supplyOccupancy;
+    return start + params_.supplyLatency;
+}
+
+// --------------------------------------------- combined / data side
+
+void
+L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
+{
+    const Addr line = req.lineAddr;
+    const bool own = req.requester == id_;
+    const bool effective = res.resp != CombinedResp::Retry;
+
+    // ---- Observations every L2 makes on every transaction ----
+    if (policy_.usesSnarf() && effective) {
+        if (isWriteBack(req.cmd)) {
+            snarfTable_->recordWriteBack(line);
+        } else if (req.cmd == BusCmd::Read
+                   || req.cmd == BusCmd::ReadExcl) {
+            snarfTable_->recordMiss(line);
+        }
+    }
+    if (policy_.globalWbhtAllocation() && req.cmd == BusCmd::WbClean
+        && effective && res.l3HasLine) {
+        wbht_->recordL3Valid(line);
+    }
+
+    if (!own) {
+        if (!effective)
+            return;
+
+        if (isWriteBack(req.cmd)) {
+            // Did we win the snarf arbitration?
+            if (res.resp == CombinedResp::WbSnarfed
+                && res.source == id_) {
+                // Reserve the victim now (clean by construction, per
+                // snarfVictimAvailable) so the slot is very likely
+                // still there at data arrival.
+                TagEntry *victim = tags_.findVictimAmong(
+                    line,
+                    [](const TagEntry &e) { return !e.valid(); });
+                if (!victim && policy_.snarfSharedVictims) {
+                    // LRU Shared way (mirrors snarfVictimAvailable).
+                    victim = tags_.findVictimAmong(
+                        line, [](const TagEntry &e) {
+                            return e.state == LineState::Shared;
+                        });
+                }
+                if (victim && victim->valid())
+                    tags_.invalidate(victim);
+                pendingSnarfs_[line] =
+                    PendingSnarf{req.cmd == BusCmd::WbDirty,
+                                 res.otherSharers};
+                ++snarfInFlight_;
+            }
+            return;
+        }
+
+        // Demand request by a peer: apply our state transition.
+        TagEntry *entry = tags_.lookup(line, /*touch=*/false);
+        if (!entry)
+            return;
+        const LineState before = entry->state;
+        entry->state = protocol::l2AfterSnoop(before, req.cmd);
+        if (res.resp == CombinedResp::L2Data && res.source == id_) {
+            ++interventionsSupplied_;
+            if (entry->snarfed && !entry->snarfUsedIntervention) {
+                entry->snarfUsedIntervention = true;
+                ++snarfInterventionUse_;
+            }
+        }
+        if (!isValid(entry->state))
+            tags_.invalidate(entry);
+        return;
+    }
+
+    // ---- Reactions to our own transaction ----
+    if (isWriteBack(req.cmd)) {
+        WbEntry *e = wbq_.findInFlight(line);
+        cmp_assert(e != nullptr, "combined response for unknown WB");
+        switch (res.resp) {
+          case CombinedResp::Retry:
+            ++busRetriesSeen_;
+            e->inFlight = false;
+            ++e->retries;
+            // Deterministically staggered backoff: retried write
+            // backs from different L2s (and successive retries of
+            // the same line) must not re-collide in convoys.
+            e->readyAt = curTick() + params_.retryBackoff
+                         + 7u * id_ + 13u * (e->retries % 7u);
+            scheduleWbDrain();
+            return;
+          case CombinedResp::WbSquashed:
+            ++wbSquashed_;
+            if (req.cmd == BusCmd::WbClean && res.l3HasLine
+                && policy_.usesWbht()
+                && !policy_.globalWbhtAllocation()) {
+                wbht_->recordL3Valid(line);
+            }
+            wbq_.remove(e);
+            return;
+          case CombinedResp::WbAcceptL3:
+            ++wbAcceptedL3_;
+            wbq_.remove(e);
+            return;
+          case CombinedResp::WbSnarfed:
+            ++wbSnarfedOut_;
+            wbq_.remove(e);
+            return;
+          default:
+            cmp_panic("unexpected WB combined response ",
+                      toString(res.resp));
+        }
+    }
+
+    Mshr *m = mshrs_.find(line);
+    cmp_assert(m != nullptr, "combined response for unknown miss");
+
+    switch (res.resp) {
+      case CombinedResp::Retry:
+        ++busRetriesSeen_;
+        m->inService = false;
+        ++m->retries;
+        {
+            // Re-find by address at fire time: the slot may have been
+            // recycled for a different line by then.
+            auto *ev = new DeferredEvent([this, line] {
+                Mshr *mm = mshrs_.find(line);
+                if (mm && !mm->inService && !mm->awaitingData)
+                    tryIssue(mm);
+            });
+            eventq().schedule(ev, curTick() + params_.retryBackoff);
+        }
+        return;
+
+      case CombinedResp::Upgraded: {
+        TagEntry *entry = tags_.lookup(line);
+        if (entry && isValid(entry->state)) {
+            entry->state = LineState::Modified;
+            // Complete every waiter shortly (ownership granted).
+            for (const auto &w : m->waiters)
+                completeWaiter(w, params_.fillLatency);
+            missLatency_.sample(
+                static_cast<double>(curTick() - m->allocated));
+            mshrs_.deallocate(m);
+        } else {
+            // Lost the line to a racing ReadExcl: refetch with intent
+            // to modify.
+            m->cmd = BusCmd::ReadExcl;
+            m->inService = false;
+            tryIssue(m);
+        }
+        return;
+      }
+
+      case CombinedResp::L2Data:
+      case CombinedResp::L3Data:
+      case CombinedResp::MemData:
+        m->awaitingData = true;
+        return;
+
+      default:
+        cmp_panic("unexpected miss combined response ",
+                  toString(res.resp));
+    }
+}
+
+void
+L2Cache::completeWaiter(const MshrWaiter &w, Tick delay)
+{
+    if (!cpuDone_)
+        return;
+    const ThreadId tid = w.tid;
+    auto *ev = new DeferredEvent([this, tid] { cpuDone_(tid); });
+    eventq().schedule(ev, curTick() + delay);
+}
+
+void
+L2Cache::receiveData(const BusRequest &req, const CombinedResult &res)
+{
+    handleFill(req, res);
+}
+
+void
+L2Cache::handleFill(const BusRequest &req, const CombinedResult &res)
+{
+    const Addr line = req.lineAddr;
+    Mshr *m = mshrs_.find(line);
+    cmp_assert(m && m->awaitingData, "fill without awaiting MSHR");
+
+    TagEntry *entry = tags_.lookup(line);
+    if (!entry) {
+        TagEntry *victim;
+        if (policy_.wbhtInformedReplacement && wbht_) {
+            // Future-work extension: prefer evicting cold lines the
+            // WBHT says are already in the L3 (their write back will
+            // be aborted; a refetch costs only the L3 latency).
+            victim = tags_.findVictimInformed(
+                line, [this](const TagEntry &e) {
+                    return wbht_->table().contains(e.lineAddr,
+                                                   /*touch=*/false);
+                });
+        } else {
+            victim = tags_.findVictim(line);
+        }
+        if (victim->valid() && protocol::needsWriteBack(victim->state)) {
+            if (wbq_.full()) {
+                // Hold the fill until a WB slot opens.
+                auto *ev = new DeferredEvent(
+                    [this, req, res] { handleFill(req, res); });
+                eventq().schedule(ev, curTick() + 8);
+                return;
+            }
+            queueWriteBack(*victim);
+        }
+        const LineState st = protocol::fillState(
+            req.cmd, res.resp, res.otherSharers, res.dirtySource);
+        tags_.insert(victim, line, st);
+        entry = victim;
+    } else if (req.cmd == BusCmd::ReadExcl) {
+        // The line appeared while our fetch was in flight (e.g. via a
+        // snarf); the combined response already invalidated peers.
+        entry->state = LineState::Modified;
+    }
+
+    // Complete waiters. Stores can finish only with write permission;
+    // otherwise convert the MSHR into an Upgrade and keep them parked.
+    std::vector<MshrWaiter> stores_pending;
+    for (const auto &w : m->waiters) {
+        if (w.isStore && !canSilentStore(entry->state)
+            && entry->state != LineState::Modified) {
+            stores_pending.push_back(w);
+            continue;
+        }
+        if (w.isStore && entry->state == LineState::Exclusive)
+            entry->state = LineState::Modified;
+        completeWaiter(w, params_.fillLatency);
+    }
+    missLatency_.sample(static_cast<double>(curTick() - m->allocated));
+
+    if (!stores_pending.empty()) {
+        m->cmd = BusCmd::Upgrade;
+        m->inService = false;
+        m->awaitingData = false;
+        m->waiters = std::move(stores_pending);
+        ++upgradeRequests_;
+        tryIssue(m);
+    } else {
+        mshrs_.deallocate(m);
+    }
+}
+
+void
+L2Cache::receiveWriteBack(const BusRequest &req)
+{
+    // Snarfed data arriving from a peer's write back.
+    const Addr line = req.lineAddr;
+    const auto it = pendingSnarfs_.find(line);
+    cmp_assert(it != pendingSnarfs_.end(),
+               "snarf data without reservation");
+    const bool dirty = it->second.dirty;
+    const bool sharers = it->second.sharers;
+    pendingSnarfs_.erase(it);
+    cmp_assert(snarfInFlight_ > 0, "snarf buffer underflow");
+    --snarfInFlight_;
+
+    if (tags_.lookup(line, /*touch=*/false)) {
+        // We refetched the line ourselves in the meantime.
+        ++snarfedDropped_;
+        return;
+    }
+
+    TagEntry *victim = tags_.findVictimAmong(
+        line, [this](const TagEntry &e) {
+            return !e.valid()
+                   || (policy_.snarfSharedVictims
+                       && e.state == LineState::Shared);
+        });
+    if (!victim) {
+        if (!dirty) {
+            ++snarfedDropped_;
+            return;
+        }
+        // Dirty data must not vanish: fall back to a full victim
+        // search and, if that victim needs a write back, require a
+        // queue slot (else drop and account).
+        victim = tags_.findVictim(line);
+        if (victim->valid()
+            && protocol::needsWriteBack(victim->state)) {
+            if (wbq_.full()) {
+                ++snarfedDropped_;
+                return;
+            }
+            queueWriteBack(*victim);
+        }
+    } else if (victim->valid()
+               && protocol::needsWriteBack(victim->state)
+               && isDirty(victim->state)) {
+        cmp_panic("snarf victim selection chose a dirty line");
+    }
+
+    tags_.insert(victim, line,
+                 protocol::snarfFillState(dirty, sharers),
+                 policy_.snarfInsert);
+    victim->snarfed = true;
+    ++snarfedReceived_;
+}
+
+} // namespace cmpcache

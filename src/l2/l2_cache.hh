@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The L2 cache controller.
+ *
+ * One L2 is shared by two cores (four hardware threads) and is a
+ * point of coherence: it snoops the address ring, sources
+ * interventions, issues write backs for every valid victim (the
+ * baseline policy), and hosts the paper's two adaptive mechanisms:
+ * the Write Back History Table (selective clean write backs) and the
+ * snarf table / snarf-accept logic (L2-to-L2 write backs).
+ */
+
+#ifndef CMPCACHE_L2_L2_CACHE_HH
+#define CMPCACHE_L2_L2_CACHE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "coherence/protocol.hh"
+#include "core/policy.hh"
+#include "core/retry_monitor.hh"
+#include "core/snarf_table.hh"
+#include "core/wbht.hh"
+#include "mem/mshr.hh"
+#include "mem/tag_array.hh"
+#include "mem/write_back_queue.hh"
+#include "ring/ring.hh"
+#include "sim/sim_object.hh"
+#include "trace/trace.hh"
+
+namespace cmpcache
+{
+
+/** Structural and timing parameters of one L2 cache. */
+struct L2Params
+{
+    std::uint64_t sizeBytes = 2 * 1024 * 1024; ///< 4 slices x 512 KB
+    unsigned assoc = 8;
+    unsigned lineSize = 128;
+    unsigned slices = 4;
+    std::string replPolicy = "lru";
+
+    /**
+     * Allow clean (SL/E) copies to source cache-to-cache transfers.
+     * The paper's POWER4-style protocol supports interventions "for
+     * all dirty lines and a subset of lines in the shared state";
+     * disabling this ablates the shared-intervention capability the
+     * snarf mechanism builds on (dirty interventions remain).
+     */
+    bool cleanInterventions = true;
+
+    Tick hitLatency = 20;    ///< load-to-use on an L2 hit
+    Tick supplyLatency = 23; ///< array access when sourcing data
+    Tick supplyOccupancy = 8;///< slice bank busy time per supply
+    Tick fillLatency = 10;   ///< data arrival -> waiter completion
+    Tick wbhtLookupDelay = 4;///< extra WB-queue residency for lookup
+    Tick retryBackoff = 40;  ///< wait after a Retry combined response
+    unsigned mshrs = 32;
+    unsigned wbqDepth = 8;
+};
+
+class L2Cache : public SimObject, public BusAgent
+{
+  public:
+    /** Outcome of a CPU-side access. */
+    enum class AccessResult
+    {
+        Hit,     ///< completes after hitLatency; no slot consumed
+        Miss,    ///< outstanding-miss slot consumed; callback later
+        Blocked, ///< resources full; retry the access later
+    };
+
+    L2Cache(stats::Group *parent, EventQueue &eq, const std::string &name,
+            AgentId id, unsigned ring_stop, const L2Params &p,
+            const PolicyConfig &policy, Ring &ring,
+            RetryMonitor *retry_monitor);
+
+    /** CPU-side access from a hardware thread. */
+    AccessResult access(ThreadId tid, Addr addr, MemOp op);
+
+    /** Invoked when an outstanding miss of @p tid completes. */
+    using CompletionCallback = std::function<void(ThreadId)>;
+    void setCompletionCallback(CompletionCallback cb)
+    {
+        cpuDone_ = std::move(cb);
+    }
+
+    /** Oracle used to score WBHT decisions (peeks the real L3). */
+    void setL3Peek(std::function<bool(Addr)> fn)
+    {
+        l3Peek_ = std::move(fn);
+    }
+
+    // BusAgent interface
+    AgentId agentId() const override { return id_; }
+    unsigned ringStop() const override { return stop_; }
+    SnoopResponse snoop(const BusRequest &req) override;
+    void observeCombined(const BusRequest &req,
+                         const CombinedResult &res) override;
+    Tick scheduleSupply(const BusRequest &req, Tick combine_time)
+        override;
+    void receiveData(const BusRequest &req,
+                     const CombinedResult &res) override;
+    void receiveWriteBack(const BusRequest &req) override;
+
+    // Introspection (tests, experiment harness)
+    TagArray &tags() { return tags_; }
+    const L2Params &params() const { return params_; }
+    WriteBackHistoryTable *wbht() { return wbht_.get(); }
+    const WriteBackHistoryTable *wbht() const { return wbht_.get(); }
+    SnarfTable *snarfTable() { return snarfTable_.get(); }
+    const SnarfTable *snarfTable() const { return snarfTable_.get(); }
+    const PolicyConfig &policy() const { return policy_; }
+
+    std::uint64_t demandAccesses() const { return accesses_.value(); }
+    std::uint64_t demandHits() const { return hits_.value(); }
+    double hitRate() const;
+    std::uint64_t wbIssued() const { return wbIssued_.value(); }
+    std::uint64_t wbSnarfedOutCount() const
+    {
+        return wbSnarfedOut_.value();
+    }
+    std::uint64_t wbAbortedByWbht() const
+    {
+        return wbAbortedByWbht_.value();
+    }
+    std::uint64_t snarfedReceived() const
+    {
+        return snarfedReceived_.value();
+    }
+    std::uint64_t snarfedUsedLocally() const
+    {
+        return snarfLocalUse_.value();
+    }
+    std::uint64_t snarfedUsedForIntervention() const
+    {
+        return snarfInterventionUse_.value();
+    }
+
+  private:
+    void tryIssue(Mshr *mshr);
+    void scheduleWbDrain();
+    void drainWriteBacks();
+    void handleFill(const BusRequest &req, const CombinedResult &res);
+    void completeWaiter(const MshrWaiter &w, Tick delay);
+    /** Push a victim into the WB queue (caller checked capacity). */
+    void queueWriteBack(const TagEntry &victim);
+    /** Can the snarf algorithm find space for @p addr here? */
+    bool snarfVictimAvailable(Addr addr);
+    bool wbhtDecisionsActive() const;
+
+    AgentId id_;
+    unsigned stop_;
+    L2Params params_;
+    PolicyConfig policy_;
+    Ring &ring_;
+    RetryMonitor *retryMonitor_;
+
+    TagArray tags_;
+    MshrFile mshrs_;
+    WriteBackQueue wbq_;
+    std::unique_ptr<WriteBackHistoryTable> wbht_;
+    std::unique_ptr<SnarfTable> snarfTable_;
+
+    CompletionCallback cpuDone_;
+    std::function<bool(Addr)> l3Peek_;
+
+    /** Snarfed lines won on the bus, awaiting their data. */
+    struct PendingSnarf
+    {
+        bool dirty = false;
+        /** Clean sharers existed at combine time (Tagged install). */
+        bool sharers = false;
+    };
+    std::unordered_map<Addr, PendingSnarf> pendingSnarfs_;
+    unsigned snarfInFlight_ = 0;
+
+    /** Per-slice bank availability for sourcing data. */
+    std::vector<Tick> sliceFree_;
+
+    EventFunctionWrapper wbDrainEvent_;
+
+    // --- statistics ---
+    stats::Scalar accesses_;
+    stats::Scalar loads_;
+    stats::Scalar stores_;
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar upgradeRequests_;
+    stats::Scalar coalescedMisses_;
+    stats::Scalar blockedMshr_;
+    stats::Scalar blockedWbq_;
+    stats::Scalar busRetriesSeen_;
+    stats::Histogram missLatency_;
+
+    stats::Scalar wbEnqueued_;
+    stats::Scalar wbIssued_;
+    stats::Scalar wbIssuedClean_;
+    stats::Scalar wbIssuedDirty_;
+    stats::Scalar wbAbortedByWbht_;
+    stats::Scalar wbSquashed_;
+    stats::Scalar wbSnarfedOut_;
+    stats::Scalar wbAcceptedL3_;
+
+    stats::Scalar interventionsSupplied_;
+    stats::Scalar snarfedReceived_;
+    stats::Scalar snarfedDropped_;
+    stats::Scalar snarfLocalUse_;
+    stats::Scalar snarfInterventionUse_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_L2_L2_CACHE_HH

@@ -1,0 +1,232 @@
+#include "mem/replacement.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cmpcache
+{
+
+// ---------------------------------------------------------------- LRU
+
+void
+LruPolicy::init(unsigned sets, unsigned ways)
+{
+    ways_ = ways;
+    stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
+    clock_ = 0;
+}
+
+void
+LruPolicy::touch(unsigned set, unsigned way)
+{
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+void
+LruPolicy::insert(unsigned set, unsigned way, InsertPos pos)
+{
+    auto &s = stamp_[static_cast<std::size_t>(set) * ways_ + way];
+    if (pos == InsertPos::Mru) {
+        s = ++clock_;
+    } else {
+        // Insert colder than everything currently resident.
+        s = 0;
+    }
+}
+
+unsigned
+LruPolicy::victim(unsigned set,
+                  const std::vector<unsigned> &candidate_ways)
+{
+    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
+    unsigned best = candidate_ways.front();
+    std::uint64_t best_stamp = MaxTick;
+    for (const unsigned w : candidate_ways) {
+        const auto s = stamp_[static_cast<std::size_t>(set) * ways_ + w];
+        if (s < best_stamp) {
+            best_stamp = s;
+            best = w;
+        }
+    }
+    return best;
+}
+
+unsigned
+LruPolicy::rank(unsigned set, unsigned way) const
+{
+    const auto mine = stamp_[static_cast<std::size_t>(set) * ways_ + way];
+    unsigned r = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (w != way
+            && stamp_[static_cast<std::size_t>(set) * ways_ + w] < mine) {
+            ++r;
+        }
+    }
+    return r;
+}
+
+// ----------------------------------------------------------- TreePLRU
+
+void
+TreePlruPolicy::init(unsigned sets, unsigned ways)
+{
+    cmp_assert(isPowerOf2(ways), "tree-plru needs power-of-two ways");
+    ways_ = ways;
+    bits_.assign(static_cast<std::size_t>(sets) * (ways - 1), 0);
+}
+
+void
+TreePlruPolicy::promote(unsigned set, unsigned way)
+{
+    // Walk from the root; flip each node to point *away* from the
+    // accessed way.
+    auto *b = &bits_[static_cast<std::size_t>(set) * (ways_ - 1)];
+    unsigned node = 0;
+    unsigned lo = 0;
+    unsigned hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = (lo + hi) / 2;
+        const bool right = way >= mid;
+        b[node] = right ? 0 : 1; // 0 = LRU side is left
+        node = 2 * node + 1 + (right ? 1 : 0);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+void
+TreePlruPolicy::touch(unsigned set, unsigned way)
+{
+    promote(set, way);
+}
+
+void
+TreePlruPolicy::insert(unsigned set, unsigned way, InsertPos pos)
+{
+    if (pos == InsertPos::Mru)
+        promote(set, way);
+    // Lru insertion: leave the tree pointing at this way.
+}
+
+unsigned
+TreePlruPolicy::victim(unsigned set,
+                       const std::vector<unsigned> &candidate_ways)
+{
+    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
+    // Follow the tree; if the chosen way is not a candidate, fall back
+    // to the first candidate (approximation consistent with hardware
+    // way-masking).
+    const auto *b = &bits_[static_cast<std::size_t>(set) * (ways_ - 1)];
+    unsigned node = 0;
+    unsigned lo = 0;
+    unsigned hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = (lo + hi) / 2;
+        const bool go_right = b[node] != 0;
+        node = 2 * node + 1 + (go_right ? 1 : 0);
+        if (go_right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const unsigned chosen = lo;
+    if (std::find(candidate_ways.begin(), candidate_ways.end(), chosen)
+        != candidate_ways.end()) {
+        return chosen;
+    }
+    return candidate_ways.front();
+}
+
+// ------------------------------------------------------------- Random
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+void
+RandomPolicy::init(unsigned sets, unsigned ways)
+{
+    (void)sets;
+    (void)ways;
+}
+
+void
+RandomPolicy::insert(unsigned set, unsigned way, InsertPos pos)
+{
+    (void)set;
+    (void)way;
+    (void)pos;
+}
+
+unsigned
+RandomPolicy::victim(unsigned set,
+                     const std::vector<unsigned> &candidate_ways)
+{
+    (void)set;
+    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
+    return candidate_ways[rng_.below(candidate_ways.size())];
+}
+
+// ---------------------------------------------------------------- NRU
+
+void
+NruPolicy::init(unsigned sets, unsigned ways)
+{
+    ways_ = ways;
+    refBit_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+NruPolicy::touch(unsigned set, unsigned way)
+{
+    auto *bits = &refBit_[static_cast<std::size_t>(set) * ways_];
+    bits[way] = 1;
+    // If every bit is set, clear all others (aging sweep).
+    bool all = true;
+    for (unsigned w = 0; w < ways_; ++w)
+        all = all && bits[w];
+    if (all) {
+        for (unsigned w = 0; w < ways_; ++w)
+            bits[w] = (w == way) ? 1 : 0;
+    }
+}
+
+void
+NruPolicy::insert(unsigned set, unsigned way, InsertPos pos)
+{
+    refBit_[static_cast<std::size_t>(set) * ways_ + way] =
+        pos == InsertPos::Mru ? 1 : 0;
+}
+
+unsigned
+NruPolicy::victim(unsigned set,
+                  const std::vector<unsigned> &candidate_ways)
+{
+    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
+    for (const unsigned w : candidate_ways) {
+        if (!refBit_[static_cast<std::size_t>(set) * ways_ + w])
+            return w;
+    }
+    return candidate_ways.front();
+}
+
+// -------------------------------------------------------------- factory
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "tree-plru")
+        return std::make_unique<TreePlruPolicy>();
+    if (name == "random")
+        return std::make_unique<RandomPolicy>();
+    if (name == "nru")
+        return std::make_unique<NruPolicy>();
+    cmp_fatal("unknown replacement policy '", name, "'");
+}
+
+} // namespace cmpcache

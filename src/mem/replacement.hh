@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Pluggable replacement policies for set-associative arrays.
+ *
+ * A policy owns per-(set, way) metadata; the array calls touch() on
+ * hits, insert() on fills, and victim() to rank replacement
+ * candidates. insert() takes an InsertPos so the snarf mechanism can
+ * experiment with recipient-side LRU management (the paper calls out
+ * "managing the LRU information at the recipient cache" explicitly).
+ */
+
+#ifndef CMPCACHE_MEM_REPLACEMENT_HH
+#define CMPCACHE_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace cmpcache
+{
+
+/** Where a newly inserted line lands in the recency order. */
+enum class InsertPos
+{
+    Mru, ///< normal fill
+    Lru, ///< insert cold (ablation for snarfed lines)
+};
+
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Allocate metadata for @p sets x @p ways. */
+    virtual void init(unsigned sets, unsigned ways) = 0;
+
+    /** A hit on (set, way). */
+    virtual void touch(unsigned set, unsigned way) = 0;
+
+    /** A fill into (set, way). */
+    virtual void insert(unsigned set, unsigned way, InsertPos pos) = 0;
+
+    /**
+     * Choose the replacement victim among @p candidate_ways (indices
+     * into the set; non-empty).
+     */
+    virtual unsigned victim(unsigned set,
+                            const std::vector<unsigned> &candidate_ways)
+        = 0;
+
+    /** Policies that can rank ways by recency expose it (0 = LRU). */
+    virtual bool hasRanks() const { return false; }
+
+    /** Recency rank of a way (only meaningful when hasRanks()). */
+    virtual unsigned
+    rank(unsigned set, unsigned way) const
+    {
+        (void)set;
+        (void)way;
+        return 0;
+    }
+
+    virtual std::string name() const = 0;
+};
+
+/** True least-recently-used via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(unsigned sets, unsigned ways) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way, InsertPos pos) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidate_ways) override;
+    std::string name() const override { return "lru"; }
+
+    bool hasRanks() const override { return true; }
+
+    /** Recency rank of a way: 0 = LRU ... ways-1 = MRU. */
+    unsigned rank(unsigned set, unsigned way) const override;
+
+  private:
+    unsigned ways_ = 0;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamp_; // sets x ways
+};
+
+/** Tree pseudo-LRU (power-of-two ways). */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(unsigned sets, unsigned ways) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way, InsertPos pos) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidate_ways) override;
+    std::string name() const override { return "tree-plru"; }
+
+  private:
+    void promote(unsigned set, unsigned way);
+
+    unsigned ways_ = 0;
+    std::vector<std::uint8_t> bits_; // sets x (ways-1)
+};
+
+/** Deterministic pseudo-random replacement. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 7);
+
+    void init(unsigned sets, unsigned ways) override;
+    void touch(unsigned set, unsigned way) override {(void)set;(void)way;}
+    void insert(unsigned set, unsigned way, InsertPos pos) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidate_ways) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+/** Not-recently-used: one reference bit per way, cleared in sweeps. */
+class NruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(unsigned sets, unsigned ways) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way, InsertPos pos) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidate_ways) override;
+    std::string name() const override { return "nru"; }
+
+  private:
+    unsigned ways_ = 0;
+    std::vector<std::uint8_t> refBit_;
+};
+
+/** Factory: "lru", "tree-plru", "random", "nru". */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_MEM_REPLACEMENT_HH

@@ -1,0 +1,193 @@
+#include "mem/tag_array.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+TagArray::TagArray(std::uint64_t size_bytes, unsigned assoc,
+                   unsigned line_size,
+                   std::unique_ptr<ReplacementPolicy> policy)
+    : assoc_(assoc),
+      lineSize_(line_size),
+      lineShift_(floorLog2(line_size)),
+      lineMask_(line_size - 1),
+      policy_(std::move(policy))
+{
+    cmp_assert(isPowerOf2(line_size), "line size must be a power of 2");
+    cmp_assert(assoc > 0, "associativity must be positive");
+    cmp_assert(size_bytes % (static_cast<std::uint64_t>(assoc)
+                             * line_size) == 0,
+               "capacity must divide evenly into sets");
+    const std::uint64_t sets =
+        size_bytes / (static_cast<std::uint64_t>(assoc) * line_size);
+    cmp_assert(isPowerOf2(sets), "number of sets must be a power of 2 "
+               "(got ", sets, ")");
+    numSets_ = static_cast<unsigned>(sets);
+    entries_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    policy_->init(numSets_, assoc_);
+}
+
+unsigned
+TagArray::wayOf(const TagEntry *e, unsigned set) const
+{
+    const auto base =
+        &entries_[static_cast<std::size_t>(set) * assoc_];
+    return static_cast<unsigned>(e - base);
+}
+
+TagEntry *
+TagArray::lookup(Addr addr, bool touch)
+{
+    const Addr line = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        TagEntry &e = base[w];
+        if (e.valid() && e.lineAddr == line) {
+            if (touch)
+                policy_->touch(set, w);
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const TagEntry *
+TagArray::peek(Addr addr) const
+{
+    const Addr line = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    const auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const TagEntry &e = base[w];
+        if (e.valid() && e.lineAddr == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+TagEntry *
+TagArray::findVictim(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    // Invalid ways are free fills.
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!base[w].valid())
+            return &base[w];
+    }
+    std::vector<unsigned> all(assoc_);
+    for (unsigned w = 0; w < assoc_; ++w)
+        all[w] = w;
+    return &base[policy_->victim(set, all)];
+}
+
+TagEntry *
+TagArray::findVictimInformed(
+    Addr addr, const std::function<bool(const TagEntry &)> &cheap)
+{
+    const unsigned set = setIndex(addr);
+    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    // Invalid ways always win.
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!base[w].valid())
+            return &base[w];
+    }
+    if (!policy_->hasRanks())
+        return findVictim(addr);
+
+    // Cheapest victim: a "cheap" entry in the colder half of the set,
+    // coldest first.
+    TagEntry *best = nullptr;
+    unsigned best_rank = assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const unsigned r = policy_->rank(set, w);
+        if (r < assoc_ / 2 && cheap(base[w]) && r < best_rank) {
+            best_rank = r;
+            best = &base[w];
+        }
+    }
+    return best ? best : findVictim(addr);
+}
+
+TagEntry *
+TagArray::findVictimAmong(
+    Addr addr, const std::function<bool(const TagEntry &)> &pred)
+{
+    const unsigned set = setIndex(addr);
+    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    std::vector<unsigned> cands;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!base[w].valid() && pred(base[w]))
+            return &base[w]; // invalid candidates win outright
+        if (pred(base[w]))
+            cands.push_back(w);
+    }
+    if (cands.empty())
+        return nullptr;
+    return &base[policy_->victim(set, cands)];
+}
+
+void
+TagArray::insert(TagEntry *victim, Addr addr, LineState state,
+                 InsertPos pos)
+{
+    cmp_assert(victim != nullptr, "insert into null victim");
+    const Addr line = lineAlign(addr);
+    const unsigned set = setIndex(addr);
+    cmp_assert(setIndex(victim->lineAddr == InvalidAddr
+                            ? line
+                            : victim->lineAddr) == set
+                   || !victim->valid(),
+               "victim belongs to a different set");
+    victim->lineAddr = line;
+    victim->state = state;
+    victim->snarfed = false;
+    victim->snarfUsedLocal = false;
+    victim->snarfUsedIntervention = false;
+    policy_->insert(set, wayOf(victim, set), pos);
+}
+
+void
+TagArray::invalidate(TagEntry *entry)
+{
+    cmp_assert(entry != nullptr, "invalidating null entry");
+    entry->state = LineState::Invalid;
+    entry->snarfed = false;
+    entry->snarfUsedLocal = false;
+    entry->snarfUsedIntervention = false;
+}
+
+bool
+TagArray::anyInSet(
+    Addr addr, const std::function<bool(const TagEntry &)> &pred) const
+{
+    const unsigned set = setIndex(addr);
+    const auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (pred(base[w]))
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+TagArray::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid())
+            ++n;
+    return n;
+}
+
+void
+TagArray::forEach(const std::function<void(const TagEntry &)> &fn) const
+{
+    for (const auto &e : entries_)
+        fn(e);
+}
+
+} // namespace cmpcache

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative tag array with coherence state and the metadata bits
+ * the paper's mechanisms need (snarfed / snarf-used tracking).
+ *
+ * Timing lives in the controllers; the array is purely structural.
+ */
+
+#ifndef CMPCACHE_MEM_TAG_ARRAY_HH
+#define CMPCACHE_MEM_TAG_ARRAY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coherence/state.hh"
+#include "common/types.hh"
+#include "mem/replacement.hh"
+
+namespace cmpcache
+{
+
+/** One tag entry. */
+struct TagEntry
+{
+    /** Line-aligned address (full address, not a truncated tag). */
+    Addr lineAddr = InvalidAddr;
+    LineState state = LineState::Invalid;
+    /** Line was installed by snarfing a peer write back. */
+    bool snarfed = false;
+    /** Snarfed line was already counted as used locally. */
+    bool snarfUsedLocal = false;
+    /** Snarfed line was already counted as an intervention source. */
+    bool snarfUsedIntervention = false;
+
+    bool valid() const { return isValid(state); }
+};
+
+class TagArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc      associativity
+     * @param line_size  line size in bytes (power of two)
+     * @param policy     replacement policy (owned)
+     */
+    TagArray(std::uint64_t size_bytes, unsigned assoc, unsigned line_size,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned lineSize() const { return lineSize_; }
+    std::uint64_t capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(numSets_) * assoc_ * lineSize_;
+    }
+
+    /** Line-align an address. */
+    Addr lineAlign(Addr addr) const { return addr & ~lineMask_; }
+
+    /** Set index of an address. */
+    unsigned setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift_)
+                                     & (numSets_ - 1));
+    }
+
+    /**
+     * Look up a line.
+     * @param addr  any address within the line
+     * @param touch update replacement state on hit
+     * @return the entry, or nullptr on miss
+     */
+    TagEntry *lookup(Addr addr, bool touch = true);
+    const TagEntry *peek(Addr addr) const;
+
+    /**
+     * Pick a victim way for filling @p addr using the replacement
+     * policy over all ways (invalid ways win automatically).
+     * The returned entry still holds the victim's old contents.
+     */
+    TagEntry *findVictim(Addr addr);
+
+    /**
+     * Pick a victim restricted to entries satisfying @p pred (e.g.
+     * "Invalid or Shared only" for snarfs). Returns nullptr if no way
+     * qualifies.
+     */
+    TagEntry *findVictimAmong(
+        Addr addr, const std::function<bool(const TagEntry &)> &pred);
+
+    /**
+     * Informed victim selection (the paper's future-work replacement
+     * extension): among the *colder half* of the set, prefer entries
+     * satisfying @p cheap (e.g. "the WBHT says this line is already
+     * in the L3, so evicting it is nearly free"). Falls back to
+     * findVictim() when the policy cannot rank ways or nothing cold
+     * matches.
+     */
+    TagEntry *findVictimInformed(
+        Addr addr, const std::function<bool(const TagEntry &)> &cheap);
+
+    /**
+     * Install @p addr into @p victim (obtained from findVictim*).
+     * Resets the per-line metadata bits.
+     */
+    void insert(TagEntry *victim, Addr addr, LineState state,
+                InsertPos pos = InsertPos::Mru);
+
+    /** Invalidate an entry (keeps replacement metadata untouched). */
+    void invalidate(TagEntry *entry);
+
+    /** Does the set of @p addr contain an entry satisfying @p pred?
+     * (Non-mutating; used by snarf-accept snooping.) */
+    bool anyInSet(Addr addr,
+                  const std::function<bool(const TagEntry &)> &pred)
+        const;
+
+    /** Count valid lines (test/analysis helper; O(capacity)). */
+    std::uint64_t countValid() const;
+
+    /** Iterate over all entries (analysis hooks). */
+    void forEach(const std::function<void(const TagEntry &)> &fn) const;
+
+  private:
+    unsigned wayOf(const TagEntry *e, unsigned set) const;
+
+    unsigned assoc_;
+    unsigned lineSize_;
+    unsigned lineShift_;
+    Addr lineMask_;
+    unsigned numSets_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<TagEntry> entries_; // numSets x assoc
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_MEM_TAG_ARRAY_HH

@@ -1,0 +1,69 @@
+#include "mem/write_back_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+WbEntry &
+WriteBackQueue::push(Addr line_addr, bool dirty, Tick ready_at)
+{
+    cmp_assert(!full(), "push into a full write-back queue");
+    q_.push_back(WbEntry{line_addr, dirty, false, ready_at, false, 0});
+    return q_.back();
+}
+
+WbEntry *
+WriteBackQueue::nextReady(Tick now)
+{
+    for (auto &e : q_) {
+        if (!e.inFlight && e.readyAt <= now)
+            return &e;
+    }
+    return nullptr;
+}
+
+WbEntry *
+WriteBackQueue::findInFlight(Addr line_addr)
+{
+    for (auto &e : q_) {
+        if (e.inFlight && e.lineAddr == line_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+Tick
+WriteBackQueue::earliestReady() const
+{
+    Tick best = MaxTick;
+    for (const auto &e : q_) {
+        if (!e.inFlight && e.readyAt < best)
+            best = e.readyAt;
+    }
+    return best;
+}
+
+const WbEntry *
+WriteBackQueue::find(Addr line_addr) const
+{
+    for (const auto &e : q_) {
+        if (e.lineAddr == line_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+WriteBackQueue::remove(const WbEntry *entry)
+{
+    const auto it = std::find_if(
+        q_.begin(), q_.end(),
+        [entry](const WbEntry &e) { return &e == entry; });
+    cmp_assert(it != q_.end(), "removing foreign write-back entry");
+    q_.erase(it);
+}
+
+} // namespace cmpcache

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The per-L2 write-back queue.
+ *
+ * Victims evicted by fills wait here until the controller can issue
+ * their write-back transaction on the ring. The paper notes the WBHT
+ * is consulted *after* eviction, while the line sits in this queue --
+ * off the miss critical path -- and that a modest depth of eight never
+ * filled up in practice (we model the stall if it does).
+ */
+
+#ifndef CMPCACHE_MEM_WRITE_BACK_QUEUE_HH
+#define CMPCACHE_MEM_WRITE_BACK_QUEUE_HH
+
+#include <deque>
+
+#include "common/types.hh"
+
+namespace cmpcache
+{
+
+/** One victim awaiting write back. */
+struct WbEntry
+{
+    Addr lineAddr = InvalidAddr;
+    bool dirty = false;
+    /** Snarf table predicted reuse: flag the bus transaction. */
+    bool snarfHint = false;
+    /** Earliest tick the entry may issue (models WBHT lookup time). */
+    Tick readyAt = 0;
+    /** Transaction currently on the bus awaiting a response. */
+    bool inFlight = false;
+    unsigned retries = 0;
+};
+
+class WriteBackQueue
+{
+  public:
+    explicit WriteBackQueue(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return q_.size() >= capacity_; }
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Append a victim; queue must not be full. */
+    WbEntry &push(Addr line_addr, bool dirty, Tick ready_at);
+
+    /**
+     * Oldest entry that is ready at @p now and not already on the
+     * bus; nullptr if none.
+     */
+    WbEntry *nextReady(Tick now);
+
+    /** Find the in-flight entry for @p line_addr (response routing). */
+    WbEntry *findInFlight(Addr line_addr);
+
+    /** Earliest readyAt among entries not on the bus; MaxTick if
+     * none. */
+    Tick earliestReady() const;
+
+    /** Does any queued entry (any state) match this line? */
+    const WbEntry *find(Addr line_addr) const;
+
+    /** Remove a completed/aborted entry. */
+    void remove(const WbEntry *entry);
+
+  private:
+    unsigned capacity_;
+    std::deque<WbEntry> q_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_MEM_WRITE_BACK_QUEUE_HH

@@ -1,0 +1,58 @@
+#include "memctrl/mem_ctrl.hh"
+
+#include <algorithm>
+
+namespace cmpcache
+{
+
+MemCtrl::MemCtrl(stats::Group *parent, EventQueue &eq, AgentId id,
+                 unsigned ring_stop, const MemParams &p)
+    : SimObject(parent, "mem", eq),
+      id_(id),
+      stop_(ring_stop),
+      params_(p),
+      reads_(this, "reads", "demand lines supplied from memory"),
+      writes_(this, "writes", "lines written (dirty L3 victims)"),
+      queueWait_(this, "queue_wait",
+                 "cycles demand reads waited for the channel")
+{
+}
+
+SnoopResponse
+MemCtrl::snoop(const BusRequest &req)
+{
+    // Memory never retries demand requests and, in the modelled
+    // protocol, never absorbs L2 write backs (the L3 retries instead).
+    SnoopResponse resp;
+    resp.responder = id_;
+    (void)req;
+    return resp;
+}
+
+void
+MemCtrl::observeCombined(const BusRequest &req, const CombinedResult &res)
+{
+    (void)req;
+    (void)res;
+}
+
+Tick
+MemCtrl::scheduleSupply(const BusRequest &req, Tick combine_time)
+{
+    (void)req;
+    const Tick start = std::max(combine_time, channelFree_);
+    queueWait_.sample(static_cast<double>(start - combine_time));
+    channelFree_ = start + params_.channelOccupancy;
+    ++reads_;
+    return start + params_.accessLatency;
+}
+
+void
+MemCtrl::writeFromL3()
+{
+    channelFree_ =
+        std::max(channelFree_, curTick()) + params_.channelOccupancy;
+    ++writes_;
+}
+
+} // namespace cmpcache

@@ -1,0 +1,284 @@
+#include "ring/ring.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/retry_monitor.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+/** Self-deleting event wrapper for fire-and-forget callbacks. */
+class OneShotEvent : public Event
+{
+  public:
+    explicit OneShotEvent(std::function<void()> fn)
+        : fn_(std::move(fn))
+    {
+    }
+
+    void
+    process() override
+    {
+        fn_();
+        delete this;
+    }
+
+    std::string name() const override { return "ring-oneshot"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+} // namespace
+
+Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
+           unsigned num_l2s)
+    : SimObject(parent, "ring", eq),
+      params_(p),
+      collector_(this, num_l2s),
+      drainEvent_([this] { drain(); }, "ring-drain"),
+      requests_(this, "requests", "address-ring transactions issued"),
+      launches_(this, "launches", "address-ring slots used"),
+      dataTransfers_(this, "data_transfers",
+                     "line transfers on the data ring"),
+      dataSegmentWaits_(this, "data_segment_waits",
+                        "transfers delayed by a busy segment"),
+      queueDelay_(this, "queue_delay",
+                  "cycles requests waited for an address slot"),
+      queueDepth_(this, "queue_depth",
+                  "address queue depth at enqueue time", 0, 64, 16)
+{
+    nextFree_[0].assign(params_.numStops, 0);
+    nextFree_[1].assign(params_.numStops, 0);
+}
+
+void
+Ring::attach(BusAgent *agent, Role role)
+{
+    cmp_assert(agent != nullptr, "attaching null agent");
+    cmp_assert(agent->ringStop() < params_.numStops,
+               "agent stop out of range");
+    for (const auto *a : agents_) {
+        cmp_assert(a->agentId() != agent->agentId(),
+                   "duplicate agent id ", unsigned{agent->agentId()});
+        cmp_assert(a->ringStop() != agent->ringStop(),
+                   "duplicate ring stop ", agent->ringStop());
+    }
+    agents_.push_back(agent);
+    if (role == Role::L3) {
+        cmp_assert(!l3Agent_, "two L3 agents attached");
+        l3Agent_ = agent;
+    } else if (role == Role::Memory) {
+        cmp_assert(!memAgent_, "two memory agents attached");
+        memAgent_ = agent;
+    }
+}
+
+BusAgent *
+Ring::agentById(AgentId id)
+{
+    for (auto *a : agents_)
+        if (a->agentId() == id)
+            return a;
+    cmp_panic("no agent with id ", unsigned{id});
+}
+
+void
+Ring::at(Tick when, std::function<void()> fn)
+{
+    auto *ev = new OneShotEvent(std::move(fn));
+    eventq().schedule(ev, when);
+}
+
+std::uint64_t
+Ring::issue(const BusRequest &req)
+{
+    BusRequest r = req;
+    r.txnId = nextTxnId_++;
+    ++requests_;
+    queueDepth_.sample(static_cast<double>(reqQueue_.size()));
+    reqQueue_.push_back(PendingReq{r, curTick()});
+    scheduleDrain();
+    return r.txnId;
+}
+
+void
+Ring::scheduleDrain()
+{
+    if (reqQueue_.empty() || drainEvent_.scheduled())
+        return;
+    const Tick when =
+        std::max(curTick() + params_.requesterOverhead, nextLaunch_);
+    eventq().schedule(&drainEvent_, when);
+}
+
+void
+Ring::drain()
+{
+    cmp_assert(!reqQueue_.empty(), "ring drain with empty queue");
+    const Tick now = curTick();
+    if (now < nextLaunch_) {
+        eventq().schedule(&drainEvent_, nextLaunch_);
+        return;
+    }
+
+    const PendingReq pending = reqQueue_.front();
+    reqQueue_.pop_front();
+    ++launches_;
+    queueDelay_.sample(static_cast<double>(now - pending.enqueued));
+    nextLaunch_ = now + params_.addrSlotCycles;
+
+    const BusRequest req = pending.req;
+    at(now + params_.snoopLatency, [this, req] { combineNow(req); });
+
+    if (!reqQueue_.empty())
+        eventq().schedule(&drainEvent_, nextLaunch_);
+}
+
+void
+Ring::combineNow(BusRequest req)
+{
+    // Gather snoop responses from everyone except the requester.
+    std::vector<SnoopResponse> responses;
+    responses.reserve(agents_.size());
+    BusAgent *requester = nullptr;
+    for (auto *a : agents_) {
+        if (a->agentId() == req.requester) {
+            requester = a;
+            continue;
+        }
+        responses.push_back(a->snoop(req));
+    }
+    cmp_assert(requester != nullptr, "request from unknown agent ",
+               unsigned{req.requester});
+
+    const CombinedResult res = collector_.combine(req, responses);
+    const Tick now = curTick();
+
+    if (res.resp == CombinedResp::Retry && retryMonitor_)
+        retryMonitor_->recordRetry(now);
+
+    if (observer_)
+        observer_(req, res);
+
+    // Everyone sees the combined response; peers first so their state
+    // transitions precede the requester's reaction.
+    for (auto *a : agents_) {
+        if (a != requester)
+            a->observeCombined(req, res);
+    }
+    requester->observeCombined(req, res);
+
+    // Route the data phase.
+    BusAgent *supplier = nullptr;
+    BusAgent *sink = nullptr;
+    switch (res.resp) {
+      case CombinedResp::L2Data:
+        supplier = agentById(res.source);
+        sink = requester;
+        break;
+      case CombinedResp::L3Data:
+        supplier = l3Agent_;
+        sink = requester;
+        break;
+      case CombinedResp::MemData:
+        supplier = memAgent_;
+        sink = requester;
+        break;
+      case CombinedResp::WbAcceptL3:
+        supplier = requester;
+        sink = l3Agent_;
+        break;
+      case CombinedResp::WbSnarfed:
+        supplier = requester;
+        sink = agentById(res.source);
+        break;
+      case CombinedResp::Retry:
+      case CombinedResp::Upgraded:
+      case CombinedResp::WbSquashed:
+        return; // no data phase
+    }
+
+    cmp_assert(supplier && sink, "data phase without endpoints");
+
+    const Tick ready = supplier->scheduleSupply(req, now);
+    const Tick arrive = reserveDataTransfer(
+        supplier->ringStop(), sink->ringStop(), ready);
+    if (isWriteBack(req.cmd)) {
+        at(arrive, [sink, req] { sink->receiveWriteBack(req); });
+    } else {
+        at(arrive, [sink, req, res] { sink->receiveData(req, res); });
+    }
+}
+
+Tick
+Ring::reserveDataTransfer(unsigned src, unsigned dst, Tick earliest)
+{
+    ++dataTransfers_;
+    if (src == dst)
+        return earliest + params_.segmentOccupancy;
+
+    const unsigned n = params_.numStops;
+    const unsigned hops_by_dir[2] = {(dst + n - src) % n,
+                                     (src + n - dst) % n};
+
+    // Evaluate both directions without committing; pick the earlier
+    // arrival (ties go to the shorter path).
+    Tick best_arrive = MaxTick;
+    int best_dir = -1;
+    std::vector<Tick> best_free;
+
+    for (int dir = 0; dir < 2; ++dir) {
+        const unsigned hops = hops_by_dir[dir];
+        if (hops == 0)
+            continue;
+        Tick head = earliest;
+        std::vector<Tick> upd;
+        upd.reserve(hops);
+        unsigned stop = src;
+        for (unsigned h = 0; h < hops; ++h) {
+            const unsigned seg = dir == 0 ? stop : (stop + n - 1) % n;
+            head = std::max(head, nextFree_[dir][seg]);
+            upd.push_back(head + params_.segmentOccupancy);
+            head += params_.hopCycles;
+            stop = dir == 0 ? (stop + 1) % n : (stop + n - 1) % n;
+        }
+        // The tail of the line arrives one occupancy after the head
+        // entered the last segment.
+        const Tick arrive =
+            head - params_.hopCycles + params_.segmentOccupancy;
+        const bool better =
+            arrive < best_arrive
+            || (arrive == best_arrive && best_dir >= 0
+                && hops < hops_by_dir[best_dir]);
+        if (better) {
+            best_arrive = arrive;
+            best_dir = dir;
+            best_free = std::move(upd);
+        }
+    }
+
+    cmp_assert(best_dir >= 0, "no data path found");
+
+    // Commit the winning reservation.
+    const unsigned hops = hops_by_dir[best_dir];
+    unsigned stop = src;
+    bool waited = false;
+    for (unsigned h = 0; h < hops; ++h) {
+        const unsigned seg =
+            best_dir == 0 ? stop : (stop + n - 1) % n;
+        if (nextFree_[best_dir][seg] > earliest)
+            waited = true;
+        nextFree_[best_dir][seg] = best_free[h];
+        stop = best_dir == 0 ? (stop + 1) % n : (stop + n - 1) % n;
+    }
+    if (waited)
+        ++dataSegmentWaits_;
+    return best_arrive;
+}
+
+} // namespace cmpcache

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The bi-directional intrachip ring interconnect (paper Figure 1 /
+ * Table 3: 32 B wide, clocked at half core speed).
+ *
+ * Two logical networks are modelled:
+ *
+ *  - The *address ring* carries broadcast requests and snooping. It is
+ *    slotted: one transaction launches every `addrSlotCycles`; pending
+ *    requests queue FIFO. A fixed `snoopLatency` after launch, every
+ *    agent's snoop response is gathered, the Snoop Collector combines
+ *    them, and the combined response becomes visible to all agents.
+ *
+ *  - The *data ring* carries line transfers point-to-point between
+ *    ring stops. Each inter-stop segment is a resource a transfer
+ *    occupies for `segmentOccupancy` cycles. Transfers take the
+ *    less-congested direction and queue on busy segments, so
+ *    contention lengthens latency under load.
+ *
+ * Component latencies are chosen so the contention-free load-to-use
+ * totals match paper Table 3: 77 cycles L2-to-L2, 167 cycles from the
+ * L3, 431 cycles from memory.
+ *
+ * The ring is also the transaction orchestrator: at combine time it
+ * asks the supplier for its service-ready time, routes the data, and
+ * delivers it to the destination agent.
+ */
+
+#ifndef CMPCACHE_RING_RING_HH
+#define CMPCACHE_RING_RING_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/bus.hh"
+#include "coherence/snoop_collector.hh"
+#include "sim/sim_object.hh"
+
+namespace cmpcache
+{
+
+class RetryMonitor;
+
+/** Interface every component on the ring implements. */
+class BusAgent
+{
+  public:
+    virtual ~BusAgent() = default;
+
+    virtual AgentId agentId() const = 0;
+    /** Physical position on the ring (0..numStops-1). */
+    virtual unsigned ringStop() const = 0;
+
+    /**
+     * Produce a snoop response for a foreign request. Must not mutate
+     * coherence state (state changes apply at observeCombined);
+     * resource *reservations* (L3 queue slot, snarf buffer) are
+     * allowed and must be released in observeCombined if the combined
+     * result went elsewhere.
+     */
+    virtual SnoopResponse snoop(const BusRequest &req) = 0;
+
+    /** The combined response, visible to every agent (including the
+     * requester, which reacts to its own transaction here). */
+    virtual void observeCombined(const BusRequest &req,
+                                 const CombinedResult &res)
+        = 0;
+
+    /**
+     * Called on the data supplier: reserve array/bank resources and
+     * return the tick the line is ready to leave this agent.
+     */
+    virtual Tick
+    scheduleSupply(const BusRequest &req, Tick combine_time)
+    {
+        (void)req;
+        return combine_time;
+    }
+
+    /** Demand data arrives at the requester. */
+    virtual void
+    receiveData(const BusRequest &req, const CombinedResult &res)
+    {
+        (void)req;
+        (void)res;
+    }
+
+    /** Write-back data arrives (L3 absorb or snarf winner). */
+    virtual void receiveWriteBack(const BusRequest &req)
+    {
+        (void)req;
+    }
+};
+
+/** Timing and geometry parameters of the ring. */
+struct RingParams
+{
+    unsigned numStops = 6;      ///< 4 L2s + L3 + memory controller
+    unsigned addrSlotCycles = 2;///< one request launch per slot
+    Tick snoopLatency = 33;     ///< launch -> combined response
+    Tick hopCycles = 4;         ///< data head latency per segment
+    Tick segmentOccupancy = 4;  ///< 128 B line at 64 B/beat, 1:2 clock
+    Tick requesterOverhead = 4; ///< miss detect -> request enqueued
+};
+
+class Ring : public SimObject
+{
+  public:
+    Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
+         unsigned num_l2s);
+
+    /** Roles an agent can play for data-phase routing. */
+    enum class Role
+    {
+        L2,
+        L3,
+        Memory,
+    };
+
+    /** Register an agent; ids and stops must be unique. */
+    void attach(BusAgent *agent, Role role);
+
+    /** The system's retry monitor observes ring retries. */
+    void setRetryMonitor(RetryMonitor *mon) { retryMonitor_ = mon; }
+
+    /**
+     * Analysis hook invoked for every combined response (used by the
+     * redundancy/reuse trackers behind Tables 1 and 2, and by tests).
+     * Purely observational: runs after the combine, before agents.
+     */
+    using Observer =
+        std::function<void(const BusRequest &, const CombinedResult &)>;
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+    /**
+     * Enqueue a request for the address ring. The requester learns
+     * the outcome in observeCombined().
+     * @return the assigned transaction id
+     */
+    std::uint64_t issue(const BusRequest &req);
+
+    SnoopCollector &collector() { return collector_; }
+    const RingParams &params() const { return params_; }
+
+    /**
+     * Reserve the data path from stop @p src to stop @p dst for one
+     * line, no earlier than @p earliest.
+     * @return delivery tick at the destination
+     */
+    Tick reserveDataTransfer(unsigned src, unsigned dst, Tick earliest);
+
+  private:
+    void scheduleDrain();
+    void drain();
+    void combineNow(BusRequest req);
+    BusAgent *agentById(AgentId id);
+
+    /** Fire-and-forget lambda event (self-deleting). */
+    void at(Tick when, std::function<void()> fn);
+
+    struct PendingReq
+    {
+        BusRequest req;
+        Tick enqueued;
+    };
+
+    RingParams params_;
+    SnoopCollector collector_;
+    RetryMonitor *retryMonitor_ = nullptr;
+    Observer observer_;
+
+    std::vector<BusAgent *> agents_;
+    BusAgent *l3Agent_ = nullptr;
+    BusAgent *memAgent_ = nullptr;
+    std::deque<PendingReq> reqQueue_;
+    Tick nextLaunch_ = 0;
+    std::uint64_t nextTxnId_ = 1;
+    EventFunctionWrapper drainEvent_;
+
+    /** nextFree_[direction][segment]; segment i joins stop i and
+     * stop (i+1) % numStops. Direction 0 = clockwise. */
+    std::vector<Tick> nextFree_[2];
+
+    stats::Scalar requests_;
+    stats::Scalar launches_;
+    stats::Scalar dataTransfers_;
+    stats::Scalar dataSegmentWaits_;
+    stats::Average queueDelay_;
+    stats::Histogram queueDepth_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_RING_RING_HH

@@ -1,0 +1,312 @@
+#include "sim/cmp_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+void
+WbReuseTracker::observe(const BusRequest &req, const CombinedResult &res)
+{
+    if (res.resp == CombinedResp::Retry)
+        return;
+    const Addr line = req.lineAddr;
+    if (isWriteBack(req.cmd)) {
+        ++totalWb_;
+        pendingTotal_.insert(line);
+        if (res.resp == CombinedResp::WbAcceptL3) {
+            ++acceptedWb_;
+            pendingAccepted_.insert(line);
+        }
+        return;
+    }
+    if (req.cmd == BusCmd::Read || req.cmd == BusCmd::ReadExcl) {
+        if (pendingTotal_.erase(line))
+            ++reusedTotal_;
+        if (pendingAccepted_.erase(line))
+            ++reusedAccepted_;
+    }
+}
+
+double
+WbReuseTracker::reusedTotalPct()
+const
+{
+    return totalWb_ ? 100.0 * static_cast<double>(reusedTotal_)
+                          / static_cast<double>(totalWb_)
+                    : 0.0;
+}
+
+double
+WbReuseTracker::reusedAcceptedPct() const
+{
+    return acceptedWb_ ? 100.0 * static_cast<double>(reusedAccepted_)
+                             / static_cast<double>(acceptedWb_)
+                       : 0.0;
+}
+
+CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
+    : stats::Group("system"), cfg_(cfg)
+{
+    cfg_.validate();
+    cmp_assert(traces.numThreads() == cfg_.numThreads(),
+               "trace bundle has ", traces.numThreads(),
+               " threads, system wants ", cfg_.numThreads());
+
+    retryMonitor_ =
+        std::make_unique<RetryMonitor>(this, cfg_.policy.retry);
+
+    ring_ = std::make_unique<Ring>(this, eq_, cfg_.ring, cfg_.numL2s);
+    ring_->setRetryMonitor(retryMonitor_.get());
+
+    // Agent ids / ring stops: L2s take 0..n-1, L3 = n, memory = n+1.
+    const AgentId l3_id = static_cast<AgentId>(cfg_.numL2s);
+    const AgentId mem_id = static_cast<AgentId>(cfg_.numL2s + 1);
+
+    l3_ = std::make_unique<L3Cache>(this, eq_, l3_id, cfg_.numL2s,
+                                    cfg_.l3);
+    mem_ = std::make_unique<MemCtrl>(this, eq_, mem_id, cfg_.numL2s + 1,
+                                     cfg_.mem);
+    l3_->setMemWriteFn([this] { mem_->writeFromL3(); });
+
+    for (unsigned i = 0; i < cfg_.numL2s; ++i) {
+        auto l2 = std::make_unique<L2Cache>(
+            this, eq_, cstr("l2_", i), static_cast<AgentId>(i), i,
+            cfg_.l2, cfg_.policy, *ring_, retryMonitor_.get());
+        l2->setL3Peek(
+            [this](Addr a) { return l3_->hasLineValid(a); });
+        l2->setCompletionCallback([this](ThreadId tid) {
+            cpus_.at(tid)->onMissComplete();
+        });
+        ring_->attach(l2.get(), Ring::Role::L2);
+        l2s_.push_back(std::move(l2));
+    }
+    ring_->attach(l3_.get(), Ring::Role::L3);
+    ring_->attach(mem_.get(), Ring::Role::Memory);
+
+    if (cfg_.enableWbReuseTracker) {
+        reuseTracker_ = std::make_unique<WbReuseTracker>();
+        ring_->setObserver(
+            [this](const BusRequest &req, const CombinedResult &res) {
+                reuseTracker_->observe(req, res);
+            });
+    }
+
+    for (unsigned t = 0; t < cfg_.numThreads(); ++t) {
+        L2Cache &l2 = *l2s_[t / cfg_.threadsPerL2];
+        cpus_.push_back(std::make_unique<TraceCpu>(
+            this, eq_, cstr("cpu_", t), static_cast<ThreadId>(t),
+            cfg_.cpu, l2, std::move(traces.perThread[t])));
+    }
+}
+
+CmpSystem::~CmpSystem() = default;
+
+void
+CmpSystem::functionalWarmup(TraceBundle traces)
+{
+    cmp_assert(traces.numThreads() == cfg_.numThreads(),
+               "warmup bundle has the wrong thread count");
+    cmp_assert(eq_.curTick() == 0 && eq_.empty(),
+               "warmup must precede the timed run");
+
+    TagArray &l3tags = l3_->tags();
+    bool any = true;
+    TraceRecord r;
+    while (any) {
+        any = false;
+        for (unsigned t = 0; t < cfg_.numThreads(); ++t) {
+            if (!traces.perThread[t]->next(r))
+                continue;
+            any = true;
+            L2Cache &l2 = *l2s_[t / cfg_.threadsPerL2];
+            TagArray &tags = l2.tags();
+            const Addr line = tags.lineAlign(r.addr);
+            const bool store = r.op == MemOp::Store;
+
+            if (TagEntry *e = tags.lookup(line)) {
+                if (store)
+                    e->state = LineState::Modified;
+                continue;
+            }
+            // Adaptive tables reach steady state alongside the
+            // caches: every L2 observes misses (snarf use bits) the
+            // way it would on the snooped address ring.
+            for (auto &peer : l2s_) {
+                if (auto *st = peer->snarfTable())
+                    st->recordMiss(line);
+            }
+
+            TagEntry *victim = tags.findVictim(line);
+            if (victim->valid()) {
+                // Victim migrates to the L3 (clean and dirty alike,
+                // as in the baseline policy).
+                const Addr va = victim->lineAddr;
+                const bool vdirty = isDirty(victim->state);
+                bool l3_had_line = false;
+                if (TagEntry *l3e = l3tags.lookup(va)) {
+                    l3_had_line = true;
+                    if (vdirty)
+                        l3e->state = LineState::Modified;
+                } else {
+                    TagEntry *l3v = l3tags.findVictim(va);
+                    l3tags.insert(l3v, va,
+                                  vdirty ? LineState::Modified
+                                         : LineState::Shared);
+                }
+                for (auto &peer : l2s_) {
+                    if (auto *st = peer->snarfTable())
+                        st->recordWriteBack(va);
+                }
+                if (!vdirty && l3_had_line) {
+                    // The combined response would have reported
+                    // "valid in L3": allocate WBHT entries (locally,
+                    // or in every table under global allocation).
+                    if (cfg_.policy.globalWbhtAllocation()) {
+                        for (auto &peer : l2s_) {
+                            if (auto *w = peer->wbht())
+                                w->recordL3Valid(va);
+                        }
+                    } else if (auto *w = l2.wbht()) {
+                        w->recordL3Valid(va);
+                    }
+                }
+            }
+            tags.insert(victim, line,
+                        store ? LineState::Modified
+                              : LineState::Exclusive);
+            // Demand fetch hitting the L3 leaves the copy in place
+            // (read) or claims it (store).
+            if (TagEntry *l3e = l3tags.lookup(line)) {
+                if (store)
+                    l3tags.invalidate(l3e);
+            }
+        }
+    }
+}
+
+Tick
+CmpSystem::run()
+{
+    for (auto &cpu : cpus_)
+        cpu->startup();
+    eq_.run(cfg_.maxTicks);
+
+    if (!finished()) {
+        cmp_fatal("simulation hit the ", cfg_.maxTicks,
+                  "-tick safety limit before the traces drained (",
+                  eq_.numPending(), " events pending); likely a "
+                  "deadlock or an undersized maxTicks");
+    }
+
+    Tick finish = 0;
+    for (const auto &cpu : cpus_)
+        finish = std::max(finish, cpu->finishTick());
+    return finish;
+}
+
+bool
+CmpSystem::finished() const
+{
+    return std::all_of(cpus_.begin(), cpus_.end(),
+                       [](const auto &c) { return c->done(); });
+}
+
+std::uint64_t
+CmpSystem::totalL2WbIssued() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->wbIssued();
+    return n;
+}
+
+std::uint64_t
+CmpSystem::totalL2Accesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->demandAccesses();
+    return n;
+}
+
+std::uint64_t
+CmpSystem::totalL2Hits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->demandHits();
+    return n;
+}
+
+double
+CmpSystem::l2HitRate() const
+{
+    const auto a = totalL2Accesses();
+    return a ? static_cast<double>(totalL2Hits())
+                   / static_cast<double>(a)
+             : 0.0;
+}
+
+std::uint64_t
+CmpSystem::totalSnarfedReceived() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->snarfedReceived();
+    return n;
+}
+
+std::uint64_t
+CmpSystem::totalSnarfLocalUse() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->snarfedUsedLocally();
+    return n;
+}
+
+std::uint64_t
+CmpSystem::totalSnarfInterventionUse() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->snarfedUsedForIntervention();
+    return n;
+}
+
+std::uint64_t
+CmpSystem::totalWbSnarfedOut() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l2 : l2s_)
+        n += l2->wbSnarfedOutCount();
+    return n;
+}
+
+double
+CmpSystem::wbhtCorrectFraction() const
+{
+    std::uint64_t correct = 0;
+    std::uint64_t total = 0;
+    for (const auto &l2 : l2s_) {
+        if (const auto *w = l2->wbht()) {
+            correct += w->correct();
+            total += w->decisions();
+        }
+    }
+    return total ? static_cast<double>(correct)
+                       / static_cast<double>(total)
+                 : 0.0;
+}
+
+std::uint64_t
+CmpSystem::offChipAccesses() const
+{
+    // The L3 data arrays and memory are both off chip.
+    return l3_->supplies() + mem_->reads();
+}
+
+} // namespace cmpcache

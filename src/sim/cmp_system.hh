@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CmpSystem: the assembled Figure 1 machine.
+ *
+ * Wires 16 trace-driven hardware threads into 4 shared L2 caches, an
+ * off-chip L3 victim cache and a memory controller over the
+ * bi-directional intrachip ring, with the Snoop Collector and the
+ * paper's adaptive write-back machinery configured per PolicyConfig.
+ */
+
+#ifndef CMPCACHE_SIM_CMP_SYSTEM_HH
+#define CMPCACHE_SIM_CMP_SYSTEM_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/retry_monitor.hh"
+#include "cpu/trace_cpu.hh"
+#include "l2/l2_cache.hh"
+#include "l3/l3_cache.hh"
+#include "memctrl/mem_ctrl.hh"
+#include "ring/ring.hh"
+#include "sim/system_config.hh"
+#include "trace/trace.hh"
+
+namespace cmpcache
+{
+
+/**
+ * Per-line write-back reuse accounting (paper Table 2): a write back
+ * counts as "reused" when the line is demanded again after it left an
+ * L2.
+ */
+class WbReuseTracker
+{
+  public:
+    void observe(const BusRequest &req, const CombinedResult &res);
+
+    std::uint64_t totalWb() const { return totalWb_; }
+    std::uint64_t acceptedWb() const { return acceptedWb_; }
+    double reusedTotalPct() const;
+    double reusedAcceptedPct() const;
+
+  private:
+    std::uint64_t totalWb_ = 0;
+    std::uint64_t acceptedWb_ = 0;
+    std::uint64_t reusedTotal_ = 0;
+    std::uint64_t reusedAccepted_ = 0;
+    std::unordered_set<Addr> pendingTotal_;
+    std::unordered_set<Addr> pendingAccepted_;
+};
+
+class CmpSystem : public stats::Group
+{
+  public:
+    /**
+     * Build the machine. @p traces must contain exactly
+     * cfg.numThreads() per-thread sources.
+     */
+    CmpSystem(const SystemConfig &cfg, TraceBundle traces);
+    ~CmpSystem() override;
+
+    /**
+     * Replay every trace to completion.
+     * @return the finish tick (max over threads)
+     */
+    Tick run();
+
+    /**
+     * Functionally pre-warm the L2s and L3 (no timing, no events):
+     * replays @p traces through a simplified install/evict model so
+     * measured runs start from steady-state cache contents. The
+     * adaptive tables start cold, as in the paper.
+     */
+    void functionalWarmup(TraceBundle traces);
+
+    bool finished() const;
+
+    EventQueue &eventq() { return eq_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    Ring &ring() { return *ring_; }
+    L3Cache &l3() { return *l3_; }
+    MemCtrl &mem() { return *mem_; }
+    L2Cache &l2(unsigned i) { return *l2s_.at(i); }
+    unsigned numL2s() const
+    {
+        return static_cast<unsigned>(l2s_.size());
+    }
+    TraceCpu &cpu(unsigned tid) { return *cpus_.at(tid); }
+    unsigned numCpus() const
+    {
+        return static_cast<unsigned>(cpus_.size());
+    }
+    RetryMonitor &retryMonitor() { return *retryMonitor_; }
+    const WbReuseTracker *reuseTracker() const
+    {
+        return reuseTracker_.get();
+    }
+
+    // Aggregates used by the experiment harness
+    std::uint64_t totalL2WbIssued() const;
+    std::uint64_t totalL2Accesses() const;
+    std::uint64_t totalL2Hits() const;
+    double l2HitRate() const;
+    std::uint64_t totalSnarfedReceived() const;
+    std::uint64_t totalSnarfLocalUse() const;
+    std::uint64_t totalSnarfInterventionUse() const;
+    std::uint64_t totalWbSnarfedOut() const;
+    double wbhtCorrectFraction() const;
+    /** Demand lines fetched from off chip (L3 + memory supplies). */
+    std::uint64_t offChipAccesses() const;
+
+  private:
+    SystemConfig cfg_;
+    EventQueue eq_;
+
+    std::unique_ptr<RetryMonitor> retryMonitor_;
+    std::unique_ptr<Ring> ring_;
+    std::unique_ptr<L3Cache> l3_;
+    std::unique_ptr<MemCtrl> mem_;
+    std::vector<std::unique_ptr<L2Cache>> l2s_;
+    std::vector<std::unique_ptr<TraceCpu>> cpus_;
+    std::unique_ptr<WbReuseTracker> reuseTracker_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_CMP_SYSTEM_HH

@@ -1,0 +1,238 @@
+#include "sim/config_io.hh"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+std::uint64_t
+toU64(const std::string &key, const std::string &v)
+{
+    try {
+        return std::stoull(v);
+    } catch (...) {
+        cmp_fatal("config key '", key, "' expects an integer, got '",
+                  v, "'");
+    }
+}
+
+bool
+toBool(const std::string &key, const std::string &v)
+{
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    cmp_fatal("config key '", key, "' expects a boolean, got '", v,
+              "'");
+}
+
+struct KeyHandler
+{
+    std::function<void(SystemConfig &, const std::string &,
+                       const std::string &)>
+        set;
+    std::function<std::string(const SystemConfig &)> get;
+};
+
+#define U64_KEY(field)                                                  \
+    KeyHandler                                                          \
+    {                                                                   \
+        [](SystemConfig &c, const std::string &k,                       \
+           const std::string &v) {                                      \
+            c.field = static_cast<decltype(c.field)>(toU64(k, v));      \
+        },                                                              \
+            [](const SystemConfig &c) { return cstr(c.field); }         \
+    }
+
+#define BOOL_KEY(field)                                                 \
+    KeyHandler                                                          \
+    {                                                                   \
+        [](SystemConfig &c, const std::string &k,                       \
+           const std::string &v) { c.field = toBool(k, v); },           \
+            [](const SystemConfig &c) {                                 \
+                return std::string(c.field ? "true" : "false");         \
+            }                                                           \
+    }
+
+const std::map<std::string, KeyHandler> &
+handlers()
+{
+    static const std::map<std::string, KeyHandler> h = {
+        {"num_l2s", U64_KEY(numL2s)},
+        {"threads_per_l2", U64_KEY(threadsPerL2)},
+        {"cpu.outstanding", U64_KEY(cpu.maxOutstanding)},
+        {"cpu.blocked_retry", U64_KEY(cpu.blockedRetry)},
+        {"l2.size_bytes", U64_KEY(l2.sizeBytes)},
+        {"l2.assoc", U64_KEY(l2.assoc)},
+        {"l2.line_size", U64_KEY(l2.lineSize)},
+        {"l2.slices", U64_KEY(l2.slices)},
+        {"l2.hit_latency", U64_KEY(l2.hitLatency)},
+        {"l2.supply_latency", U64_KEY(l2.supplyLatency)},
+        {"l2.fill_latency", U64_KEY(l2.fillLatency)},
+        {"l2.mshrs", U64_KEY(l2.mshrs)},
+        {"l2.wbq_depth", U64_KEY(l2.wbqDepth)},
+        {"l2.retry_backoff", U64_KEY(l2.retryBackoff)},
+        {"l2.clean_interventions", BOOL_KEY(l2.cleanInterventions)},
+        {"l3.size_bytes", U64_KEY(l3.sizeBytes)},
+        {"l3.assoc", U64_KEY(l3.assoc)},
+        {"l3.line_size", U64_KEY(l3.lineSize)},
+        {"l3.slices", U64_KEY(l3.slices)},
+        {"l3.access_latency", U64_KEY(l3.accessLatency)},
+        {"l3.bank_occupancy", U64_KEY(l3.bankOccupancy)},
+        {"l3.write_occupancy", U64_KEY(l3.writeOccupancy)},
+        {"l3.squash_occupancy", U64_KEY(l3.squashOccupancy)},
+        {"l3.wb_queue_depth", U64_KEY(l3.wbQueueDepth)},
+        {"mem.access_latency", U64_KEY(mem.accessLatency)},
+        {"mem.channel_occupancy", U64_KEY(mem.channelOccupancy)},
+        {"ring.addr_slot_cycles", U64_KEY(ring.addrSlotCycles)},
+        {"ring.snoop_latency", U64_KEY(ring.snoopLatency)},
+        {"ring.hop_cycles", U64_KEY(ring.hopCycles)},
+        {"ring.segment_occupancy", U64_KEY(ring.segmentOccupancy)},
+        {"ring.num_stops", U64_KEY(ring.numStops)},
+        {"wbht.entries", U64_KEY(policy.wbht.entries)},
+        {"wbht.assoc", U64_KEY(policy.wbht.assoc)},
+        {"wbht.lines_per_entry", U64_KEY(policy.wbht.linesPerEntry)},
+        {"snarf.entries", U64_KEY(policy.snarf.entries)},
+        {"snarf.assoc", U64_KEY(policy.snarf.assoc)},
+        {"snarf.buffers", U64_KEY(policy.snarfBuffers)},
+        {"retry.window", U64_KEY(policy.retry.windowCycles)},
+        {"retry.threshold", U64_KEY(policy.retry.threshold)},
+        {"retry.initially_active",
+         BOOL_KEY(policy.retry.initiallyActive)},
+        {"use_retry_switch", BOOL_KEY(policy.useRetrySwitch)},
+        {"snarf_shared_victims", BOOL_KEY(policy.snarfSharedVictims)},
+        {"wbht_informed_replacement",
+         BOOL_KEY(policy.wbhtInformedReplacement)},
+        {"warmup", BOOL_KEY(warmupPass)},
+        {"reuse_tracker", BOOL_KEY(enableWbReuseTracker)},
+        {"policy",
+         KeyHandler{[](SystemConfig &c, const std::string &,
+                       const std::string &v) {
+                        const auto keep = c.policy;
+                        c.policy.policy = wbPolicyFromString(v);
+                        (void)keep;
+                    },
+                    [](const SystemConfig &c) {
+                        return std::string(toString(c.policy.policy));
+                    }}},
+        {"snarf_insert",
+         KeyHandler{[](SystemConfig &c, const std::string &k,
+                       const std::string &v) {
+                        if (v == "mru")
+                            c.policy.snarfInsert = InsertPos::Mru;
+                        else if (v == "lru")
+                            c.policy.snarfInsert = InsertPos::Lru;
+                        else
+                            cmp_fatal("config key '", k,
+                                      "' expects mru|lru, got '", v,
+                                      "'");
+                    },
+                    [](const SystemConfig &c) {
+                        return std::string(
+                            c.policy.snarfInsert == InsertPos::Mru
+                                ? "mru"
+                                : "lru");
+                    }}},
+        {"l2.repl",
+         KeyHandler{[](SystemConfig &c, const std::string &,
+                       const std::string &v) { c.l2.replPolicy = v; },
+                    [](const SystemConfig &c) {
+                        return c.l2.replPolicy;
+                    }}},
+        {"l3.repl",
+         KeyHandler{[](SystemConfig &c, const std::string &,
+                       const std::string &v) { c.l3.replPolicy = v; },
+                    [](const SystemConfig &c) {
+                        return c.l3.replPolicy;
+                    }}},
+    };
+    return h;
+}
+
+#undef U64_KEY
+#undef BOOL_KEY
+
+} // namespace
+
+void
+applyConfigOption(SystemConfig &cfg, const std::string &key,
+                  const std::string &value)
+{
+    const auto it = handlers().find(key);
+    if (it == handlers().end())
+        cmp_fatal("unknown config key '", key, "'");
+    it->second.set(cfg, key, value);
+}
+
+void
+loadConfig(SystemConfig &cfg, std::istream &is)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            cmp_fatal("config line ", lineno, " has no '=': '", line,
+                      "'");
+        applyConfigOption(cfg, trim(line.substr(0, eq)),
+                          trim(line.substr(eq + 1)));
+    }
+}
+
+void
+loadConfigFile(SystemConfig &cfg, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        cmp_fatal("cannot open config file '", path, "'");
+    loadConfig(cfg, is);
+}
+
+void
+saveConfig(const SystemConfig &cfg, std::ostream &os)
+{
+    os << "# cmpcache system configuration\n";
+    for (const auto &[key, handler] : handlers())
+        os << key << " = " << handler.get(cfg) << "\n";
+}
+
+const std::vector<std::string> &
+configKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> k;
+        for (const auto &[key, handler] : handlers())
+            k.push_back(key);
+        return k;
+    }();
+    return keys;
+}
+
+} // namespace cmpcache

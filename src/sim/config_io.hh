@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Textual configuration for SystemConfig: simple "key = value" lines
+ * ('#' comments), so whole experiments live in version-controllable
+ * files. The same keys work as --key=value command-line overrides in
+ * the cmpsim driver.
+ *
+ * Example:
+ *
+ *     # paper machine, WBHT policy at high pressure
+ *     policy            = wbht
+ *     cpu.outstanding   = 6
+ *     wbht.entries      = 32768
+ *     retry.window      = 250000
+ *     retry.threshold   = 100
+ *     l2.size_bytes     = 2097152
+ */
+
+#ifndef CMPCACHE_SIM_CONFIG_IO_HH
+#define CMPCACHE_SIM_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/system_config.hh"
+
+namespace cmpcache
+{
+
+/** Apply one "key", "value" pair; fatal() on unknown keys or
+ * malformed values. */
+void applyConfigOption(SystemConfig &cfg, const std::string &key,
+                       const std::string &value);
+
+/** Parse "key = value" lines from a stream into @p cfg. */
+void loadConfig(SystemConfig &cfg, std::istream &is);
+
+/** Parse a config file; fatal() if unreadable. */
+void loadConfigFile(SystemConfig &cfg, const std::string &path);
+
+/** Write @p cfg out in the same format (round-trippable). */
+void saveConfig(const SystemConfig &cfg, std::ostream &os);
+
+/** All recognized keys (driver --help text, tests). */
+const std::vector<std::string> &configKeys();
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_CONFIG_IO_HH

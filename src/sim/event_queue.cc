@@ -1,0 +1,100 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+Event::~Event()
+{
+    if (scheduled_ && queue_)
+        queue_->deschedule(this);
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    cmp_assert(ev != nullptr, "scheduling null event");
+    cmp_assert(!ev->scheduled_, "event '", ev->name(),
+               "' is already scheduled");
+    cmp_assert(when >= curTick_, "event '", ev->name(),
+               "' scheduled in the past (", when, " < ", curTick_, ")");
+
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->sequence_ = nextSequence_++;
+    ev->queue_ = this;
+    heap_.push(Entry{when, ev->priority_, ev->sequence_, ev});
+    ++liveEvents_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    cmp_assert(ev != nullptr && ev->scheduled_,
+               "descheduling an unscheduled event");
+    cmp_assert(ev->queue_ == this, "event belongs to another queue");
+    // Lazy removal: remember the dead sequence; the matching heap
+    // entry is discarded when it reaches the top, without touching
+    // the (possibly destroyed by then) event object.
+    cancelled_.insert(ev->sequence_);
+    ev->scheduled_ = false;
+    ev->queue_ = nullptr;
+    --liveEvents_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::skimCancelled()
+{
+    while (!heap_.empty()) {
+        const auto it = cancelled_.find(heap_.top().sequence);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+void
+EventQueue::step()
+{
+    skimCancelled();
+    cmp_assert(!heap_.empty(), "step() on an empty event queue");
+
+    Entry top = heap_.top();
+    heap_.pop();
+    Event *ev = top.event;
+    cmp_assert(top.when >= curTick_, "time went backwards");
+    curTick_ = top.when;
+    ev->scheduled_ = false;
+    ev->queue_ = nullptr;
+    --liveEvents_;
+    ++numExecuted_;
+    ev->process();
+}
+
+Tick
+EventQueue::run(Tick max_tick)
+{
+    while (!empty()) {
+        skimCancelled();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > max_tick) {
+            curTick_ = max_tick;
+            return curTick_;
+        }
+        step();
+    }
+    return curTick_;
+}
+
+} // namespace cmpcache

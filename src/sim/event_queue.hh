@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * Events execute in (tick, priority, insertion-sequence) order, so two
+ * runs of the same configuration and seed are bit-identical. All
+ * component models in cmpcache are driven from one EventQueue; one
+ * tick equals one core clock cycle (6 GHz in the paper's Table 3).
+ */
+
+#ifndef CMPCACHE_SIM_EVENT_QUEUE_HH
+#define CMPCACHE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cmpcache
+{
+
+class EventQueue;
+
+/**
+ * A schedulable unit of work. Derive and implement process(), or use
+ * EventFunctionWrapper for lambda-based events.
+ *
+ * An Event may be scheduled on at most one queue at a time; it may be
+ * rescheduled freely once it has fired or been descheduled.
+ */
+class Event
+{
+  public:
+    /** Lower value runs first among events at the same tick. */
+    using Priority = std::int8_t;
+
+    static constexpr Priority DefaultPri = 0;
+    /** Snoop-response combining runs after same-cycle requests. */
+    static constexpr Priority CombinePri = 10;
+    /** Stat/bookkeeping events run last in a cycle. */
+    static constexpr Priority StatPri = 100;
+
+    explicit Event(Priority prio = DefaultPri) : priority_(prio) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Callback executed when the event fires. */
+    virtual void process() = 0;
+
+    /** Debug name (used in panic messages). */
+    virtual std::string name() const { return "anon-event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    Priority priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+    Priority priority_;
+    EventQueue *queue_ = nullptr;
+};
+
+/** Event that invokes a bound callable. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> fn, std::string name,
+                         Priority prio = DefaultPri)
+        : Event(prio), fn_(std::move(fn)), name_(std::move(name))
+    {
+    }
+
+    void process() override { fn_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> fn_;
+    std::string name_;
+};
+
+/**
+ * The event queue. Not thread-safe by design: cmpcache simulations are
+ * single-threaded and deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulation time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev at absolute tick @p when (>= curTick()). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event without executing it. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    bool empty() const { return liveEvents_ == 0; }
+    std::size_t numPending() const { return liveEvents_; }
+
+    /** Execute the single next event. Queue must not be empty. */
+    void step();
+
+    /**
+     * Run until the queue drains or the next event lies beyond
+     * @p max_tick.
+     * @return the final current tick.
+     */
+    Tick run(Tick max_tick = MaxTick);
+
+    /** Total events executed since construction. */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Event::Priority priority;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return sequence > o.sequence;
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skimCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    /**
+     * Sequences whose heap entry was invalidated by deschedule() or
+     * reschedule(). Stale entries are skipped by sequence alone so a
+     * descheduled event may be destroyed immediately.
+     */
+    std::unordered_set<std::uint64_t> cancelled_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t numExecuted_ = 0;
+    std::size_t liveEvents_ = 0;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_EVENT_QUEUE_HH

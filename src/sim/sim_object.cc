@@ -1,0 +1,18 @@
+#include "sim/sim_object.hh"
+
+namespace cmpcache
+{
+
+SimObject::SimObject(stats::Group *parent, std::string name,
+                     EventQueue &eq)
+    : stats::Group(parent, std::move(name)), eq_(eq)
+{
+}
+
+void
+SimObject::schedule(Event &ev, Tick delta)
+{
+    eq_.schedule(&ev, eq_.curTick() + delta);
+}
+
+} // namespace cmpcache

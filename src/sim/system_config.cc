@@ -1,0 +1,40 @@
+#include "sim/system_config.hh"
+
+#include <sstream>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+void
+SystemConfig::validate() const
+{
+    if (numL2s == 0 || threadsPerL2 == 0)
+        cmp_fatal("need at least one L2 and one thread per L2");
+    if (ring.numStops != numL2s + 2)
+        cmp_fatal("ring stops (", ring.numStops, ") must equal "
+                  "numL2s + 2 (", numL2s + 2, ": L2s + L3 + memory)");
+    if (l2.lineSize != l3.lineSize)
+        cmp_fatal("L2 and L3 line sizes differ");
+    if (!isPowerOf2(l2.lineSize))
+        cmp_fatal("line size must be a power of two");
+    if (policy.usesWbht() && policy.wbht.entries % policy.wbht.assoc)
+        cmp_fatal("WBHT entries must divide into full sets");
+    if (policy.usesSnarf() && policy.snarf.entries % policy.snarf.assoc)
+        cmp_fatal("snarf table entries must divide into full sets");
+}
+
+std::string
+SystemConfig::summary() const
+{
+    std::ostringstream os;
+    os << numL2s << "xL2(" << l2.sizeBytes / 1024 << "KB," << l2.assoc
+       << "w) L3(" << l3.sizeBytes / (1024 * 1024) << "MB," << l3.assoc
+       << "w) policy=" << toString(policy.policy)
+       << " outstanding=" << cpu.maxOutstanding;
+    return os.str();
+}
+
+} // namespace cmpcache

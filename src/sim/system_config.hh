@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Whole-system configuration: paper Table 3 by default.
+ */
+
+#ifndef CMPCACHE_SIM_SYSTEM_CONFIG_HH
+#define CMPCACHE_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "core/policy.hh"
+#include "cpu/trace_cpu.hh"
+#include "l2/l2_cache.hh"
+#include "l3/l3_cache.hh"
+#include "memctrl/mem_ctrl.hh"
+#include "ring/ring.hh"
+
+namespace cmpcache
+{
+
+struct SystemConfig
+{
+    /** Four L2 caches, each shared by two 2-way-SMT cores. */
+    unsigned numL2s = 4;
+    unsigned threadsPerL2 = 4;
+
+    L2Params l2;
+    L3Params l3;
+    MemParams mem;
+    RingParams ring;
+    CpuParams cpu;
+    PolicyConfig policy;
+
+    /** Track per-line write-back reuse (Table 2); costs memory. */
+    bool enableWbReuseTracker = false;
+
+    /**
+     * Functionally pre-warm the caches with one pass of the workload
+     * before the timed run (steady-state measurement, as with the
+     * paper's long hardware-captured traces).
+     */
+    bool warmupPass = true;
+
+    /** Hard stop for runaway simulations. */
+    Tick maxTicks = 40ull * 1000 * 1000 * 1000;
+
+    unsigned numThreads() const { return numL2s * threadsPerL2; }
+
+    /** Sanity-check parameter consistency; fatal() on errors. */
+    void validate() const;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,228 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+namespace stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    cmp_assert(parent != nullptr, "stat '", name_, "' needs a group");
+    parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << mean() << " # " << desc()
+       << " (samples=" << count_ << ")\n";
+}
+
+Histogram::Histogram(Group *parent, std::string name, std::string desc,
+                     double min, double max, std::size_t buckets)
+    : Stat(parent, std::move(name), std::move(desc)),
+      min_(min),
+      max_(max),
+      bucketWidth_((max - min) / static_cast<double>(buckets)),
+      buckets_(buckets, 0)
+{
+    cmp_assert(max > min && buckets > 0,
+               "histogram needs max > min and at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < min_) {
+        ++underflow_;
+    } else if (v >= max_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - min_) / bucketWidth_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ".mean " << mean() << " # " << desc()
+       << "\n";
+    os << prefix << name() << ".count " << count_ << "\n";
+    if (underflow_)
+        os << prefix << name() << ".underflow " << underflow_ << "\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        const double lo = min_ + bucketWidth_ * static_cast<double>(i);
+        os << prefix << name() << ".bucket[" << lo << ","
+           << lo + bucketWidth_ << ") " << buckets_[i] << "\n";
+    }
+    if (overflow_)
+        os << prefix << name() << ".overflow " << overflow_ << "\n";
+}
+
+Formula::Formula(Group *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value() << " # " << desc() << "\n";
+}
+
+Group::Group(std::string name) : name_(std::move(name)) {}
+
+Group::Group(Group *parent, std::string name)
+    : parent_(parent), name_(std::move(name))
+{
+    cmp_assert(parent_ != nullptr, "child group '", name_,
+               "' needs a parent");
+    parent_->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+Group::removeChild(Group *g)
+{
+    children_.erase(std::remove(children_.begin(), children_.end(), g),
+                    children_.end());
+}
+
+std::string
+Group::path() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+Group::resetStats()
+{
+    for (auto *s : stats_)
+        s->reset();
+    for (auto *g : children_)
+        g->resetStats();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    const std::string prefix = path() + ".";
+    for (const auto *s : stats_)
+        s->dump(os, prefix);
+    for (const auto *g : children_)
+        g->dump(os);
+}
+
+void
+Group::dumpCsv(std::ostream &os) const
+{
+    // Reuse the text dump, then rewrite it: simplest correct approach
+    // would duplicate formatting; instead emit name,value pairs here.
+    const std::string prefix = path() + ".";
+    for (const auto *s : stats_) {
+        std::ostringstream tmp;
+        s->dump(tmp, prefix);
+        std::string line;
+        std::istringstream in(tmp.str());
+        while (std::getline(in, line)) {
+            const auto sp = line.find(' ');
+            if (sp == std::string::npos)
+                continue;
+            auto end = line.find(" #");
+            if (end == std::string::npos)
+                end = line.size();
+            os << line.substr(0, sp) << ","
+               << line.substr(sp + 1, end - sp - 1) << "\n";
+        }
+    }
+    for (const auto *g : children_)
+        g->dumpCsv(os);
+}
+
+namespace
+{
+
+void
+jsonLines(const Group &g, std::ostream &os, bool &first)
+{
+    std::ostringstream csv;
+    g.dumpCsv(csv);
+    std::string line;
+    std::istringstream in(csv.str());
+    while (std::getline(in, line)) {
+        const auto comma = line.rfind(',');
+        if (comma == std::string::npos)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << line.substr(0, comma)
+           << "\": " << line.substr(comma + 1);
+    }
+}
+
+} // namespace
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    jsonLines(*this, os, first);
+    os << "\n}\n";
+}
+
+const Stat *
+Group::find(const std::string &dotted) const
+{
+    const auto dot = dotted.find('.');
+    if (dot == std::string::npos) {
+        for (const auto *s : stats_)
+            if (s->name() == dotted)
+                return s;
+        return nullptr;
+    }
+    const std::string head = dotted.substr(0, dot);
+    const std::string rest = dotted.substr(dot + 1);
+    for (const auto *g : children_)
+        if (g->name() == head)
+            return g->find(rest);
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace cmpcache

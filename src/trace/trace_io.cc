@@ -1,0 +1,193 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+constexpr char BinaryMagic[4] = {'C', 'M', 'P', 'T'};
+constexpr std::uint32_t BinaryVersion = 1;
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    std::array<unsigned char, 8> b;
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(b.data()), 8);
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    std::array<unsigned char, 4> b;
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(b.data()), 4);
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    std::array<unsigned char, 8> b;
+    is.read(reinterpret_cast<char *>(b.data()), 8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    std::array<unsigned char, 4> b;
+    is.read(reinterpret_cast<char *>(b.data()), 4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+MemOp
+opFromChar(char c)
+{
+    switch (c) {
+      case 'L':
+        return MemOp::Load;
+      case 'S':
+        return MemOp::Store;
+      case 'I':
+        return MemOp::IFetch;
+      default:
+        cmp_fatal("bad trace op character '", c, "'");
+    }
+}
+
+std::vector<TraceRecord>
+readTextBody(std::istream &is)
+{
+    std::vector<TraceRecord> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::uint32_t tid;
+        std::string op;
+        std::string addr_s;
+        std::uint32_t gap;
+        if (!(ls >> tid))
+            continue; // blank line
+        if (!(ls >> op >> addr_s >> gap) || op.size() != 1) {
+            cmp_fatal("malformed trace line ", lineno, ": '", line, "'");
+        }
+        TraceRecord r;
+        r.tid = static_cast<ThreadId>(tid);
+        r.op = opFromChar(op[0]);
+        r.addr = std::stoull(addr_s, nullptr, 16);
+        r.gap = gap;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<TraceRecord>
+readBinaryBody(std::istream &is)
+{
+    const std::uint32_t version = getU32(is);
+    if (version != BinaryVersion)
+        cmp_fatal("unsupported binary trace version ", version);
+    const std::uint64_t count = getU64(is);
+    std::vector<TraceRecord> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        r.addr = getU64(is);
+        r.gap = getU32(is);
+        const std::uint32_t meta = getU32(is);
+        r.tid = static_cast<ThreadId>(meta & 0xffff);
+        r.op = static_cast<MemOp>((meta >> 16) & 0xff);
+        if (!is)
+            cmp_fatal("truncated binary trace (record ", i, " of ",
+                      count, ")");
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
+           TraceFormat fmt)
+{
+    if (fmt == TraceFormat::Text) {
+        os << "# cmpcache trace v1: tid op addr(hex) gap\n";
+        for (const auto &r : records) {
+            os << r.tid << " " << toString(r.op) << " " << std::hex
+               << r.addr << std::dec << " " << r.gap << "\n";
+        }
+        return;
+    }
+    os.write(BinaryMagic, 4);
+    putU32(os, BinaryVersion);
+    putU64(os, records.size());
+    for (const auto &r : records) {
+        putU64(os, r.addr);
+        putU32(os, r.gap);
+        const std::uint32_t meta =
+            static_cast<std::uint32_t>(r.tid)
+            | (static_cast<std::uint32_t>(r.op) << 16);
+        putU32(os, meta);
+    }
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records, TraceFormat fmt)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        cmp_fatal("cannot open trace file '", path, "' for writing");
+    writeTrace(os, records, fmt);
+    if (!os)
+        cmp_fatal("error writing trace file '", path, "'");
+}
+
+std::vector<TraceRecord>
+readTrace(std::istream &is)
+{
+    char magic[4] = {0, 0, 0, 0};
+    is.read(magic, 4);
+    if (is.gcount() == 4 && std::memcmp(magic, BinaryMagic, 4) == 0)
+        return readBinaryBody(is);
+    // Not binary: rewind and parse as text.
+    is.clear();
+    is.seekg(0);
+    return readTextBody(is);
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        cmp_fatal("cannot open trace file '", path, "'");
+    return readTrace(is);
+}
+
+} // namespace cmpcache

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trace file readers and writers.
+ *
+ * Two on-disk formats are supported:
+ *  - text:   one record per line, "tid op hex-addr gap", '#' comments
+ *  - binary: "CMPT" magic + version + packed little-endian records
+ *
+ * Files store records interleaved across threads; splitByThread()
+ * turns a loaded vector into per-thread sources.
+ */
+
+#ifndef CMPCACHE_TRACE_TRACE_IO_HH
+#define CMPCACHE_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cmpcache
+{
+
+/** On-disk trace encodings. */
+enum class TraceFormat
+{
+    Text,
+    Binary,
+};
+
+/** Write @p records to @p os in the given format. */
+void writeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
+                TraceFormat fmt);
+
+/** Write records to @p path; fatal() on I/O failure. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<TraceRecord> &records,
+                    TraceFormat fmt);
+
+/**
+ * Read a trace from @p is. The format is auto-detected from the
+ * leading bytes. Malformed input triggers fatal().
+ */
+std::vector<TraceRecord> readTrace(std::istream &is);
+
+/** Read a trace from @p path; fatal() on I/O failure. */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_TRACE_TRACE_IO_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual configuration for WorkloadParams ("wl.key = value" lines /
+ * overrides), so custom synthetic workloads can live in the same
+ * experiment files as the machine configuration.
+ */
+
+#ifndef CMPCACHE_TRACE_WORKLOAD_CONFIG_HH
+#define CMPCACHE_TRACE_WORKLOAD_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace cmpcache
+{
+
+/** Is @p key a workload key (has the "wl." prefix)? */
+bool isWorkloadKey(const std::string &key);
+
+/** Apply one "wl.xxx", "value" pair; fatal() on unknown keys. */
+void applyWorkloadOption(WorkloadParams &params, const std::string &key,
+                         const std::string &value);
+
+/** All recognized workload keys. */
+const std::vector<std::string> &workloadConfigKeys();
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_TRACE_WORKLOAD_CONFIG_HH

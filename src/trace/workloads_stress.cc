@@ -1,0 +1,114 @@
+#include "trace/workloads_stress.hh"
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+namespace workloads
+{
+
+WorkloadParams
+uniformStress(std::uint64_t records_per_thread, std::uint64_t seed,
+              std::uint64_t footprint_lines)
+{
+    WorkloadParams p;
+    p.name = "uniform";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    p.privateLines = footprint_lines;
+    p.privateZipf = 0.0; // flat: every line equally likely
+    p.sharedFrac = 0.0;
+    p.kernelFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.storeFrac = 0.3;
+    p.gapMean = 2.0;
+    p.phaseLength = 0;
+    return p;
+}
+
+WorkloadParams
+streamingStress(std::uint64_t records_per_thread, std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = "streaming";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    p.privateLines = 1; // effectively unused
+    p.sharedFrac = 0.0;
+    p.kernelFrac = 0.0;
+    p.streamFrac = 1.0;
+    p.streamLines = 1u << 22;
+    p.storeFrac = 0.25;
+    p.gapMean = 2.0;
+    p.phaseLength = 0;
+    return p;
+}
+
+WorkloadParams
+pingpongStress(std::uint64_t records_per_thread, std::uint64_t seed,
+               std::uint64_t shared_lines)
+{
+    WorkloadParams p;
+    p.name = "pingpong";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    p.privateLines = 1;
+    p.sharedLines = shared_lines;
+    p.sharedFrac = 1.0;
+    p.sharedZipf = 0.2;
+    p.sharedStoreFrac = 0.5; // heavy cross-thread invalidation
+    p.kernelFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.gapMean = 2.0;
+    p.phaseLength = 0;
+    return p;
+}
+
+WorkloadParams
+thrashStress(std::uint64_t records_per_thread, std::uint64_t seed,
+             std::uint64_t lines_per_thread)
+{
+    WorkloadParams p;
+    p.name = "thrash";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    // Default 5120 lines x 4 threads = 2.5 MB per 2 MB L2: constant
+    // eviction of lines that come right back -- maximum write-back
+    // redundancy once the L3 holds the set.
+    p.privateLines = lines_per_thread;
+    p.privateZipf = 0.1;
+    p.sharedFrac = 0.0;
+    p.kernelFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.storeFrac = 0.1;
+    p.gapMean = 2.0;
+    p.phaseLength = 0;
+    return p;
+}
+
+const std::vector<std::string> &
+stressNames()
+{
+    static const std::vector<std::string> names = {
+        "uniform", "streaming", "pingpong", "thrash"};
+    return names;
+}
+
+WorkloadParams
+stressByName(const std::string &name,
+             std::uint64_t records_per_thread, std::uint64_t seed)
+{
+    if (name == "uniform")
+        return uniformStress(records_per_thread, seed);
+    if (name == "streaming")
+        return streamingStress(records_per_thread, seed);
+    if (name == "pingpong")
+        return pingpongStress(records_per_thread, seed);
+    if (name == "thrash")
+        return thrashStress(records_per_thread, seed);
+    cmp_fatal("unknown stress pattern '", name,
+              "' (expected uniform, streaming, pingpong or thrash)");
+}
+
+} // namespace workloads
+} // namespace cmpcache

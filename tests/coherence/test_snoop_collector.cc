@@ -1,0 +1,229 @@
+/** @file Unit tests for the Snoop Collector's combining rules. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/snoop_collector.hh"
+#include "stats/stats.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+class SnoopCollectorTest : public ::testing::Test
+{
+  protected:
+    SnoopCollectorTest() : root_("sys"), sc_(&root_, 4) {}
+
+    static BusRequest
+    req(BusCmd cmd, AgentId requester = 0, bool snarf = false)
+    {
+        BusRequest r;
+        r.lineAddr = 0x1000;
+        r.cmd = cmd;
+        r.requester = requester;
+        r.snarfHint = snarf;
+        r.txnId = 1;
+        return r;
+    }
+
+    static SnoopResponse
+    agent(AgentId id)
+    {
+        SnoopResponse r;
+        r.responder = id;
+        return r;
+    }
+
+    stats::Group root_;
+    SnoopCollector sc_;
+};
+
+} // namespace
+
+TEST_F(SnoopCollectorTest, ReadNoCopiesGoesToMemory)
+{
+    auto res = sc_.combine(req(BusCmd::Read),
+                           {agent(1), agent(2), agent(3), agent(4)});
+    EXPECT_EQ(res.resp, CombinedResp::MemData);
+    EXPECT_FALSE(res.otherSharers);
+}
+
+TEST_F(SnoopCollectorTest, ReadPrefersL2InterventionOverL3)
+{
+    auto a1 = agent(1);
+    a1.hasLine = true;
+    a1.canSupply = true; // SL copy
+    auto l3 = agent(4);
+    l3.l3Hit = true;
+    auto res = sc_.combine(req(BusCmd::Read), {a1, agent(2), l3});
+    EXPECT_EQ(res.resp, CombinedResp::L2Data);
+    EXPECT_EQ(res.source, 1);
+    EXPECT_FALSE(res.dirtySource);
+    EXPECT_TRUE(res.l3HasLine);
+    EXPECT_TRUE(res.otherSharers);
+}
+
+TEST_F(SnoopCollectorTest, ReadFallsBackToL3)
+{
+    auto s = agent(1);
+    s.hasLine = true; // plain Shared: cannot supply
+    auto l3 = agent(4);
+    l3.l3Hit = true;
+    auto res = sc_.combine(req(BusCmd::Read), {s, l3});
+    EXPECT_EQ(res.resp, CombinedResp::L3Data);
+}
+
+TEST_F(SnoopCollectorTest, DirtyOwnerBeatsCleanIntervener)
+{
+    auto sl = agent(1);
+    sl.hasLine = true;
+    sl.canSupply = true;
+    auto m = agent(2);
+    m.hasLine = true;
+    m.hasDirty = true;
+    m.canSupply = true;
+    auto res = sc_.combine(req(BusCmd::Read), {sl, m});
+    EXPECT_EQ(res.resp, CombinedResp::L2Data);
+    EXPECT_EQ(res.source, 2);
+    EXPECT_TRUE(res.dirtySource);
+}
+
+TEST_F(SnoopCollectorTest, RetryBeatsEverything)
+{
+    auto m = agent(2);
+    m.hasLine = true;
+    m.hasDirty = true;
+    m.canSupply = true;
+    auto r = agent(3);
+    r.retry = true;
+    auto res = sc_.combine(req(BusCmd::Read), {m, r});
+    EXPECT_EQ(res.resp, CombinedResp::Retry);
+    EXPECT_EQ(sc_.totalRetries(), 1u);
+}
+
+TEST_F(SnoopCollectorTest, UpgradeGranted)
+{
+    auto s = agent(1);
+    s.hasLine = true;
+    auto res = sc_.combine(req(BusCmd::Upgrade), {s, agent(2)});
+    EXPECT_EQ(res.resp, CombinedResp::Upgraded);
+}
+
+TEST_F(SnoopCollectorTest, CleanWbSquashedWhenL3HasIt)
+{
+    auto l3 = agent(4);
+    l3.l3Hit = true;
+    l3.wbAccept = true; // irrelevant once squashed
+    auto res = sc_.combine(req(BusCmd::WbClean), {agent(1), l3});
+    EXPECT_EQ(res.resp, CombinedResp::WbSquashed);
+    EXPECT_TRUE(res.l3HasLine);
+}
+
+TEST_F(SnoopCollectorTest, CleanWbSquashedWhenPeerHasCleanCopy)
+{
+    auto peer = agent(1);
+    peer.hasLine = true; // clean copy announced on a snarf-flagged WB
+    auto l3 = agent(4);
+    l3.wbAccept = true;
+    auto res =
+        sc_.combine(req(BusCmd::WbClean, 0, true), {peer, l3});
+    EXPECT_EQ(res.resp, CombinedResp::WbSquashed);
+    EXPECT_FALSE(res.l3HasLine);
+}
+
+TEST_F(SnoopCollectorTest, CleanWbAcceptedByL3)
+{
+    auto l3 = agent(4);
+    l3.wbAccept = true;
+    auto res = sc_.combine(req(BusCmd::WbClean), {agent(1), l3});
+    EXPECT_EQ(res.resp, CombinedResp::WbAcceptL3);
+}
+
+TEST_F(SnoopCollectorTest, WbRetriedWhenNoAcceptor)
+{
+    auto l3 = agent(4);
+    l3.retry = true;
+    auto res = sc_.combine(req(BusCmd::WbDirty), {agent(1), l3});
+    EXPECT_EQ(res.resp, CombinedResp::Retry);
+}
+
+TEST_F(SnoopCollectorTest, SnarfBeatsL3Accept)
+{
+    auto snarfer = agent(1);
+    snarfer.snarfAccept = true;
+    auto l3 = agent(4);
+    l3.wbAccept = true;
+    auto res = sc_.combine(req(BusCmd::WbClean, 0, true),
+                           {snarfer, l3});
+    EXPECT_EQ(res.resp, CombinedResp::WbSnarfed);
+    EXPECT_EQ(res.source, 1);
+}
+
+TEST_F(SnoopCollectorTest, SnarfRescuesWbFromRetry)
+{
+    // L3 queue full (retry) but a peer can absorb: no retry happens.
+    auto snarfer = agent(2);
+    snarfer.snarfAccept = true;
+    auto l3 = agent(4);
+    l3.retry = true;
+    auto res = sc_.combine(req(BusCmd::WbDirty, 0, true),
+                           {snarfer, l3});
+    EXPECT_EQ(res.resp, CombinedResp::WbSnarfed);
+    EXPECT_EQ(sc_.totalRetries(), 0u);
+}
+
+TEST_F(SnoopCollectorTest, SnarfWinnerRoundRobinIsFair)
+{
+    auto mk = [&](std::initializer_list<AgentId> accepting) {
+        std::vector<SnoopResponse> rs;
+        for (AgentId id : {AgentId(1), AgentId(2), AgentId(3)}) {
+            auto a = agent(id);
+            for (AgentId acc : accepting)
+                if (acc == id)
+                    a.snarfAccept = true;
+            rs.push_back(a);
+        }
+        return rs;
+    };
+    // All three accept repeatedly: winners must rotate.
+    std::vector<AgentId> winners;
+    for (int i = 0; i < 6; ++i) {
+        auto res =
+            sc_.combine(req(BusCmd::WbClean, 0, true), mk({1, 2, 3}));
+        ASSERT_EQ(res.resp, CombinedResp::WbSnarfed);
+        winners.push_back(res.source);
+    }
+    // Each agent wins twice in six rounds.
+    for (AgentId id : {AgentId(1), AgentId(2), AgentId(3)}) {
+        EXPECT_EQ(std::count(winners.begin(), winners.end(), id), 2)
+            << "agent " << unsigned{id};
+    }
+    // No two consecutive wins by the same agent when all compete.
+    for (std::size_t i = 1; i < winners.size(); ++i)
+        EXPECT_NE(winners[i], winners[i - 1]);
+}
+
+TEST_F(SnoopCollectorTest, RoundRobinSkipsNonAccepting)
+{
+    auto only3 = [&] {
+        auto a1 = agent(1);
+        auto a3 = agent(3);
+        a3.snarfAccept = true;
+        return std::vector<SnoopResponse>{a1, a3};
+    };
+    for (int i = 0; i < 4; ++i) {
+        auto res = sc_.combine(req(BusCmd::WbClean, 0, true), only3());
+        ASSERT_EQ(res.resp, CombinedResp::WbSnarfed);
+        EXPECT_EQ(res.source, 3);
+    }
+}
+
+TEST_F(SnoopCollectorTest, OtherSharersExcludesL3)
+{
+    auto l3 = agent(4);
+    l3.l3Hit = true;
+    auto res = sc_.combine(req(BusCmd::Read), {agent(1), l3});
+    EXPECT_TRUE(res.l3HasLine);
+    EXPECT_FALSE(res.otherSharers);
+}

@@ -1,0 +1,85 @@
+/** @file Unit tests for integer math helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+using namespace cmpcache;
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(128), 7u);
+    EXPECT_EQ(floorLog2((1ull << 63) + 5), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+}
+
+TEST(IntMath, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 128), 0u);
+    EXPECT_EQ(roundUp(1, 128), 128u);
+    EXPECT_EQ(roundUp(128, 128), 128u);
+    EXPECT_EQ(roundUp(129, 128), 256u);
+    EXPECT_EQ(roundDown(129, 128), 128u);
+    EXPECT_EQ(roundDown(127, 128), 0u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(IntMath, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffull);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefull);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdull);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+// Property sweep: floorLog2/ceilLog2 consistency around powers of two.
+class Log2Sweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Log2Sweep, PowerOfTwoProperties)
+{
+    const unsigned k = GetParam();
+    const std::uint64_t v = 1ull << k;
+    EXPECT_EQ(floorLog2(v), k);
+    EXPECT_EQ(ceilLog2(v), k);
+    if (k > 1) {
+        EXPECT_EQ(floorLog2(v - 1), k - 1);
+        EXPECT_EQ(ceilLog2(v - 1), k);
+        EXPECT_EQ(floorLog2(v + 1), k);
+        EXPECT_EQ(ceilLog2(v + 1), k + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShifts, Log2Sweep,
+                         ::testing::Values(2u, 3u, 7u, 12u, 20u, 31u,
+                                           40u, 62u));

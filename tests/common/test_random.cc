@@ -1,0 +1,161 @@
+/** @file Unit tests for the deterministic RNG and the Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+
+using namespace cmpcache;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.inRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanRoughlyCorrect)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(10.0));
+    // Truncation makes the observed mean slightly below the target.
+    EXPECT_NEAR(sum / n, 10.0, 1.0);
+}
+
+TEST(Rng, GeometricZeroMeanIsZero)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(0.0), 0u);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero)
+{
+    Rng r(29);
+    ZipfSampler z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(r)];
+    for (const int c : counts)
+        EXPECT_NEAR(c / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks)
+{
+    Rng r(31);
+    ZipfSampler z(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[z.sample(r)];
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+    // Rank-0 frequency for s=1, N=1000 is ~1/H(1000) ~ 13%.
+    EXPECT_NEAR(counts[0] / 200000.0, 0.13, 0.03);
+}
+
+TEST(ZipfSampler, SampleAlwaysInPopulation)
+{
+    Rng r(37);
+    ZipfSampler z(17, 0.8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(r), 17u);
+}
+
+TEST(ZipfSamplerDeath, EmptyPopulationPanics)
+{
+    EXPECT_DEATH(ZipfSampler(0, 1.0), "population");
+}
+
+// Parameterized property: higher exponents concentrate more mass on
+// the hottest rank.
+class ZipfSkewSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewSweep, MassOnRankZeroGrowsWithExponent)
+{
+    const double s = GetParam();
+    Rng r(41);
+    ZipfSampler weak(100, s);
+    ZipfSampler strong(100, s + 0.5);
+    int weak0 = 0;
+    int strong0 = 0;
+    for (int i = 0; i < 50000; ++i) {
+        weak0 += weak.sample(r) == 0;
+        strong0 += strong.sample(r) == 0;
+    }
+    EXPECT_LT(weak0, strong0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSkewSweep,
+                         ::testing::Values(0.0, 0.4, 0.8, 1.2));

@@ -1,0 +1,152 @@
+/** @file Unit tests for the set-associative history table. */
+
+#include <gtest/gtest.h>
+
+#include "core/history_table.hh"
+
+using namespace cmpcache;
+
+TEST(HistoryTable, Geometry)
+{
+    HistoryTable t(32768, 16, 128);
+    EXPECT_EQ(t.numEntries(), 32768u);
+    EXPECT_EQ(t.assoc(), 16u);
+    EXPECT_EQ(t.numSets(), 2048u);
+}
+
+TEST(HistoryTable, AllocateThenContains)
+{
+    HistoryTable t(64, 4, 128);
+    EXPECT_FALSE(t.contains(0x1000));
+    t.allocate(0x1000);
+    EXPECT_TRUE(t.contains(0x1000));
+    EXPECT_TRUE(t.contains(0x1040)); // same line
+    EXPECT_FALSE(t.contains(0x1080)); // next line
+}
+
+TEST(HistoryTable, UseBitLifecycle)
+{
+    HistoryTable t(64, 4, 128);
+    EXPECT_FALSE(t.markUsed(0x1000)); // not present yet
+    t.allocate(0x1000);
+    EXPECT_FALSE(t.useBitSet(0x1000));
+    EXPECT_TRUE(t.markUsed(0x1000));
+    EXPECT_TRUE(t.useBitSet(0x1000));
+}
+
+TEST(HistoryTable, ReallocatePreservesUseBit)
+{
+    HistoryTable t(64, 4, 128);
+    t.allocate(0x1000);
+    t.markUsed(0x1000);
+    EXPECT_FALSE(t.allocate(0x1000)); // refresh, no eviction
+    EXPECT_TRUE(t.useBitSet(0x1000));
+}
+
+TEST(HistoryTable, LruEvictionWithinSet)
+{
+    // 8 entries, 4-way -> 2 sets. Lines with the same low index bits
+    // collide. Line size 128, so set = (addr >> 7) & 1.
+    HistoryTable t(8, 4, 128);
+    const Addr base = 0x0; // set 0
+    // Fill set 0 with 4 lines: addresses stride 2 lines = 0x100.
+    for (int i = 0; i < 4; ++i)
+        t.allocate(base + static_cast<Addr>(i) * 0x100);
+    // Touch the oldest so it's no longer the LRU.
+    EXPECT_TRUE(t.contains(base));
+    // Insert a fifth line: evicts the now-oldest (i = 1).
+    EXPECT_TRUE(t.allocate(base + 4 * 0x100));
+    EXPECT_TRUE(t.contains(base, false));
+    EXPECT_FALSE(t.contains(base + 0x100, false));
+}
+
+TEST(HistoryTable, EvictedEntryLosesUseBit)
+{
+    HistoryTable t(4, 2, 128); // 2 sets, 2-way
+    const Addr a = 0x000;      // set 0
+    const Addr b = 0x100;      // set 0
+    const Addr c = 0x200;      // set 0
+    t.allocate(a);
+    t.markUsed(a);
+    t.allocate(b);
+    t.allocate(c); // evicts a
+    EXPECT_FALSE(t.contains(a, false));
+    t.allocate(a); // fresh entry
+    EXPECT_FALSE(t.useBitSet(a));
+}
+
+TEST(HistoryTable, EraseRemoves)
+{
+    HistoryTable t(64, 4, 128);
+    t.allocate(0x1000);
+    EXPECT_TRUE(t.erase(0x1000));
+    EXPECT_FALSE(t.contains(0x1000));
+    EXPECT_FALSE(t.erase(0x1000));
+}
+
+TEST(HistoryTable, CountValidAndClear)
+{
+    HistoryTable t(64, 4, 128);
+    for (Addr a = 0; a < 10 * 128; a += 128)
+        t.allocate(a);
+    EXPECT_EQ(t.countValid(), 10u);
+    t.clear();
+    EXPECT_EQ(t.countValid(), 0u);
+}
+
+TEST(HistoryTable, ContainsNoTouchLeavesLruAlone)
+{
+    HistoryTable t(4, 2, 128);
+    const Addr a = 0x000;
+    const Addr b = 0x100;
+    const Addr c = 0x200;
+    t.allocate(a);
+    t.allocate(b);
+    // Peek at `a` without touching; it must still be the LRU victim.
+    EXPECT_TRUE(t.contains(a, false));
+    t.allocate(c);
+    EXPECT_FALSE(t.contains(a, false));
+    EXPECT_TRUE(t.contains(b, false));
+}
+
+TEST(HistoryTable, CapacityNeverExceeded)
+{
+    HistoryTable t(128, 8, 128);
+    for (Addr a = 0; a < 1000 * 128; a += 128)
+        t.allocate(a);
+    EXPECT_LE(t.countValid(), 128u);
+}
+
+TEST(HistoryTableDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH(HistoryTable(100, 16, 128), "");
+    EXPECT_DEATH(HistoryTable(96, 16, 128), "2\\^k");
+}
+
+// Property sweep over table sizes: a working set that fits is fully
+// retained; one that does not fit loses entries.
+class TableSizeSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TableSizeSweep, RetentionMatchesCapacity)
+{
+    const std::uint64_t entries = GetParam();
+    HistoryTable t(entries, 16, 128);
+    // Insert exactly `entries` distinct lines, striding one line.
+    for (Addr a = 0; a < entries * 128; a += 128)
+        t.allocate(a);
+    EXPECT_EQ(t.countValid(), entries);
+    std::uint64_t hits = 0;
+    for (Addr a = 0; a < entries * 128; a += 128)
+        hits += t.contains(a, false);
+    EXPECT_EQ(hits, entries); // perfectly retained
+
+    // Doubling the footprint must evict about half.
+    for (Addr a = entries * 128; a < 2 * entries * 128; a += 128)
+        t.allocate(a);
+    EXPECT_EQ(t.countValid(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TableSizeSweep,
+                         ::testing::Values(512u, 1024u, 4096u, 32768u));

@@ -1,0 +1,101 @@
+/** @file Unit tests for the WBHT retry-rate switch. */
+
+#include <gtest/gtest.h>
+
+#include "core/retry_monitor.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+RetryMonitor::Params
+params(Tick window = 1000, std::uint64_t threshold = 10,
+       bool initial = false)
+{
+    RetryMonitor::Params p;
+    p.windowCycles = window;
+    p.threshold = threshold;
+    p.initiallyActive = initial;
+    return p;
+}
+
+} // namespace
+
+TEST(RetryMonitor, InitialStateRespected)
+{
+    stats::Group root("sys");
+    RetryMonitor off(&root, params(1000, 10, false));
+    EXPECT_FALSE(off.active(0));
+    RetryMonitor on(&root, params(1000, 10, true));
+    EXPECT_TRUE(on.active(0));
+}
+
+TEST(RetryMonitor, ActivatesWhenThresholdMet)
+{
+    stats::Group root("sys");
+    RetryMonitor m(&root, params(1000, 10));
+    for (Tick t = 0; t < 10; ++t)
+        m.recordRetry(t);
+    // Still inside window 0: not yet re-evaluated.
+    EXPECT_FALSE(m.active(999));
+    // Window closed with 10 >= 10 retries.
+    EXPECT_TRUE(m.active(1000));
+}
+
+TEST(RetryMonitor, StaysOffBelowThreshold)
+{
+    stats::Group root("sys");
+    RetryMonitor m(&root, params(1000, 10));
+    for (Tick t = 0; t < 9; ++t)
+        m.recordRetry(t);
+    EXPECT_FALSE(m.active(1000));
+}
+
+TEST(RetryMonitor, DeactivatesWhenPressureSubsides)
+{
+    stats::Group root("sys");
+    RetryMonitor m(&root, params(1000, 10));
+    for (Tick t = 0; t < 20; ++t)
+        m.recordRetry(t);
+    EXPECT_TRUE(m.active(1500)); // window 0 was busy
+    // Window 1 (1000..2000) is quiet: off again from 2000.
+    EXPECT_FALSE(m.active(2000));
+}
+
+TEST(RetryMonitor, MultipleEmptyWindowsRollCorrectly)
+{
+    stats::Group root("sys");
+    RetryMonitor m(&root, params(1000, 5));
+    for (int i = 0; i < 7; ++i)
+        m.recordRetry(100 + i);
+    EXPECT_TRUE(m.active(1100));
+    // Jump far ahead: all intermediate windows were quiet.
+    EXPECT_FALSE(m.active(57000));
+}
+
+TEST(RetryMonitor, RetriesLandInCorrectWindow)
+{
+    stats::Group root("sys");
+    RetryMonitor m(&root, params(1000, 5));
+    // 3 retries in window 0, 5 in window 1.
+    for (int i = 0; i < 3; ++i)
+        m.recordRetry(10 + i);
+    for (int i = 0; i < 5; ++i)
+        m.recordRetry(1010 + i);
+    EXPECT_FALSE(m.active(1500)); // window 0: 3 < 5
+    EXPECT_TRUE(m.active(2000));  // window 1: 5 >= 5
+}
+
+TEST(RetryMonitor, PaperDefaults)
+{
+    stats::Group root("sys");
+    RetryMonitor::Params p;
+    EXPECT_EQ(p.windowCycles, 1000000u);
+    EXPECT_EQ(p.threshold, 2000u);
+    RetryMonitor m(&root, p);
+    // 2000 retries within the first million cycles flips it on.
+    for (int i = 0; i < 2000; ++i)
+        m.recordRetry(static_cast<Tick>(i) * 400);
+    EXPECT_TRUE(m.active(1000000));
+}

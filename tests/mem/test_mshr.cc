@@ -1,0 +1,107 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+using namespace cmpcache;
+
+TEST(Mshr, AllocateFindDeallocate)
+{
+    MshrFile f(4);
+    EXPECT_EQ(f.inUse(), 0u);
+    Mshr *m = f.allocate(0x1000, BusCmd::Read, 2, false, 100);
+    EXPECT_EQ(f.inUse(), 1u);
+    EXPECT_EQ(f.find(0x1000), m);
+    EXPECT_EQ(m->cmd, BusCmd::Read);
+    EXPECT_EQ(m->allocated, 100u);
+    ASSERT_EQ(m->waiters.size(), 1u);
+    EXPECT_EQ(m->waiters[0].tid, 2);
+    f.deallocate(m);
+    EXPECT_EQ(f.inUse(), 0u);
+    EXPECT_EQ(f.find(0x1000), nullptr);
+}
+
+TEST(Mshr, FullDetection)
+{
+    MshrFile f(2);
+    f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    EXPECT_FALSE(f.full());
+    f.allocate(0x2000, BusCmd::Read, 0, false, 0);
+    EXPECT_TRUE(f.full());
+}
+
+TEST(Mshr, SlotsRecycled)
+{
+    MshrFile f(1);
+    Mshr *a = f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    f.deallocate(a);
+    Mshr *b = f.allocate(0x2000, BusCmd::ReadExcl, 1, true, 5);
+    EXPECT_EQ(f.find(0x2000), b);
+    EXPECT_EQ(f.find(0x1000), nullptr);
+}
+
+TEST(Mshr, CoalescedWaitersAccumulate)
+{
+    MshrFile f(4);
+    Mshr *m = f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    f.addWaiter(m, 1, false, 10);
+    f.addWaiter(m, 2, false, 20);
+    EXPECT_EQ(m->waiters.size(), 3u);
+}
+
+TEST(Mshr, StoreWaiterUpgradesPendingRead)
+{
+    MshrFile f(4);
+    Mshr *m = f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    f.addWaiter(m, 1, true, 10);
+    EXPECT_EQ(m->cmd, BusCmd::ReadExcl);
+}
+
+TEST(Mshr, StoreWaiterDoesNotUpgradeInServiceRead)
+{
+    MshrFile f(4);
+    Mshr *m = f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    m->inService = true;
+    f.addWaiter(m, 1, true, 10);
+    EXPECT_EQ(m->cmd, BusCmd::Read);
+    EXPECT_EQ(m->waiters.size(), 2u);
+}
+
+TEST(Mshr, StoreWaiterDoesNotDowngradeUpgrade)
+{
+    MshrFile f(4);
+    Mshr *m = f.allocate(0x1000, BusCmd::Upgrade, 0, true, 0);
+    f.addWaiter(m, 1, true, 10);
+    EXPECT_EQ(m->cmd, BusCmd::Upgrade);
+}
+
+TEST(MshrDeath, DoubleAllocatePanics)
+{
+    MshrFile f(4);
+    f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    EXPECT_DEATH(f.allocate(0x1000, BusCmd::Read, 1, false, 0),
+                 "already has an MSHR");
+}
+
+TEST(MshrDeath, AllocateWhenFullPanics)
+{
+    MshrFile f(1);
+    f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    EXPECT_DEATH(f.allocate(0x2000, BusCmd::Read, 0, false, 0),
+                 "full MSHR");
+}
+
+TEST(Mshr, ForEachVisitsOnlyValid)
+{
+    MshrFile f(4);
+    f.allocate(0x1000, BusCmd::Read, 0, false, 0);
+    Mshr *b = f.allocate(0x2000, BusCmd::Read, 0, false, 0);
+    f.deallocate(b);
+    unsigned n = 0;
+    f.forEach([&](Mshr &m) {
+        ++n;
+        EXPECT_EQ(m.lineAddr, 0x1000u);
+    });
+    EXPECT_EQ(n, 1u);
+}

@@ -1,0 +1,111 @@
+/** @file Unit tests for the write-back queue. */
+
+#include <gtest/gtest.h>
+
+#include "mem/write_back_queue.hh"
+
+using namespace cmpcache;
+
+TEST(Wbq, PushAndCapacity)
+{
+    WriteBackQueue q(2);
+    EXPECT_TRUE(q.empty());
+    q.push(0x1000, false, 0);
+    EXPECT_FALSE(q.full());
+    q.push(0x2000, true, 0);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Wbq, NextReadyRespectsReadyAt)
+{
+    WriteBackQueue q(4);
+    q.push(0x1000, false, 100);
+    EXPECT_EQ(q.nextReady(50), nullptr);
+    WbEntry *e = q.nextReady(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->lineAddr, 0x1000u);
+}
+
+TEST(Wbq, NextReadySkipsInFlight)
+{
+    WriteBackQueue q(4);
+    WbEntry &a = q.push(0x1000, false, 0);
+    q.push(0x2000, true, 0);
+    a.inFlight = true;
+    WbEntry *e = q.nextReady(10);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->lineAddr, 0x2000u);
+}
+
+TEST(Wbq, FifoAmongReady)
+{
+    WriteBackQueue q(4);
+    q.push(0x1000, false, 0);
+    q.push(0x2000, false, 0);
+    EXPECT_EQ(q.nextReady(5)->lineAddr, 0x1000u);
+}
+
+TEST(Wbq, FindInFlight)
+{
+    WriteBackQueue q(4);
+    WbEntry &a = q.push(0x1000, true, 0);
+    EXPECT_EQ(q.findInFlight(0x1000), nullptr);
+    a.inFlight = true;
+    EXPECT_EQ(q.findInFlight(0x1000), &a);
+    EXPECT_EQ(q.findInFlight(0x2000), nullptr);
+}
+
+TEST(Wbq, FindAnyState)
+{
+    WriteBackQueue q(4);
+    q.push(0x1000, false, 0);
+    EXPECT_NE(q.find(0x1000), nullptr);
+    EXPECT_EQ(q.find(0x3000), nullptr);
+}
+
+TEST(Wbq, RemoveFreesSlot)
+{
+    WriteBackQueue q(1);
+    WbEntry &a = q.push(0x1000, false, 0);
+    EXPECT_TRUE(q.full());
+    q.remove(&a);
+    EXPECT_TRUE(q.empty());
+    q.push(0x2000, false, 0); // slot reusable
+    EXPECT_TRUE(q.full());
+}
+
+TEST(Wbq, EarliestReady)
+{
+    WriteBackQueue q(4);
+    EXPECT_EQ(q.earliestReady(), MaxTick);
+    q.push(0x1000, false, 50);
+    WbEntry &b = q.push(0x2000, false, 20);
+    EXPECT_EQ(q.earliestReady(), 20u);
+    b.inFlight = true;
+    EXPECT_EQ(q.earliestReady(), 50u);
+}
+
+TEST(Wbq, DirtyFlagPreserved)
+{
+    WriteBackQueue q(4);
+    q.push(0x1000, true, 0);
+    q.push(0x2000, false, 0);
+    EXPECT_TRUE(q.find(0x1000)->dirty);
+    EXPECT_FALSE(q.find(0x2000)->dirty);
+}
+
+TEST(WbqDeath, PushWhenFullPanics)
+{
+    WriteBackQueue q(1);
+    q.push(0x1000, false, 0);
+    EXPECT_DEATH(q.push(0x2000, false, 0), "full write-back queue");
+}
+
+TEST(WbqDeath, RemoveForeignEntryPanics)
+{
+    WriteBackQueue q(2);
+    q.push(0x1000, false, 0);
+    WbEntry foreign;
+    EXPECT_DEATH(q.remove(&foreign), "foreign");
+}

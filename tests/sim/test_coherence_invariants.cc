@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property-based whole-system tests: randomized workloads replayed
+ * through the full machine, followed by global coherence-state
+ * invariant checks across every L2 and the L3. Parameterized over
+ * seeds and policies so each instantiation explores a different
+ * interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.hh"
+#include "sim/cmp_system.hh"
+#include "trace/workload.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+struct InvariantCase
+{
+    std::uint64_t seed;
+    WbPolicy policy;
+    unsigned outstanding;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<InvariantCase> &info)
+{
+    std::string s = cstr("seed", info.param.seed, "_",
+                         toString(info.param.policy), "_o",
+                         info.param.outstanding);
+    for (auto &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+class CoherenceInvariants
+    : public ::testing::TestWithParam<InvariantCase>
+{
+  protected:
+    static SystemConfig
+    config(const InvariantCase &c)
+    {
+        SystemConfig cfg;
+        cfg.numL2s = 4;
+        cfg.threadsPerL2 = 4;
+        // Small caches force heavy eviction/invalidation traffic.
+        cfg.l2.sizeBytes = 16 * 1024;
+        cfg.l2.assoc = 4;
+        cfg.l3.sizeBytes = 64 * 1024;
+        cfg.l3.assoc = 4;
+        cfg.cpu.maxOutstanding = c.outstanding;
+        cfg.policy = c.policy == WbPolicy::Combined
+                         ? PolicyConfig::combinedDefault()
+                         : PolicyConfig::make(c.policy);
+        cfg.policy.retry.windowCycles = 20000;
+        cfg.policy.retry.threshold = 10;
+        cfg.policy.wbht.entries = 1024;
+        cfg.policy.snarf.entries = 1024;
+        cfg.warmupPass = false;
+        return cfg;
+    }
+
+    static WorkloadParams
+    workload(std::uint64_t seed)
+    {
+        WorkloadParams p;
+        p.numThreads = 16;
+        p.recordsPerThread = 3000;
+        p.seed = seed;
+        p.privateLines = 96; // tiny: constant thrash
+        p.privateZipf = 0.4;
+        p.sharedLines = 64;
+        p.sharedFrac = 0.35; // heavy sharing: invalidation storms
+        p.kernelFrac = 0.05;
+        p.kernelLines = 32;
+        p.streamFrac = 0.05;
+        p.streamLines = 4096;
+        p.storeFrac = 0.35;
+        p.gapMean = 2.0;
+        p.phaseLength = 500;
+        return p;
+    }
+};
+
+} // namespace
+
+TEST_P(CoherenceInvariants, RunAndCheckGlobalState)
+{
+    const auto c = GetParam();
+    SyntheticWorkload wl(workload(c.seed));
+    CmpSystem sys(config(c), wl.makeBundle());
+    const Tick t = sys.run();
+    EXPECT_GT(t, 0u);
+    EXPECT_TRUE(sys.finished());
+
+    // Gather every valid L2 copy per line.
+    std::map<Addr, std::vector<LineState>> copies;
+    for (unsigned i = 0; i < sys.numL2s(); ++i) {
+        sys.l2(i).tags().forEach([&](const TagEntry &e) {
+            if (e.valid())
+                copies[e.lineAddr].push_back(e.state);
+        });
+    }
+
+    for (const auto &[line, states] : copies) {
+        unsigned owners = 0;   // M/T
+        unsigned excl = 0;     // E
+        unsigned sl = 0;       // SL
+        unsigned modified = 0; // M specifically
+        for (const auto s : states) {
+            owners += s == LineState::Modified || s == LineState::Tagged;
+            modified += s == LineState::Modified;
+            excl += s == LineState::Exclusive;
+            sl += s == LineState::SharedLast;
+        }
+        // At most one dirty owner per line.
+        EXPECT_LE(owners, 1u) << "line " << std::hex << line;
+        // A Modified copy tolerates no other copies at all.
+        if (modified) {
+            EXPECT_EQ(states.size(), 1u)
+                << "M alongside other copies, line " << std::hex
+                << line;
+        }
+        // Exclusive tolerates no other copies.
+        if (excl) {
+            EXPECT_EQ(states.size(), 1u)
+                << "E alongside other copies, line " << std::hex
+                << line;
+        }
+        // At most one designated clean intervention source.
+        EXPECT_LE(sl, 1u) << "line " << std::hex << line;
+    }
+
+    // Determinism: rerunning the same case gives the same runtime.
+    SyntheticWorkload wl2(workload(c.seed));
+    CmpSystem sys2(config(c), wl2.makeBundle());
+    EXPECT_EQ(sys2.run(), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoherenceInvariants,
+    ::testing::Values(
+        InvariantCase{1, WbPolicy::Baseline, 6},
+        InvariantCase{2, WbPolicy::Baseline, 2},
+        InvariantCase{3, WbPolicy::Wbht, 6},
+        InvariantCase{4, WbPolicy::WbhtGlobal, 6},
+        InvariantCase{5, WbPolicy::Snarf, 6},
+        InvariantCase{6, WbPolicy::Snarf, 3},
+        InvariantCase{7, WbPolicy::Combined, 6},
+        InvariantCase{8, WbPolicy::Combined, 1},
+        InvariantCase{9, WbPolicy::Baseline, 1},
+        InvariantCase{10, WbPolicy::Combined, 4}),
+    caseName);

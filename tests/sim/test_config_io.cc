@@ -1,0 +1,108 @@
+/** @file Tests for textual configuration parsing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config_io.hh"
+
+using namespace cmpcache;
+
+TEST(ConfigIo, AppliesIntegerKeys)
+{
+    SystemConfig cfg;
+    applyConfigOption(cfg, "cpu.outstanding", "3");
+    applyConfigOption(cfg, "l2.size_bytes", "1048576");
+    applyConfigOption(cfg, "wbht.entries", "16384");
+    EXPECT_EQ(cfg.cpu.maxOutstanding, 3u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 1048576u);
+    EXPECT_EQ(cfg.policy.wbht.entries, 16384u);
+}
+
+TEST(ConfigIo, AppliesBooleanAndEnumKeys)
+{
+    SystemConfig cfg;
+    applyConfigOption(cfg, "policy", "snarf");
+    applyConfigOption(cfg, "use_retry_switch", "false");
+    applyConfigOption(cfg, "snarf_insert", "lru");
+    applyConfigOption(cfg, "warmup", "off");
+    EXPECT_EQ(cfg.policy.policy, WbPolicy::Snarf);
+    EXPECT_FALSE(cfg.policy.useRetrySwitch);
+    EXPECT_EQ(cfg.policy.snarfInsert, InsertPos::Lru);
+    EXPECT_FALSE(cfg.warmupPass);
+}
+
+TEST(ConfigIo, ParsesStreamWithCommentsAndBlanks)
+{
+    SystemConfig cfg;
+    std::istringstream is(
+        "# experiment\n"
+        "\n"
+        "policy = wbht   # the mechanism under test\n"
+        "  cpu.outstanding=6\n"
+        "retry.threshold = 100\n");
+    loadConfig(cfg, is);
+    EXPECT_EQ(cfg.policy.policy, WbPolicy::Wbht);
+    EXPECT_EQ(cfg.cpu.maxOutstanding, 6u);
+    EXPECT_EQ(cfg.policy.retry.threshold, 100u);
+}
+
+TEST(ConfigIoDeath, UnknownKeyIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_EXIT(applyConfigOption(cfg, "l4.size", "1"),
+                ::testing::ExitedWithCode(1), "unknown config key");
+}
+
+TEST(ConfigIoDeath, MalformedValueIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_EXIT(applyConfigOption(cfg, "cpu.outstanding", "six"),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(ConfigIoDeath, MissingEqualsIsFatal)
+{
+    SystemConfig cfg;
+    std::istringstream is("cpu.outstanding 6\n");
+    EXPECT_EXIT(loadConfig(cfg, is), ::testing::ExitedWithCode(1),
+                "no '='");
+}
+
+TEST(ConfigIo, SaveLoadRoundTrip)
+{
+    SystemConfig a;
+    a.policy = PolicyConfig::make(WbPolicy::Combined);
+    a.policy.wbht.entries = 16384;
+    a.policy.snarf.entries = 16384;
+    a.cpu.maxOutstanding = 4;
+    a.l3.wbQueueDepth = 12;
+    a.policy.snarfInsert = InsertPos::Lru;
+    a.enableWbReuseTracker = true;
+
+    std::stringstream ss;
+    saveConfig(a, ss);
+
+    SystemConfig b;
+    loadConfig(b, ss);
+    EXPECT_EQ(b.policy.policy, WbPolicy::Combined);
+    EXPECT_EQ(b.policy.wbht.entries, 16384u);
+    EXPECT_EQ(b.cpu.maxOutstanding, 4u);
+    EXPECT_EQ(b.l3.wbQueueDepth, 12u);
+    EXPECT_EQ(b.policy.snarfInsert, InsertPos::Lru);
+    EXPECT_TRUE(b.enableWbReuseTracker);
+}
+
+TEST(ConfigIo, KeyListNonEmptyAndSorted)
+{
+    const auto &keys = configKeys();
+    EXPECT_GT(keys.size(), 30u);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(ConfigIoDeath, MissingFileIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_EXIT(loadConfigFile(cfg, "/no/such/file.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,206 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+EventFunctionWrapper
+makeEvent(std::vector<int> &log, int id,
+          Event::Priority prio = Event::DefaultPri)
+{
+    return EventFunctionWrapper([&log, id] { log.push_back(id); },
+                                "ev", prio);
+}
+
+} // namespace
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    auto e3 = makeEvent(log, 3);
+    eq.schedule(&e2, 20);
+    eq.schedule(&e1, 10);
+    eq.schedule(&e3, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoBySequence)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    auto e3 = makeEvent(log, 3);
+    eq.schedule(&e1, 5);
+    eq.schedule(&e2, 5);
+    eq.schedule(&e3, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto low = makeEvent(log, 1, Event::StatPri);
+    auto high = makeEvent(log, 2, Event::DefaultPri);
+    eq.schedule(&low, 5);
+    eq.schedule(&high, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    eq.schedule(&e1, 10);
+    eq.schedule(&e2, 20);
+    eq.deschedule(&e1);
+    EXPECT_FALSE(e1.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, DescheduledEventMayDieSafely)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto keeper = makeEvent(log, 1);
+    {
+        auto goner = makeEvent(log, 99);
+        eq.schedule(&goner, 5);
+        eq.deschedule(&goner);
+    } // destroyed while its heap entry is still in the queue
+    eq.schedule(&keeper, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    eq.schedule(&e1, 10);
+    eq.schedule(&e2, 20);
+    eq.reschedule(&e1, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, RunStopsAtMaxTick)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    eq.schedule(&e1, 10);
+    eq.schedule(&e2, 100);
+    eq.run(50);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    EventFunctionWrapper second(
+        [&] { ticks.push_back(eq.curTick()); }, "second");
+    EventFunctionWrapper first(
+        [&] {
+            ticks.push_back(eq.curTick());
+            eq.schedule(&second, eq.curTick() + 7);
+        },
+        "first");
+    eq.schedule(&first, 3);
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{3, 10}));
+}
+
+TEST(EventQueue, SameTickSelfSchedulingProgresses)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper ev(
+        [&] {
+            if (++count < 5)
+                eq.schedule(&ev, eq.curTick()); // zero-delay reschedule
+        },
+        "self");
+    eq.schedule(&ev, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, CountsExecutedAndPending)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    eq.schedule(&e1, 1);
+    eq.schedule(&e2, 2);
+    EXPECT_EQ(eq.numPending(), 2u);
+    eq.run();
+    EXPECT_EQ(eq.numPending(), 0u);
+    EXPECT_EQ(eq.numExecuted(), 2u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    auto e2 = makeEvent(log, 2);
+    eq.schedule(&e1, 10);
+    eq.run();
+    EXPECT_DEATH(eq.schedule(&e2, 5), "in the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    eq.schedule(&e1, 10);
+    EXPECT_DEATH(eq.schedule(&e1, 20), "already scheduled");
+}
+
+TEST(EventQueue, DeterministicInterleaving)
+{
+    // Two identical runs must produce identical logs.
+    auto run = [] {
+        EventQueue eq;
+        std::vector<int> log;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+        for (int i = 0; i < 50; ++i)
+            evs.push_back(std::make_unique<EventFunctionWrapper>(
+                [&log, i] { log.push_back(i); }, "e"));
+        for (int i = 0; i < 50; ++i)
+            eq.schedule(evs[i].get(), (i * 7) % 13);
+        eq.run();
+        return log;
+    };
+    EXPECT_EQ(run(), run());
+}

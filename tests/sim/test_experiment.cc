@@ -1,0 +1,129 @@
+/** @file Tests for the experiment harness on small synthetic runs. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "trace/workloads_commercial.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+WorkloadParams
+smallWorkload(const char *which = "Trade2")
+{
+    auto p = workloads::byName(which, 1500, 7);
+    return p;
+}
+
+} // namespace
+
+TEST(Experiment, BaselineRunProducesSaneMetrics)
+{
+    SystemConfig cfg;
+    cfg.cpu.maxOutstanding = 4;
+    const auto r = runExperiment(cfg, smallWorkload());
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_EQ(r.policy, "baseline");
+    EXPECT_EQ(r.workload, "Trade2");
+    EXPECT_EQ(r.maxOutstanding, 4u);
+    EXPECT_GT(r.l2WbRequests, 0u);
+    EXPECT_GE(r.l3LoadHitRatePct, 0.0);
+    EXPECT_LE(r.l3LoadHitRatePct, 100.0);
+    EXPECT_GT(r.offChipAccesses, 0u);
+}
+
+TEST(Experiment, DeterministicResults)
+{
+    SystemConfig cfg;
+    const auto a = runExperiment(cfg, smallWorkload());
+    const auto b = runExperiment(cfg, smallWorkload());
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.l2WbRequests, b.l2WbRequests);
+    EXPECT_EQ(a.l3Retries, b.l3Retries);
+}
+
+TEST(Experiment, ImprovementPctSigns)
+{
+    ExperimentResult base;
+    base.execTime = 1000;
+    ExperimentResult faster;
+    faster.execTime = 900;
+    ExperimentResult slower;
+    slower.execTime = 1100;
+    EXPECT_DOUBLE_EQ(improvementPct(base, faster), 10.0);
+    EXPECT_DOUBLE_EQ(improvementPct(base, slower), -10.0);
+    EXPECT_DOUBLE_EQ(improvementPct(base, base), 0.0);
+}
+
+TEST(Experiment, PolicyIsReflectedInResult)
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyConfig::make(WbPolicy::Snarf);
+    const auto r = runExperiment(cfg, smallWorkload());
+    EXPECT_EQ(r.policy, "snarf");
+}
+
+TEST(Experiment, WbhtStatsOnlyWithWbhtPolicy)
+{
+    SystemConfig cfg;
+    const auto base = runExperiment(cfg, smallWorkload());
+    EXPECT_DOUBLE_EQ(base.wbhtCorrectPct, 0.0);
+
+    cfg.policy = PolicyConfig::make(WbPolicy::Wbht);
+    cfg.policy.useRetrySwitch = false;
+    const auto wbht = runExperiment(cfg, smallWorkload());
+    EXPECT_GT(wbht.wbhtCorrectPct, 0.0);
+}
+
+TEST(Experiment, ReuseTrackerFieldsPopulated)
+{
+    SystemConfig cfg;
+    cfg.enableWbReuseTracker = true;
+    const auto r = runExperiment(cfg, smallWorkload());
+    EXPECT_GT(r.wbReusedTotalPct, 0.0);
+    EXPECT_LE(r.wbReusedTotalPct, 100.0);
+}
+
+TEST(Experiment, StatsDumpRequested)
+{
+    SystemConfig cfg;
+    std::ostringstream os;
+    runExperiment(cfg, smallWorkload(), &os);
+    EXPECT_NE(os.str().find("system.l3.load_lookups"),
+              std::string::npos);
+}
+
+TEST(Experiment, HigherPressureRaisesWbVolumeOrRetries)
+{
+    SystemConfig lo;
+    lo.cpu.maxOutstanding = 1;
+    SystemConfig hi;
+    hi.cpu.maxOutstanding = 6;
+    const auto a = runExperiment(lo, smallWorkload());
+    const auto b = runExperiment(hi, smallWorkload());
+    // More overlap -> more concurrent misses -> runtime shrinks.
+    EXPECT_LT(b.execTime, a.execTime);
+}
+
+TEST(Experiment, BenchRecordsEnvOverride)
+{
+    ::unsetenv("CMPCACHE_REFS");
+    EXPECT_EQ(benchRecordsPerThread(1234), 1234u);
+    ::setenv("CMPCACHE_REFS", "777", 1);
+    EXPECT_EQ(benchRecordsPerThread(1234), 777u);
+    ::unsetenv("CMPCACHE_REFS");
+}
+
+TEST(ExperimentDeath, ThreadMismatchIsFatal)
+{
+    SystemConfig cfg;
+    auto wl = smallWorkload();
+    wl.numThreads = 3;
+    EXPECT_EXIT(runExperiment(cfg, wl), ::testing::ExitedWithCode(1),
+                "threads");
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Policy-equivalence properties: degenerate configurations in which
+ * two policies must behave *identically*, checked on randomized
+ * workloads. These catch accidental behavioural coupling (e.g. a
+ * policy consuming different resources even when its mechanism can
+ * never fire).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cmp_system.hh"
+#include "trace/workload.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+SystemConfig
+singleL2Config(WbPolicy policy)
+{
+    SystemConfig cfg;
+    cfg.numL2s = 1;
+    cfg.threadsPerL2 = 4;
+    cfg.ring.numStops = 3; // L2 + L3 + memory
+    cfg.l2.sizeBytes = 16 * 1024;
+    cfg.l2.assoc = 4;
+    cfg.l3.sizeBytes = 64 * 1024;
+    cfg.l3.assoc = 4;
+    cfg.cpu.maxOutstanding = 6;
+    cfg.policy = PolicyConfig::make(policy);
+    cfg.policy.retry.windowCycles = 20000;
+    cfg.policy.retry.threshold = 5;
+    cfg.policy.wbht.entries = 1024;
+    cfg.policy.snarf.entries = 1024;
+    return cfg;
+}
+
+WorkloadParams
+workload(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.numThreads = 4;
+    p.recordsPerThread = 4000;
+    p.seed = seed;
+    p.privateLines = 128;
+    p.privateZipf = 0.5;
+    p.sharedLines = 64;
+    p.sharedFrac = 0.2;
+    p.kernelLines = 32;
+    p.kernelFrac = 0.05;
+    p.streamLines = 2048;
+    p.streamFrac = 0.05;
+    p.storeFrac = 0.3;
+    p.gapMean = 2.0;
+    p.phaseLength = 700;
+    return p;
+}
+
+Tick
+runSingleL2(WbPolicy policy, std::uint64_t seed)
+{
+    SyntheticWorkload wl(workload(seed));
+    CmpSystem sys(singleL2Config(policy), wl.makeBundle());
+    sys.functionalWarmup(wl.makeBundle());
+    return sys.run();
+}
+
+class EquivalenceSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(EquivalenceSweep, GlobalWbhtEqualsLocalWithOneL2)
+{
+    // With a single L2 there is nobody else to allocate for: global
+    // and local allocation must be cycle-identical.
+    EXPECT_EQ(runSingleL2(WbPolicy::Wbht, GetParam()),
+              runSingleL2(WbPolicy::WbhtGlobal, GetParam()));
+}
+
+TEST_P(EquivalenceSweep, SnarfEqualsBaselineWithOneL2)
+{
+    // With no peer L2s, nothing can ever be snarfed or peer-squashed:
+    // the snarf policy must be cycle-identical to the baseline.
+    EXPECT_EQ(runSingleL2(WbPolicy::Baseline, GetParam()),
+              runSingleL2(WbPolicy::Snarf, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceSweep,
+                         ::testing::Values(5ull, 29ull, 71ull));
+
+TEST(PolicyEquivalence, WbhtWithZeroCapacityTableNeverAborts)
+{
+    // A 16-entry WBHT on a workload whose footprint dwarfs it should
+    // abort almost nothing; runtimes stay within a hair of baseline.
+    auto mk = [](WbPolicy p, std::uint64_t entries) {
+        auto cfg = singleL2Config(p);
+        cfg.policy.wbht.entries = entries;
+        SyntheticWorkload wl(workload(3));
+        CmpSystem sys(cfg, wl.makeBundle());
+        sys.functionalWarmup(wl.makeBundle());
+        const Tick t = sys.run();
+        std::uint64_t aborted = 0;
+        for (unsigned i = 0; i < sys.numL2s(); ++i)
+            aborted += sys.l2(i).wbAbortedByWbht();
+        return std::make_pair(t, aborted);
+    };
+    const auto [t_small, aborted_small] = mk(WbPolicy::Wbht, 16);
+    const auto [t_base, aborted_base] = mk(WbPolicy::Baseline, 16);
+    EXPECT_EQ(aborted_base, 0u);
+    // Tiny table: very few aborts, runtime within 2% of baseline.
+    EXPECT_LT(aborted_small, 500u);
+    const double ratio = static_cast<double>(t_small)
+                         / static_cast<double>(t_base);
+    EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(PolicyEquivalence, DisabledRetrySwitchIsSupersetOfGated)
+{
+    // Always-on WBHT must consult at least as often as the gated one.
+    auto consults = [](bool gated) {
+        auto cfg = singleL2Config(WbPolicy::Wbht);
+        cfg.policy.useRetrySwitch = gated;
+        SyntheticWorkload wl(workload(7));
+        CmpSystem sys(cfg, wl.makeBundle());
+        sys.functionalWarmup(wl.makeBundle());
+        sys.run();
+        return sys.l2(0).wbht()->decisions();
+    };
+    EXPECT_GE(consults(false), consults(true));
+}

@@ -1,0 +1,126 @@
+/** @file Round-trip tests for trace readers and writers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+std::vector<TraceRecord>
+sampleRecords()
+{
+    return {
+        {0x0, 0, 0, MemOp::Load},
+        {0xdeadbeef00, 12, 3, MemOp::Store},
+        {0xffff'ffff'ffc0, 4096, 15, MemOp::IFetch},
+        {0x80, 0, 1, MemOp::Load},
+    };
+}
+
+} // namespace
+
+TEST(TraceIo, TextRoundTrip)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeTrace(ss, recs, TraceFormat::Text);
+    const auto back = readTrace(ss);
+    EXPECT_EQ(back, recs);
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeTrace(ss, recs, TraceFormat::Binary);
+    const auto back = readTrace(ss);
+    EXPECT_EQ(back, recs);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    for (const auto fmt : {TraceFormat::Text, TraceFormat::Binary}) {
+        std::stringstream ss;
+        writeTrace(ss, {}, fmt);
+        EXPECT_TRUE(readTrace(ss).empty());
+    }
+}
+
+TEST(TraceIo, TextToleratesCommentsAndBlanks)
+{
+    std::stringstream ss;
+    ss << "# header comment\n"
+       << "\n"
+       << "2 S 1f00 7 # trailing comment\n"
+       << "0 L 40 0\n";
+    const auto recs = readTrace(ss);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].tid, 2);
+    EXPECT_EQ(recs[0].op, MemOp::Store);
+    EXPECT_EQ(recs[0].addr, 0x1f00u);
+    EXPECT_EQ(recs[0].gap, 7u);
+    EXPECT_EQ(recs[1].op, MemOp::Load);
+}
+
+TEST(TraceIoDeath, MalformedTextLineIsFatal)
+{
+    std::stringstream ss;
+    ss << "0 X 100 0\n";
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1), "bad trace");
+}
+
+TEST(TraceIoDeath, TruncatedBinaryIsFatal)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeTrace(ss, recs, TraceFormat::Binary);
+    std::string data = ss.str();
+    data.resize(data.size() - 6);
+    std::stringstream cut(data);
+    EXPECT_EXIT(readTrace(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const auto recs = sampleRecords();
+    const std::string path = ::testing::TempDir() + "/cmpcache_t.trace";
+    writeTraceFile(path, recs, TraceFormat::Binary);
+    const auto back = readTraceFile(path);
+    EXPECT_EQ(back, recs);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/dir/x.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIo, BinaryDetectionByMagic)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeTrace(ss, recs, TraceFormat::Binary);
+    EXPECT_EQ(ss.str().substr(0, 4), "CMPT");
+}
+
+TEST(TraceIo, LargeTraceBinaryRoundTrip)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 5000; ++i) {
+        recs.push_back(TraceRecord{
+            static_cast<Addr>(i) * 128, static_cast<std::uint32_t>(i % 7),
+            static_cast<ThreadId>(i % 16),
+            static_cast<MemOp>(i % 3)});
+    }
+    std::stringstream ss;
+    writeTrace(ss, recs, TraceFormat::Binary);
+    EXPECT_EQ(readTrace(ss), recs);
+}
