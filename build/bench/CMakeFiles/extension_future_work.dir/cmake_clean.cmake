@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_future_work.dir/extension_future_work.cpp.o"
+  "CMakeFiles/extension_future_work.dir/extension_future_work.cpp.o.d"
+  "extension_future_work"
+  "extension_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

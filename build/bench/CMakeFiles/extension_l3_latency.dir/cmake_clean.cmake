@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_l3_latency.dir/extension_l3_latency.cpp.o"
+  "CMakeFiles/extension_l3_latency.dir/extension_l3_latency.cpp.o.d"
+  "extension_l3_latency"
+  "extension_l3_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_l3_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

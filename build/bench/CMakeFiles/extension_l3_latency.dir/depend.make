@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_l3_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wbht_improvement.dir/fig2_wbht_improvement.cpp.o"
+  "CMakeFiles/fig2_wbht_improvement.dir/fig2_wbht_improvement.cpp.o.d"
+  "fig2_wbht_improvement"
+  "fig2_wbht_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wbht_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

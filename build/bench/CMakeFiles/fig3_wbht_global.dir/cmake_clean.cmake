@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wbht_global.dir/fig3_wbht_global.cpp.o"
+  "CMakeFiles/fig3_wbht_global.dir/fig3_wbht_global.cpp.o.d"
+  "fig3_wbht_global"
+  "fig3_wbht_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wbht_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_wbht_size_sweep.dir/fig4_wbht_size_sweep.cpp.o"
+  "CMakeFiles/fig4_wbht_size_sweep.dir/fig4_wbht_size_sweep.cpp.o.d"
+  "fig4_wbht_size_sweep"
+  "fig4_wbht_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_wbht_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_snarf_improvement.dir/fig5_snarf_improvement.cpp.o"
+  "CMakeFiles/fig5_snarf_improvement.dir/fig5_snarf_improvement.cpp.o.d"
+  "fig5_snarf_improvement"
+  "fig5_snarf_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_snarf_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

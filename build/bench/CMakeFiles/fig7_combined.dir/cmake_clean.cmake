@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_combined.dir/fig7_combined.cpp.o"
+  "CMakeFiles/fig7_combined.dir/fig7_combined.cpp.o.d"
+  "fig7_combined"
+  "fig7_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_redundant_wb.dir/table1_redundant_wb.cpp.o"
+  "CMakeFiles/table1_redundant_wb.dir/table1_redundant_wb.cpp.o.d"
+  "table1_redundant_wb"
+  "table1_redundant_wb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_redundant_wb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

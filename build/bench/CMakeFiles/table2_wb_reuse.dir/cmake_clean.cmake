@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wb_reuse.dir/table2_wb_reuse.cpp.o"
+  "CMakeFiles/table2_wb_reuse.dir/table2_wb_reuse.cpp.o.d"
+  "table2_wb_reuse"
+  "table2_wb_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wb_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

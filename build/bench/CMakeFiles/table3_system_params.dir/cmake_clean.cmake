@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_system_params.dir/table3_system_params.cpp.o"
+  "CMakeFiles/table3_system_params.dir/table3_system_params.cpp.o.d"
+  "table3_system_params"
+  "table3_system_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_system_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_wbht_effects.dir/table4_wbht_effects.cpp.o"
+  "CMakeFiles/table4_wbht_effects.dir/table4_wbht_effects.cpp.o.d"
+  "table4_wbht_effects"
+  "table4_wbht_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_wbht_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

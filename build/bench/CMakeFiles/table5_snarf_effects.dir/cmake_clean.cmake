@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_snarf_effects.dir/table5_snarf_effects.cpp.o"
+  "CMakeFiles/table5_snarf_effects.dir/table5_snarf_effects.cpp.o.d"
+  "table5_snarf_effects"
+  "table5_snarf_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_snarf_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpsim.dir/cmpsim.cpp.o"
+  "CMakeFiles/cmpsim.dir/cmpsim.cpp.o.d"
+  "cmpsim"
+  "cmpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

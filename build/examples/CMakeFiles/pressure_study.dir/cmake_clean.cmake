@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_study.dir/pressure_study.cpp.o"
+  "CMakeFiles/pressure_study.dir/pressure_study.cpp.o.d"
+  "pressure_study"
+  "pressure_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

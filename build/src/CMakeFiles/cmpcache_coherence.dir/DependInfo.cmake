@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/protocol.cc" "src/CMakeFiles/cmpcache_coherence.dir/coherence/protocol.cc.o" "gcc" "src/CMakeFiles/cmpcache_coherence.dir/coherence/protocol.cc.o.d"
+  "/root/repo/src/coherence/snoop_collector.cc" "src/CMakeFiles/cmpcache_coherence.dir/coherence/snoop_collector.cc.o" "gcc" "src/CMakeFiles/cmpcache_coherence.dir/coherence/snoop_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmpcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

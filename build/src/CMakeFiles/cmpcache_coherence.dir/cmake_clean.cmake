@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_coherence.dir/coherence/protocol.cc.o"
+  "CMakeFiles/cmpcache_coherence.dir/coherence/protocol.cc.o.d"
+  "CMakeFiles/cmpcache_coherence.dir/coherence/snoop_collector.cc.o"
+  "CMakeFiles/cmpcache_coherence.dir/coherence/snoop_collector.cc.o.d"
+  "libcmpcache_coherence.a"
+  "libcmpcache_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

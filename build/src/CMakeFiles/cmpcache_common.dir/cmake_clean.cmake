@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_common.dir/common/cli.cc.o"
+  "CMakeFiles/cmpcache_common.dir/common/cli.cc.o.d"
+  "CMakeFiles/cmpcache_common.dir/common/logging.cc.o"
+  "CMakeFiles/cmpcache_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/cmpcache_common.dir/common/random.cc.o"
+  "CMakeFiles/cmpcache_common.dir/common/random.cc.o.d"
+  "libcmpcache_common.a"
+  "libcmpcache_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

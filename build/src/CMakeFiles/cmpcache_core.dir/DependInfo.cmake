@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/history_table.cc" "src/CMakeFiles/cmpcache_core.dir/core/history_table.cc.o" "gcc" "src/CMakeFiles/cmpcache_core.dir/core/history_table.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/cmpcache_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/cmpcache_core.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/retry_monitor.cc" "src/CMakeFiles/cmpcache_core.dir/core/retry_monitor.cc.o" "gcc" "src/CMakeFiles/cmpcache_core.dir/core/retry_monitor.cc.o.d"
+  "/root/repo/src/core/snarf_table.cc" "src/CMakeFiles/cmpcache_core.dir/core/snarf_table.cc.o" "gcc" "src/CMakeFiles/cmpcache_core.dir/core/snarf_table.cc.o.d"
+  "/root/repo/src/core/wbht.cc" "src/CMakeFiles/cmpcache_core.dir/core/wbht.cc.o" "gcc" "src/CMakeFiles/cmpcache_core.dir/core/wbht.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmpcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

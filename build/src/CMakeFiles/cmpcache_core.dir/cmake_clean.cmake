@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_core.dir/core/history_table.cc.o"
+  "CMakeFiles/cmpcache_core.dir/core/history_table.cc.o.d"
+  "CMakeFiles/cmpcache_core.dir/core/policy.cc.o"
+  "CMakeFiles/cmpcache_core.dir/core/policy.cc.o.d"
+  "CMakeFiles/cmpcache_core.dir/core/retry_monitor.cc.o"
+  "CMakeFiles/cmpcache_core.dir/core/retry_monitor.cc.o.d"
+  "CMakeFiles/cmpcache_core.dir/core/snarf_table.cc.o"
+  "CMakeFiles/cmpcache_core.dir/core/snarf_table.cc.o.d"
+  "CMakeFiles/cmpcache_core.dir/core/wbht.cc.o"
+  "CMakeFiles/cmpcache_core.dir/core/wbht.cc.o.d"
+  "libcmpcache_core.a"
+  "libcmpcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_cpu.dir/cpu/trace_cpu.cc.o"
+  "CMakeFiles/cmpcache_cpu.dir/cpu/trace_cpu.cc.o.d"
+  "libcmpcache_cpu.a"
+  "libcmpcache_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

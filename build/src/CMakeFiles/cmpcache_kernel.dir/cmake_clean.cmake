@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_kernel.dir/sim/event_queue.cc.o"
+  "CMakeFiles/cmpcache_kernel.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/cmpcache_kernel.dir/sim/sim_object.cc.o"
+  "CMakeFiles/cmpcache_kernel.dir/sim/sim_object.cc.o.d"
+  "libcmpcache_kernel.a"
+  "libcmpcache_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

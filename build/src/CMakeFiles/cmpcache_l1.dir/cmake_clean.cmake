@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_l1.dir/l1/l1_cache.cc.o"
+  "CMakeFiles/cmpcache_l1.dir/l1/l1_cache.cc.o.d"
+  "libcmpcache_l1.a"
+  "libcmpcache_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

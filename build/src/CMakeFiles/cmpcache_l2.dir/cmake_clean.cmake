@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_l2.dir/l2/l2_cache.cc.o"
+  "CMakeFiles/cmpcache_l2.dir/l2/l2_cache.cc.o.d"
+  "libcmpcache_l2.a"
+  "libcmpcache_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

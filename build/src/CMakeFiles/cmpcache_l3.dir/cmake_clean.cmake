@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_l3.dir/l3/l3_cache.cc.o"
+  "CMakeFiles/cmpcache_l3.dir/l3/l3_cache.cc.o.d"
+  "libcmpcache_l3.a"
+  "libcmpcache_l3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_mem.dir/mem/mshr.cc.o"
+  "CMakeFiles/cmpcache_mem.dir/mem/mshr.cc.o.d"
+  "CMakeFiles/cmpcache_mem.dir/mem/replacement.cc.o"
+  "CMakeFiles/cmpcache_mem.dir/mem/replacement.cc.o.d"
+  "CMakeFiles/cmpcache_mem.dir/mem/tag_array.cc.o"
+  "CMakeFiles/cmpcache_mem.dir/mem/tag_array.cc.o.d"
+  "CMakeFiles/cmpcache_mem.dir/mem/write_back_queue.cc.o"
+  "CMakeFiles/cmpcache_mem.dir/mem/write_back_queue.cc.o.d"
+  "libcmpcache_mem.a"
+  "libcmpcache_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_memctrl.dir/memctrl/mem_ctrl.cc.o"
+  "CMakeFiles/cmpcache_memctrl.dir/memctrl/mem_ctrl.cc.o.d"
+  "libcmpcache_memctrl.a"
+  "libcmpcache_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

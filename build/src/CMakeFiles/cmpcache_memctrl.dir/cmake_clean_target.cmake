@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmpcache_memctrl.a"
+)

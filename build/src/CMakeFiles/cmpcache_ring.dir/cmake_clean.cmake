@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_ring.dir/ring/ring.cc.o"
+  "CMakeFiles/cmpcache_ring.dir/ring/ring.cc.o.d"
+  "libcmpcache_ring.a"
+  "libcmpcache_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

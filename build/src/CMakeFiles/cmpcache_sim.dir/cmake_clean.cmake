@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_sim.dir/sim/cmp_system.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/cmp_system.cc.o.d"
+  "CMakeFiles/cmpcache_sim.dir/sim/config_io.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/config_io.cc.o.d"
+  "CMakeFiles/cmpcache_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/cmpcache_sim.dir/sim/system_config.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/system_config.cc.o.d"
+  "libcmpcache_sim.a"
+  "libcmpcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

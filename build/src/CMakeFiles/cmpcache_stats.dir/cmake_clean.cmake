@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_stats.dir/stats/stats.cc.o"
+  "CMakeFiles/cmpcache_stats.dir/stats/stats.cc.o.d"
+  "libcmpcache_stats.a"
+  "libcmpcache_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/cmpcache_trace.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/cmpcache_trace.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/cmpcache_trace.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/cmpcache_trace.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/cmpcache_trace.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/cmpcache_trace.dir/trace/workload.cc.o.d"
+  "/root/repo/src/trace/workload_config.cc" "src/CMakeFiles/cmpcache_trace.dir/trace/workload_config.cc.o" "gcc" "src/CMakeFiles/cmpcache_trace.dir/trace/workload_config.cc.o.d"
+  "/root/repo/src/trace/workloads_commercial.cc" "src/CMakeFiles/cmpcache_trace.dir/trace/workloads_commercial.cc.o" "gcc" "src/CMakeFiles/cmpcache_trace.dir/trace/workloads_commercial.cc.o.d"
+  "/root/repo/src/trace/workloads_stress.cc" "src/CMakeFiles/cmpcache_trace.dir/trace/workloads_stress.cc.o" "gcc" "src/CMakeFiles/cmpcache_trace.dir/trace/workloads_stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmpcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/cmpcache_trace.dir/trace/trace.cc.o.d"
+  "CMakeFiles/cmpcache_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/cmpcache_trace.dir/trace/trace_io.cc.o.d"
+  "CMakeFiles/cmpcache_trace.dir/trace/workload.cc.o"
+  "CMakeFiles/cmpcache_trace.dir/trace/workload.cc.o.d"
+  "CMakeFiles/cmpcache_trace.dir/trace/workload_config.cc.o"
+  "CMakeFiles/cmpcache_trace.dir/trace/workload_config.cc.o.d"
+  "CMakeFiles/cmpcache_trace.dir/trace/workloads_commercial.cc.o"
+  "CMakeFiles/cmpcache_trace.dir/trace/workloads_commercial.cc.o.d"
+  "CMakeFiles/cmpcache_trace.dir/trace/workloads_stress.cc.o"
+  "CMakeFiles/cmpcache_trace.dir/trace/workloads_stress.cc.o.d"
+  "libcmpcache_trace.a"
+  "libcmpcache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_history_table.cc.o"
+  "CMakeFiles/test_core.dir/core/test_history_table.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_retry_monitor.cc.o"
+  "CMakeFiles/test_core.dir/core/test_retry_monitor.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_snarf_table.cc.o"
+  "CMakeFiles/test_core.dir/core/test_snarf_table.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_wbht.cc.o"
+  "CMakeFiles/test_core.dir/core/test_wbht.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1.dir/l1/test_l1_cache.cc.o"
+  "CMakeFiles/test_l1.dir/l1/test_l1_cache.cc.o.d"
+  "test_l1"
+  "test_l1.pdb"
+  "test_l1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

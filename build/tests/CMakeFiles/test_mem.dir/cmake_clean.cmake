@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_replacement.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_replacement.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tag_array.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tag_array.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tag_array_model.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tag_array_model.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_write_back_queue.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_write_back_queue.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

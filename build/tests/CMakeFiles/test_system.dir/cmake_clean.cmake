@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/sim/test_cmp_system.cc.o"
+  "CMakeFiles/test_system.dir/sim/test_cmp_system.cc.o.d"
+  "CMakeFiles/test_system.dir/sim/test_coherence_invariants.cc.o"
+  "CMakeFiles/test_system.dir/sim/test_coherence_invariants.cc.o.d"
+  "CMakeFiles/test_system.dir/sim/test_config_io.cc.o"
+  "CMakeFiles/test_system.dir/sim/test_config_io.cc.o.d"
+  "CMakeFiles/test_system.dir/sim/test_experiment.cc.o"
+  "CMakeFiles/test_system.dir/sim/test_experiment.cc.o.d"
+  "CMakeFiles/test_system.dir/sim/test_policy_equivalence.cc.o"
+  "CMakeFiles/test_system.dir/sim/test_policy_equivalence.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_trace.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_workload.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_workload.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_workload_config.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_workload_config.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_workloads_stress.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_workloads_stress.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
