@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpcache_cli.dir/main.cc.o"
+  "CMakeFiles/cmpcache_cli.dir/main.cc.o.d"
+  "cmpcache"
+  "cmpcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpcache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -11,6 +11,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/cmp_system.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/cmp_system.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/cmp_system.cc.o.d"
   "/root/repo/src/sim/config_io.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/config_io.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/config_io.cc.o.d"
   "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/invariants.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/invariants.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/invariants.cc.o.d"
+  "/root/repo/src/sim/result_json.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/result_json.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/result_json.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/sweep.cc.o.d"
   "/root/repo/src/sim/system_config.cc" "src/CMakeFiles/cmpcache_sim.dir/sim/system_config.cc.o" "gcc" "src/CMakeFiles/cmpcache_sim.dir/sim/system_config.cc.o.d"
   )
 

@@ -5,6 +5,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/cmpcache_sim.dir/sim/config_io.cc.o.d"
   "CMakeFiles/cmpcache_sim.dir/sim/experiment.cc.o"
   "CMakeFiles/cmpcache_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/cmpcache_sim.dir/sim/invariants.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/invariants.cc.o.d"
+  "CMakeFiles/cmpcache_sim.dir/sim/result_json.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/result_json.cc.o.d"
+  "CMakeFiles/cmpcache_sim.dir/sim/sweep.cc.o"
+  "CMakeFiles/cmpcache_sim.dir/sim/sweep.cc.o.d"
   "CMakeFiles/cmpcache_sim.dir/sim/system_config.cc.o"
   "CMakeFiles/cmpcache_sim.dir/sim/system_config.cc.o.d"
   "libcmpcache_sim.a"

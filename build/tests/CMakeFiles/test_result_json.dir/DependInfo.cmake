@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_result_json.cc" "tests/CMakeFiles/test_result_json.dir/sim/test_result_json.cc.o" "gcc" "tests/CMakeFiles/test_result_json.dir/sim/test_result_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmpcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_l1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_l3.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmpcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

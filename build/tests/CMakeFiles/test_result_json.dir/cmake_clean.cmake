@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_json.dir/sim/test_result_json.cc.o"
+  "CMakeFiles/test_result_json.dir/sim/test_result_json.cc.o.d"
+  "test_result_json"
+  "test_result_json.pdb"
+  "test_result_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

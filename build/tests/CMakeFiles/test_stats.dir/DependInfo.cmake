@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/stats/test_stats.cc" "tests/CMakeFiles/test_stats.dir/stats/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_stats.cc.o.d"
+  "/root/repo/tests/stats/test_stats_concurrent.cc" "tests/CMakeFiles/test_stats.dir/stats/test_stats_concurrent.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_stats_concurrent.cc.o.d"
   )
 
 # Targets to which this target links.

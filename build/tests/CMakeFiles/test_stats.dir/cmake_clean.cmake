@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_stats.dir/stats/test_stats.cc.o"
   "CMakeFiles/test_stats.dir/stats/test_stats.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_stats_concurrent.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_stats_concurrent.cc.o.d"
   "test_stats"
   "test_stats.pdb"
   "test_stats[1]_tests.cmake"

@@ -312,4 +312,4 @@ tests/CMakeFiles/test_system.dir/sim/test_coherence_invariants.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/trace/trace.hh /root/repo/src/l3/l3_cache.hh \
  /root/repo/src/memctrl/mem_ctrl.hh /root/repo/src/sim/system_config.hh \
- /root/repo/src/trace/workload.hh
+ /root/repo/src/sim/invariants.hh /root/repo/src/trace/workload.hh

@@ -1,0 +1,3 @@
+foreach(t IN LISTS test_l3_TESTS)
+    set_tests_properties("${t}" PROPERTIES LABELS "unit")
+endforeach()

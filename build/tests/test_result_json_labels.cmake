@@ -1,0 +1,3 @@
+foreach(t IN LISTS test_result_json_TESTS)
+    set_tests_properties("${t}" PROPERTIES LABELS "unit")
+endforeach()

@@ -1,0 +1,3 @@
+foreach(t IN LISTS test_sweep_TESTS)
+    set_tests_properties("${t}" PROPERTIES LABELS "e2e;sweep")
+endforeach()

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full unit-test suite,
+# then the end-to-end sweep suite. Mirrors what CI runs.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh unit     # unit tests only
+#   scripts/check.sh e2e      # end-to-end (sweep) tests only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SELECT="${1:-all}"
+case "$SELECT" in
+unit | e2e | all) ;;
+*)
+    echo "usage: scripts/check.sh [unit|e2e|all]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+cd build
+case "$SELECT" in
+unit)
+    ctest --output-on-failure -j"$(nproc)" -L unit
+    ;;
+e2e)
+    ctest --output-on-failure -j"$(nproc)" -L e2e
+    ;;
+all)
+    ctest --output-on-failure -j"$(nproc)"
+    ;;
+esac

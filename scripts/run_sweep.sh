@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build and run the paper's main grid through the parallel sweep
+# runner, writing deterministic results plus a timing file into
+# bench/.
+#
+#   scripts/run_sweep.sh                    # full commercial grid
+#   scripts/run_sweep.sh --refs=2000        # quicker
+#   scripts/run_sweep.sh --workloads=thrash,pingpong --check-coherence
+#
+# Every argument is forwarded to `cmpcache sweep`; defaults below
+# apply only when the caller did not override them. Results land in
+# bench/BENCH_sweep.json (deterministic; byte-identical across
+# --threads values) and bench/BENCH_sweep_timing.json (wall-clock and
+# cycles/sec; machine-dependent by nature).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target cmpcache_cli >/dev/null
+
+mkdir -p bench
+
+out=bench/BENCH_sweep.json
+bench_out=bench/BENCH_sweep_timing.json
+extra=()
+for arg in "$@"; do
+    case "$arg" in
+    --out=*) out="${arg#--out=}" ;;
+    --bench-out=*) bench_out="${arg#--bench-out=}" ;;
+    *) extra+=("$arg") ;;
+    esac
+done
+
+exec ./build/src/cmpcache sweep \
+    --out="$out" --bench-out="$bench_out" "${extra[@]}"

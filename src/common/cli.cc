@@ -7,9 +7,19 @@
 namespace cmpcache
 {
 
-CliArgs::CliArgs(int argc, const char *const *argv)
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 bool allow_subcommand)
 {
-    for (int i = 1; i < argc; ++i) {
+    int first = 1;
+    if (allow_subcommand && argc > 1) {
+        const std::string arg = argv[1];
+        if (arg.rfind("--", 0) != 0
+            && arg.find('=') == std::string::npos) {
+            subcommand_ = arg;
+            first = 2;
+        }
+    }
+    for (int i = first; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
             const auto eq = arg.find('=');

@@ -18,11 +18,20 @@ namespace cmpcache
 /**
  * Parses "--key=value" / "--flag" style arguments. Unknown positional
  * arguments are collected in order.
+ *
+ * Multi-tool drivers (e.g. the `cmpcache` binary) can additionally
+ * treat the first argument as a subcommand: when @p allow_subcommand
+ * is set and argv[1] is a bare word (no "--" prefix, no '='), it is
+ * consumed as the subcommand instead of a positional.
  */
 class CliArgs
 {
   public:
-    CliArgs(int argc, const char *const *argv);
+    CliArgs(int argc, const char *const *argv,
+            bool allow_subcommand = false);
+
+    /** Subcommand name; empty when none was given/allowed. */
+    const std::string &subcommand() const { return subcommand_; }
 
     bool has(const std::string &key) const;
 
@@ -41,6 +50,7 @@ class CliArgs
     static std::int64_t envInt(const char *name, std::int64_t def);
 
   private:
+    std::string subcommand_;
     std::map<std::string, std::string> options_;
     std::vector<std::string> positional_;
 };

@@ -179,6 +179,14 @@ L2Cache::access(ThreadId tid, Addr addr, MemOp op)
     }
 
     // Tag miss.
+    if (pendingSnarfs_.count(line)) {
+        // We already won this line's write back on the bus and its
+        // data is in flight; issuing a demand fetch now would race it
+        // (two installs of the same line). Hold the access off -- the
+        // retried attempt hits the snarfed copy.
+        ++blockedMshr_;
+        return AccessResult::Blocked;
+    }
     if (Mshr *m = mshrs_.find(line)) {
         mshrs_.addWaiter(m, tid, is_store, curTick());
         count_access();
@@ -322,6 +330,33 @@ L2Cache::snoop(const BusRequest &req)
             resp.hasDirty = isDirty(entry->state);
             return resp;
         }
+        if (const WbEntry *queued = wbq_.find(line)) {
+            // A victim parked in our write-back queue is still a copy
+            // of the line: report it, or a concurrent peer write back
+            // would see no sharers and its snarfer would install an
+            // exclusive (Modified) copy next to the one our own write
+            // back is about to hand to a third L2.
+            resp.hasLine = true;
+            resp.hasDirty = queued->dirty;
+            return resp;
+        }
+        if (const auto ps = pendingSnarfs_.find(line);
+            ps != pendingSnarfs_.end()) {
+            // Same story for a snarf we have already won: the copy is
+            // in flight to us and will be installed, so a concurrent
+            // write back of the line must count us as a sharer.
+            resp.hasLine = true;
+            resp.hasDirty = ps->second.dirty;
+            return resp;
+        }
+        if (const Mshr *m = mshrs_.find(line);
+            m && m->awaitingData) {
+            // And for a demand fill the bus has already granted us:
+            // the data is on its way and will be installed.
+            resp.hasLine = true;
+            resp.hasDirty = m->cmd == BusCmd::ReadExcl;
+            return resp;
+        }
         // Offer to absorb if we have buffers, a victim candidate, and
         // no conflicting activity on the line.
         if (snarfInFlight_ < policy_.snarfBuffers
@@ -430,7 +465,13 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
             return;
         }
 
-        // Demand request by a peer: apply our state transition.
+        // A snarf reservation cannot coexist with an effective peer
+        // demand: our snoop retries demands while one is pending, and
+        // the ring snoops and combines atomically per transaction.
+        cmp_assert(!pendingSnarfs_.count(line),
+                   "effective peer demand with a snarf reservation");
+
+        // Apply our state transition.
         TagEntry *entry = tags_.lookup(line, /*touch=*/false);
         if (!entry)
             return;

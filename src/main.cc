@@ -1,0 +1,222 @@
+/**
+ * @file
+ * cmpcache: the multi-tool driver. Subcommands:
+ *
+ *   sweep   run a {workloads} x {policies} x {outstanding} grid on a
+ *           thread pool and emit deterministic JSON results plus an
+ *           optional timing (bench) file
+ *   list    print the available workloads and policies
+ *   help    usage text
+ *
+ * Examples:
+ *
+ *   # the paper grid: 4 workloads x 4 policies, deterministic output
+ *   cmpcache sweep --out=results.json --threads=4
+ *
+ *   # a quick stress grid with invariant checking and a bench file
+ *   cmpcache sweep --workloads=thrash,pingpong \
+ *       --policies=baseline,combined --outstanding=2,6 \
+ *       --refs=2000 --check-coherence \
+ *       --bench-out=bench/BENCH_stress.json
+ *
+ * Single-cell runs with full stats dumps remain the job of
+ * examples/cmpsim.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "sim/config_io.hh"
+#include "sim/sweep.hh"
+#include "trace/workload_config.hh"
+#include "trace/workloads_commercial.hh"
+#include "trace/workloads_stress.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "cmpcache -- CMP cache-hierarchy simulator (ISCA'05 repro)\n\n"
+        "usage: cmpcache <subcommand> [options]\n\n"
+        "subcommands:\n"
+        "  sweep   run a workload x policy x outstanding grid\n"
+        "  list    print available workloads and policies\n"
+        "  help    this text\n\n"
+        "sweep options:\n"
+        "  --workloads=A,B,...   default: TP,CPW2,NotesBench,Trade2\n"
+        "  --policies=a,b,...    default: baseline,wbht,snarf,"
+        "combined\n"
+        "  --outstanding=N,M     default: 6\n"
+        "  --refs=N              references/thread (default 20000,\n"
+        "                        or CMPCACHE_REFS)\n"
+        "  --seed=N              workload seed (default 1)\n"
+        "  --threads=N           worker threads (default: hardware)\n"
+        "  --out=FILE            results JSON (default: stdout)\n"
+        "  --bench-out=FILE      timing JSON, e.g. "
+        "bench/BENCH_grid.json\n"
+        "  --check-coherence     run the invariant checker per cell\n"
+        "  --config=FILE         base configuration file\n"
+        "  KEY=VALUE             positional base-config overrides;\n"
+        "                        wl.* keys adjust every cell's "
+        "workload\n"
+        "  --quiet               suppress progress lines\n";
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+listMain()
+{
+    std::cout << "commercial workloads:\n";
+    for (const auto &w : workloads::allNames())
+        std::cout << "  " << w << "\n";
+    std::cout << "stress workloads:\n";
+    for (const auto &w : workloads::stressNames())
+        std::cout << "  " << w << "\n";
+    std::cout << "policies:\n";
+    for (const auto p :
+         {WbPolicy::Baseline, WbPolicy::Wbht, WbPolicy::WbhtGlobal,
+          WbPolicy::Snarf, WbPolicy::Combined})
+        std::cout << "  " << toString(p) << "\n";
+    return 0;
+}
+
+int
+sweepMain(const CliArgs &args)
+{
+    SweepSpec spec;
+    spec.workloads = splitCsv(args.getString(
+        "workloads", "TP,CPW2,NotesBench,Trade2"));
+    for (const auto &p : splitCsv(args.getString(
+             "policies", "baseline,wbht,snarf,combined")))
+        spec.policies.push_back(wbPolicyFromString(p));
+    for (const auto &o : splitCsv(args.getString("outstanding", "6"))) {
+        std::int64_t v = 0;
+        try {
+            v = std::stoll(o);
+        } catch (...) {
+            cmp_fatal("--outstanding expects integers, got '", o, "'");
+        }
+        if (v <= 0)
+            cmp_fatal("--outstanding values must be positive, got '",
+                      o, "'");
+        spec.outstanding.push_back(static_cast<unsigned>(v));
+    }
+    spec.recordsPerThread = static_cast<std::uint64_t>(args.getInt(
+        "refs",
+        static_cast<std::int64_t>(benchRecordsPerThread(20000))));
+    spec.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    spec.checkCoherence = args.getBool("check-coherence", false);
+
+    if (args.has("config"))
+        loadConfigFile(spec.base, args.getString("config", ""));
+    for (const auto &pos : args.positional()) {
+        const auto eq = pos.find('=');
+        if (eq == std::string::npos)
+            cmp_fatal("positional argument '", pos,
+                      "' is not a key=value override");
+        const std::string key = pos.substr(0, eq);
+        const std::string value = pos.substr(eq + 1);
+        if (isWorkloadKey(key))
+            spec.workloadOverrides.emplace_back(key, value);
+        else
+            applyConfigOption(spec.base, key, value);
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const auto threads = static_cast<unsigned>(
+        args.getInt("threads", static_cast<std::int64_t>(hw)));
+    if (threads == 0)
+        cmp_fatal("--threads must be positive");
+
+    SweepProgressPrinter progress(std::cerr);
+    const bool quiet = args.getBool("quiet", false);
+    if (!quiet)
+        inform("sweep: ", spec.size(), " jobs on ", threads,
+               " threads (", spec.workloads.size(), " workloads x ",
+               spec.policies.size(), " policies x ",
+               spec.outstanding.size(), " outstanding)");
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto results =
+        runSweep(spec, threads, quiet ? nullptr : &progress);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    const auto out = args.getString("out", "-");
+    if (out == "-" || out.empty()) {
+        writeSweepResultsJson(std::cout, spec, results);
+    } else {
+        std::ofstream os(out);
+        if (!os)
+            cmp_fatal("cannot write results file '", out, "'");
+        writeSweepResultsJson(os, spec, results);
+        if (!quiet)
+            inform("sweep: results written to ", out);
+    }
+
+    if (args.has("bench-out")) {
+        const auto path = args.getString("bench-out", "");
+        std::ofstream os(path);
+        if (!os)
+            cmp_fatal("cannot write bench file '", path, "'");
+        writeSweepBenchJson(os, spec, results, threads, wall);
+        if (!quiet)
+            inform("sweep: bench timing written to ", path);
+    }
+
+    if (spec.checkCoherence) {
+        std::uint64_t violations = 0;
+        for (const auto &r : results)
+            violations += r.coherenceViolations;
+        if (violations) {
+            warn("sweep: ", violations,
+                 " coherence invariant violations");
+            return 2;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv, /*allow_subcommand=*/true);
+    const std::string &cmd = args.subcommand();
+    if (cmd.empty() || cmd == "help" || args.getBool("help", false)) {
+        usage();
+        return cmd.empty() && !args.getBool("help", false) ? 1 : 0;
+    }
+    if (cmd == "sweep")
+        return sweepMain(args);
+    if (cmd == "list")
+        return listMain();
+    cmp_fatal("unknown subcommand '", cmd,
+              "' (expected sweep, list or help)");
+}

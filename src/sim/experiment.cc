@@ -8,6 +8,35 @@
 namespace cmpcache
 {
 
+bool
+operator==(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return a.workload == b.workload && a.policy == b.policy
+           && a.maxOutstanding == b.maxOutstanding
+           && a.execTime == b.execTime
+           && a.wbhtCorrectPct == b.wbhtCorrectPct
+           && a.l3LoadHitRatePct == b.l3LoadHitRatePct
+           && a.l2WbRequests == b.l2WbRequests
+           && a.l3Retries == b.l3Retries
+           && a.offChipAccesses == b.offChipAccesses
+           && a.wbSnarfedPct == b.wbSnarfedPct
+           && a.snarfedUsedLocallyPct == b.snarfedUsedLocallyPct
+           && a.snarfedForInterventionPct == b.snarfedForInterventionPct
+           && a.l2HitRatePct == b.l2HitRatePct
+           && a.cleanWbRedundantPct == b.cleanWbRedundantPct
+           && a.wbReusedTotalPct == b.wbReusedTotalPct
+           && a.wbReusedAcceptedPct == b.wbReusedAcceptedPct
+           && a.wbAborted == b.wbAborted && a.memReads == b.memReads
+           && a.interventions == b.interventions
+           && a.busRetries == b.busRetries;
+}
+
+bool
+operator!=(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return !(a == b);
+}
+
 double
 improvementPct(const ExperimentResult &base, const ExperimentResult &other)
 {
@@ -74,7 +103,8 @@ collectResult(CmpSystem &sys, Tick exec_time,
 
 ExperimentResult
 runExperiment(const SystemConfig &cfg, const WorkloadParams &workload,
-              std::ostream *dump_stats)
+              std::ostream *dump_stats,
+              const std::function<void(CmpSystem &)> &inspect)
 {
     SystemConfig local = cfg;
     if (workload.numThreads != local.numThreads()) {
@@ -92,6 +122,8 @@ runExperiment(const SystemConfig &cfg, const WorkloadParams &workload,
     const Tick t = sys.run();
     if (dump_stats)
         sys.dump(*dump_stats);
+    if (inspect)
+        inspect(sys);
     return collectResult(sys, t, workload.name);
 }
 

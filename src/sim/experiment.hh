@@ -7,6 +7,7 @@
 #ifndef CMPCACHE_SIM_EXPERIMENT_HH
 #define CMPCACHE_SIM_EXPERIMENT_HH
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -52,6 +53,10 @@ struct ExperimentResult
     std::uint64_t busRetries = 0;
 };
 
+/** Field-for-field exact equality (determinism checks). */
+bool operator==(const ExperimentResult &a, const ExperimentResult &b);
+bool operator!=(const ExperimentResult &a, const ExperimentResult &b);
+
 /** Percentage execution-time improvement of @p other over @p base. */
 double improvementPct(const ExperimentResult &base,
                       const ExperimentResult &other);
@@ -59,10 +64,14 @@ double improvementPct(const ExperimentResult &base,
 /**
  * Run one workload on one configuration.
  * @param dump_stats optional stream receiving the full stats dump
+ * @param inspect    optional hook invoked on the finished system
+ *                   before it is torn down (invariant checks, extra
+ *                   metric extraction)
  */
-ExperimentResult runExperiment(const SystemConfig &cfg,
-                               const WorkloadParams &workload,
-                               std::ostream *dump_stats = nullptr);
+ExperimentResult
+runExperiment(const SystemConfig &cfg, const WorkloadParams &workload,
+              std::ostream *dump_stats = nullptr,
+              const std::function<void(CmpSystem &)> &inspect = {});
 
 /** Collect an ExperimentResult from an already-run system. */
 ExperimentResult collectResult(CmpSystem &sys, Tick exec_time,

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Global coherence-state invariant checking over a finished (or
+ * quiesced) CmpSystem. The rules are the protocol's correctness
+ * conditions across every L2 copy of a line:
+ *
+ *  - at most one dirty owner (M or T);
+ *  - a Modified copy is the only copy;
+ *  - an Exclusive copy is the only copy;
+ *  - at most one designated clean intervention source (SL).
+ *
+ * Used by the whole-system property tests and, optionally, by the
+ * sweep runner after every grid cell.
+ */
+
+#ifndef CMPCACHE_SIM_INVARIANTS_HH
+#define CMPCACHE_SIM_INVARIANTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmpcache
+{
+
+class CmpSystem;
+
+struct CoherenceCheck
+{
+    std::uint64_t linesChecked = 0;
+    std::uint64_t violations = 0;
+    /** One diagnostic per violation, capped (see checkCoherence). */
+    std::vector<std::string> messages;
+
+    bool clean() const { return violations == 0; }
+
+    /** All diagnostics joined with newlines (test failure output). */
+    std::string report() const;
+};
+
+/**
+ * Inspect every valid L2 tag in @p sys and verify the invariants
+ * above for each line address.
+ * @param max_messages cap on retained diagnostics (counting is exact)
+ */
+CoherenceCheck checkCoherence(CmpSystem &sys,
+                              std::size_t max_messages = 16);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_INVARIANTS_HH

@@ -1,0 +1,521 @@
+#include "sim/result_json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace cmpcache
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "0"; // JSON has no NaN/Inf; results never produce them
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace
+{
+
+/**
+ * The serialized fields, in emission order. Keeping the three kinds
+ * in one table guarantees writer and parser agree on the schema.
+ */
+enum class FieldKind
+{
+    Str,
+    U32,
+    U64,
+    Dbl
+};
+
+struct FieldDef
+{
+    const char *key;
+    FieldKind kind;
+    // exactly one of these is meaningful, per kind
+    std::string ExperimentResult::*str = nullptr;
+    unsigned ExperimentResult::*u32 = nullptr;
+    std::uint64_t ExperimentResult::*u64 = nullptr;
+    double ExperimentResult::*dbl = nullptr;
+};
+
+const std::vector<FieldDef> &
+fields()
+{
+    using R = ExperimentResult;
+    static const std::vector<FieldDef> defs = {
+        {"workload", FieldKind::Str, &R::workload, nullptr, nullptr,
+         nullptr},
+        {"policy", FieldKind::Str, &R::policy, nullptr, nullptr,
+         nullptr},
+        {"maxOutstanding", FieldKind::U32, nullptr, &R::maxOutstanding,
+         nullptr, nullptr},
+        {"execTime", FieldKind::U64, nullptr, nullptr, &R::execTime,
+         nullptr},
+        {"wbhtCorrectPct", FieldKind::Dbl, nullptr, nullptr, nullptr,
+         &R::wbhtCorrectPct},
+        {"l3LoadHitRatePct", FieldKind::Dbl, nullptr, nullptr, nullptr,
+         &R::l3LoadHitRatePct},
+        {"l2WbRequests", FieldKind::U64, nullptr, nullptr,
+         &R::l2WbRequests, nullptr},
+        {"l3Retries", FieldKind::U64, nullptr, nullptr, &R::l3Retries,
+         nullptr},
+        {"offChipAccesses", FieldKind::U64, nullptr, nullptr,
+         &R::offChipAccesses, nullptr},
+        {"wbSnarfedPct", FieldKind::Dbl, nullptr, nullptr, nullptr,
+         &R::wbSnarfedPct},
+        {"snarfedUsedLocallyPct", FieldKind::Dbl, nullptr, nullptr,
+         nullptr, &R::snarfedUsedLocallyPct},
+        {"snarfedForInterventionPct", FieldKind::Dbl, nullptr, nullptr,
+         nullptr, &R::snarfedForInterventionPct},
+        {"l2HitRatePct", FieldKind::Dbl, nullptr, nullptr, nullptr,
+         &R::l2HitRatePct},
+        {"cleanWbRedundantPct", FieldKind::Dbl, nullptr, nullptr,
+         nullptr, &R::cleanWbRedundantPct},
+        {"wbReusedTotalPct", FieldKind::Dbl, nullptr, nullptr, nullptr,
+         &R::wbReusedTotalPct},
+        {"wbReusedAcceptedPct", FieldKind::Dbl, nullptr, nullptr,
+         nullptr, &R::wbReusedAcceptedPct},
+        {"wbAborted", FieldKind::U64, nullptr, nullptr, &R::wbAborted,
+         nullptr},
+        {"memReads", FieldKind::U64, nullptr, nullptr, &R::memReads,
+         nullptr},
+        {"interventions", FieldKind::U64, nullptr, nullptr,
+         &R::interventions, nullptr},
+        {"busRetries", FieldKind::U64, nullptr, nullptr, &R::busRetries,
+         nullptr},
+    };
+    return defs;
+}
+
+/**
+ * Minimal strict JSON value. Numbers keep their raw token so integer
+ * fields can be converted without a double round trip.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string number; // raw token
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &err)
+    {
+        if (!value(out, err))
+            return false;
+        skipWs();
+        if (pos_ != s_.size()) {
+            err = at("trailing characters after JSON value");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    at(const std::string &msg) const
+    {
+        return msg + " (offset " + std::to_string(pos_) + ")";
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::string &err)
+    {
+        for (const char *p = word; *p; ++p, ++pos_) {
+            if (pos_ >= s_.size() || s_[pos_] != *p) {
+                err = at(std::string("expected '") + word + "'");
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            err = at("unexpected end of input");
+            return false;
+        }
+        const char c = s_[pos_];
+        if (c == '{')
+            return object(out, err);
+        if (c == '[')
+            return array(out, err);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.string, err);
+        }
+        if (c == 't' || c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = c == 't';
+            return literal(c == 't' ? "true" : "false", err);
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", err);
+        }
+        return number(out, err);
+    }
+
+    bool
+    string(std::string &out, std::string &err)
+    {
+        ++pos_; // opening quote
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    break;
+                const char e = s_[pos_++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  default:
+                    err = at(std::string("unsupported escape '\\")
+                             + e + "'");
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        err = at("unterminated string");
+        return false;
+    }
+
+    bool
+    number(JsonValue &out, std::string &err)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                   || s_[pos_] == '.' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E' || s_[pos_] == '-'
+                   || s_[pos_] == '+')) {
+            digits |= std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                      != 0;
+            ++pos_;
+        }
+        if (!digits) {
+            err = at("expected a JSON value");
+            return false;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = s_.substr(start, pos_ - start);
+        // Validate the token parses as a double.
+        char *end = nullptr;
+        std::strtod(out.number.c_str(), &end);
+        if (end != out.number.c_str() + out.number.size()) {
+            err = at("malformed number '" + out.number + "'");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    object(JsonValue &out, std::string &err)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"') {
+                err = at("expected object key");
+                return false;
+            }
+            std::string key;
+            if (!string(key, err))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':') {
+                err = at("expected ':' after key '" + key + "'");
+                return false;
+            }
+            ++pos_;
+            JsonValue v;
+            if (!value(v, err))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            err = at("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    array(JsonValue &out, std::string &err)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!value(v, err))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            err = at("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+bool
+resultFromValue(const JsonValue &v, ExperimentResult &out,
+                std::string *error)
+{
+    if (v.kind != JsonValue::Kind::Object)
+        return fail(error, "result is not a JSON object");
+    ExperimentResult r;
+    for (const auto &f : fields()) {
+        const JsonValue *fv = v.get(f.key);
+        if (!fv)
+            return fail(error,
+                        std::string("missing field '") + f.key + "'");
+        if (f.kind == FieldKind::Str) {
+            if (fv->kind != JsonValue::Kind::String)
+                return fail(error, std::string("field '") + f.key
+                                       + "' must be a string");
+            r.*(f.str) = fv->string;
+            continue;
+        }
+        if (fv->kind != JsonValue::Kind::Number)
+            return fail(error, std::string("field '") + f.key
+                                   + "' must be a number");
+        if (f.kind == FieldKind::Dbl) {
+            r.*(f.dbl) = std::strtod(fv->number.c_str(), nullptr);
+            continue;
+        }
+        // Integer fields: reject fractions and negatives outright.
+        if (fv->number.find_first_of(".eE-") != std::string::npos)
+            return fail(error, std::string("field '") + f.key
+                                   + "' must be a non-negative "
+                                     "integer, got "
+                                   + fv->number);
+        const std::uint64_t u =
+            std::strtoull(fv->number.c_str(), nullptr, 10);
+        if (f.kind == FieldKind::U64)
+            r.*(f.u64) = u;
+        else
+            r.*(f.u32) = static_cast<unsigned>(u);
+    }
+    out = r;
+    return true;
+}
+
+} // namespace
+
+void
+writeResultJson(std::ostream &os, const ExperimentResult &r,
+                unsigned indent)
+{
+    const std::string pad(indent, ' ');
+    os << pad << "{\n";
+    bool first = true;
+    for (const auto &f : fields()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << pad << "  \"" << f.key << "\": ";
+        switch (f.kind) {
+          case FieldKind::Str:
+            os << '"' << jsonEscape(r.*(f.str)) << '"';
+            break;
+          case FieldKind::U32:
+            os << r.*(f.u32);
+            break;
+          case FieldKind::U64:
+            os << r.*(f.u64);
+            break;
+          case FieldKind::Dbl:
+            os << jsonDouble(r.*(f.dbl));
+            break;
+        }
+    }
+    os << "\n" << pad << "}";
+}
+
+std::string
+resultToJson(const ExperimentResult &r)
+{
+    std::ostringstream os;
+    writeResultJson(os, r);
+    return os.str();
+}
+
+bool
+parseResultJson(const std::string &text, ExperimentResult &out,
+                std::string *error)
+{
+    JsonValue v;
+    std::string err;
+    JsonParser p(text);
+    if (!p.parse(v, err))
+        return fail(error, err);
+    return resultFromValue(v, out, error);
+}
+
+bool
+parseSweepResultsJson(const std::string &text,
+                      std::vector<ExperimentResult> &out,
+                      std::string *error)
+{
+    JsonValue v;
+    std::string err;
+    JsonParser p(text);
+    if (!p.parse(v, err))
+        return fail(error, err);
+    if (v.kind != JsonValue::Kind::Object)
+        return fail(error, "results file is not a JSON object");
+    const JsonValue *schema = v.get("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String
+        || schema->string != "cmpcache-sweep-results-v1")
+        return fail(error, "missing or unknown schema tag");
+    const JsonValue *results = v.get("results");
+    if (!results || results->kind != JsonValue::Kind::Array)
+        return fail(error, "missing 'results' array");
+    std::vector<ExperimentResult> parsed;
+    parsed.reserve(results->array.size());
+    for (const auto &rv : results->array) {
+        ExperimentResult r;
+        if (!resultFromValue(rv, r, error))
+            return false;
+        parsed.push_back(std::move(r));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+} // namespace cmpcache

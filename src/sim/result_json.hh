@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable experiment results: JSON emission and strict
+ * parsing of ExperimentResult records (schema
+ * "cmpcache-experiment-result-v1", see docs/sweep.md).
+ *
+ * Emission is deterministic: fixed key order, integers printed
+ * exactly, doubles printed with 17 significant digits so a
+ * write/parse round trip reproduces every field bit-for-bit.
+ */
+
+#ifndef CMPCACHE_SIM_RESULT_JSON_HH
+#define CMPCACHE_SIM_RESULT_JSON_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace cmpcache
+{
+
+/**
+ * Write one result as a JSON object. Every line is prefixed by
+ * @p indent spaces (the opening brace included), so the object can be
+ * embedded in an array at any nesting depth.
+ */
+void writeResultJson(std::ostream &os, const ExperimentResult &r,
+                     unsigned indent = 0);
+
+/** writeResultJson into a string. */
+std::string resultToJson(const ExperimentResult &r);
+
+/**
+ * Parse a JSON object produced by writeResultJson. Strict: malformed
+ * JSON, a missing field, or a wrong-typed field fails the parse.
+ * @param error receives a diagnostic on failure (may be null)
+ * @return true on success
+ */
+bool parseResultJson(const std::string &text, ExperimentResult &out,
+                     std::string *error = nullptr);
+
+/**
+ * Parse a whole sweep results file ("cmpcache-sweep-results-v1"):
+ * checks the schema tag and extracts the "results" array.
+ */
+bool parseSweepResultsJson(const std::string &text,
+                           std::vector<ExperimentResult> &out,
+                           std::string *error = nullptr);
+
+/** JSON string escaping for emitters ("\"" -> "\\\"", etc.). */
+std::string jsonEscape(const std::string &s);
+
+/** Deterministic JSON representation of a double (17 sig. digits). */
+std::string jsonDouble(double v);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_RESULT_JSON_HH

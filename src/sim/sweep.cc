@@ -1,0 +1,352 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "sim/invariants.hh"
+#include "sim/result_json.hh"
+#include "trace/workload_config.hh"
+#include "trace/workloads_commercial.hh"
+#include "trace/workloads_stress.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+bool
+contains(const std::vector<std::string> &names, const std::string &n)
+{
+    return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[32];
+    if (s < 10.0)
+        std::snprintf(buf, sizeof(buf), "%.2fs", s);
+    else if (s < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.1fs", s);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fm%02.0fs", s / 60.0,
+                      s - 60.0 * static_cast<int>(s / 60.0));
+    return buf;
+}
+
+} // namespace
+
+bool
+isSweepWorkload(const std::string &name)
+{
+    return contains(workloads::allNames(), name)
+           || contains(workloads::stressNames(), name);
+}
+
+WorkloadParams
+sweepWorkloadByName(const std::string &name,
+                    std::uint64_t records_per_thread,
+                    std::uint64_t seed)
+{
+    if (contains(workloads::allNames(), name))
+        return workloads::byName(name, records_per_thread, seed);
+    if (contains(workloads::stressNames(), name))
+        return workloads::stressByName(name, records_per_thread, seed);
+    cmp_fatal("unknown sweep workload '", name,
+              "' (commercial: TP, CPW2, NotesBench, Trade2; stress: "
+              "uniform, streaming, pingpong, thrash)");
+}
+
+std::string
+SweepJob::label() const
+{
+    return cstr(workload, "/", toString(policy), "/o", outstanding);
+}
+
+std::size_t
+SweepSpec::size() const
+{
+    return workloads.size() * policies.size() * outstanding.size();
+}
+
+void
+SweepSpec::validate() const
+{
+    if (workloads.empty())
+        cmp_fatal("sweep has no workloads");
+    if (policies.empty())
+        cmp_fatal("sweep has no policies");
+    if (outstanding.empty())
+        cmp_fatal("sweep has no outstanding-miss limits");
+    if (recordsPerThread == 0)
+        cmp_fatal("sweep needs recordsPerThread > 0");
+    for (const auto &w : workloads) {
+        if (!isSweepWorkload(w))
+            cmp_fatal("unknown sweep workload '", w, "'");
+    }
+    for (const auto o : outstanding) {
+        if (o == 0)
+            cmp_fatal("outstanding-miss limit must be positive");
+    }
+    base.validate();
+}
+
+std::vector<SweepJob>
+SweepSpec::expand() const
+{
+    validate();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(size());
+    for (const auto &w : workloads) {
+        for (const auto p : policies) {
+            for (const auto o : outstanding) {
+                SweepJob job;
+                job.index = static_cast<unsigned>(jobs.size());
+                job.workload = w;
+                job.policy = p;
+                job.outstanding = o;
+
+                job.config = base;
+                job.config.policy.policy = p;
+                if (p == WbPolicy::Combined) {
+                    // The paper's Combined row keeps total table
+                    // space constant by halving both tables.
+                    job.config.policy.wbht.entries = std::max<
+                        std::uint64_t>(1, base.policy.wbht.entries / 2);
+                    job.config.policy.snarf.entries = std::max<
+                        std::uint64_t>(1, base.policy.snarf.entries / 2);
+                }
+                job.config.cpu.maxOutstanding = o;
+
+                job.params =
+                    sweepWorkloadByName(w, recordsPerThread, seed);
+                for (const auto &[key, value] : workloadOverrides)
+                    applyWorkloadOption(job.params, key, value);
+                job.params.numThreads = job.config.numThreads();
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+void
+SweepProgressPrinter::jobStarted(const SweepJob &job, unsigned total)
+{
+    os_ << "sweep: [" << job.index + 1 << "/" << total << "] start "
+        << job.label() << "\n";
+    os_.flush();
+}
+
+void
+SweepProgressPrinter::jobFinished(const SweepJob &job,
+                                  const SweepJobResult &r,
+                                  unsigned done, unsigned total,
+                                  double eta_seconds)
+{
+    os_ << "sweep: [" << done << "/" << total << "] done  "
+        << job.label() << ": " << r.result.execTime << " cycles in "
+        << fmtSeconds(r.wallSeconds) << " ("
+        << static_cast<std::uint64_t>(r.cyclesPerSec) << " cyc/s)";
+    if (eta_seconds >= 0.0 && done < total)
+        os_ << ", eta " << fmtSeconds(eta_seconds);
+    os_ << "\n";
+    os_.flush();
+}
+
+std::vector<SweepJobResult>
+runSweep(const SweepSpec &spec, unsigned num_threads,
+         SweepObserver *observer)
+{
+    using Clock = std::chrono::steady_clock;
+
+    const std::vector<SweepJob> jobs = spec.expand();
+    std::vector<SweepJobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const auto total = static_cast<unsigned>(jobs.size());
+    const unsigned pool = std::clamp(num_threads, 1u, total);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> done{0};
+    std::mutex observer_mutex;
+    const auto sweep_start = Clock::now();
+
+    const auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                break;
+            const SweepJob &job = jobs[i];
+            if (observer) {
+                std::lock_guard<std::mutex> lock(observer_mutex);
+                observer->jobStarted(job, total);
+            }
+
+            SweepJobResult r;
+            std::function<void(CmpSystem &)> inspect;
+            if (spec.checkCoherence) {
+                inspect = [&r](CmpSystem &sys) {
+                    r.coherenceViolations =
+                        checkCoherence(sys).violations;
+                };
+            }
+            const auto job_start = Clock::now();
+            r.result = runExperiment(job.config, job.params, nullptr,
+                                     inspect);
+            r.wallSeconds =
+                std::chrono::duration<double>(Clock::now() - job_start)
+                    .count();
+            r.cyclesPerSec =
+                r.wallSeconds > 0.0
+                    ? static_cast<double>(r.result.execTime)
+                          / r.wallSeconds
+                    : 0.0;
+            results[i] = std::move(r);
+
+            const unsigned d = ++done;
+            if (observer) {
+                const double elapsed =
+                    std::chrono::duration<double>(Clock::now()
+                                                  - sweep_start)
+                        .count();
+                // Completion rate already reflects the pool width.
+                const double eta =
+                    d > 0 ? elapsed * (total - d) / d : -1.0;
+                std::lock_guard<std::mutex> lock(observer_mutex);
+                observer->jobFinished(job, results[i], d, total, eta);
+            }
+        }
+    };
+
+    if (pool == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+    }
+    return results;
+}
+
+namespace
+{
+
+template <typename T, typename Fn>
+void
+writeJsonList(std::ostream &os, const std::vector<T> &xs, Fn &&fn)
+{
+    os << "[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i)
+            os << ", ";
+        fn(xs[i]);
+    }
+    os << "]";
+}
+
+void
+writeSpecAxes(std::ostream &os, const SweepSpec &spec)
+{
+    os << "  \"workloads\": ";
+    writeJsonList(os, spec.workloads, [&os](const std::string &w) {
+        os << '"' << jsonEscape(w) << '"';
+    });
+    os << ",\n  \"policies\": ";
+    writeJsonList(os, spec.policies, [&os](WbPolicy p) {
+        os << '"' << toString(p) << '"';
+    });
+    os << ",\n  \"outstanding\": ";
+    writeJsonList(os, spec.outstanding,
+                  [&os](unsigned o) { os << o; });
+    os << ",\n  \"recordsPerThread\": " << spec.recordsPerThread
+       << ",\n  \"seed\": " << spec.seed;
+    if (!spec.workloadOverrides.empty()) {
+        os << ",\n  \"workloadOverrides\": {";
+        bool first = true;
+        for (const auto &[key, value] : spec.workloadOverrides) {
+            os << (first ? "" : ", ") << '"' << jsonEscape(key)
+               << "\": \"" << jsonEscape(value) << '"';
+            first = false;
+        }
+        os << "}";
+    }
+}
+
+} // namespace
+
+void
+writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
+                      const std::vector<SweepJobResult> &results)
+{
+    os << "{\n  \"schema\": \"cmpcache-sweep-results-v1\",\n";
+    writeSpecAxes(os, spec);
+    os << ",\n  \"checkCoherence\": "
+       << (spec.checkCoherence ? "true" : "false");
+    if (spec.checkCoherence) {
+        os << ",\n  \"coherenceViolations\": ";
+        writeJsonList(os, results, [&os](const SweepJobResult &r) {
+            os << r.coherenceViolations;
+        });
+    }
+    os << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        writeResultJson(os, results[i].result, 4);
+        if (i + 1 < results.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeSweepBenchJson(std::ostream &os, const SweepSpec &spec,
+                    const std::vector<SweepJobResult> &results,
+                    unsigned num_threads, double total_wall_seconds)
+{
+    std::uint64_t total_cycles = 0;
+    for (const auto &r : results)
+        total_cycles += r.result.execTime;
+
+    os << "{\n  \"schema\": \"cmpcache-sweep-bench-v1\",\n";
+    writeSpecAxes(os, spec);
+    os << ",\n  \"threads\": " << num_threads
+       << ",\n  \"jobs\": " << results.size()
+       << ",\n  \"totalWallSeconds\": "
+       << jsonDouble(total_wall_seconds)
+       << ",\n  \"totalSimCycles\": " << total_cycles
+       << ",\n  \"aggregateCyclesPerSec\": "
+       << jsonDouble(total_wall_seconds > 0.0
+                         ? static_cast<double>(total_cycles)
+                               / total_wall_seconds
+                         : 0.0)
+       << ",\n  \"perJob\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "    {\"workload\": \""
+           << jsonEscape(r.result.workload) << "\", \"policy\": \""
+           << jsonEscape(r.result.policy)
+           << "\", \"outstanding\": " << r.result.maxOutstanding
+           << ", \"simCycles\": " << r.result.execTime
+           << ", \"wallSeconds\": " << jsonDouble(r.wallSeconds)
+           << ", \"cyclesPerSec\": " << jsonDouble(r.cyclesPerSec)
+           << "}";
+        if (i + 1 < results.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace cmpcache

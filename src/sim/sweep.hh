@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Parallel deterministic experiment sweeps.
+ *
+ * A SweepSpec is the cross product {workloads} x {policies} x
+ * {outstanding-miss limits} -- the shape of every table and figure in
+ * the paper. expand() flattens it into independent jobs in row-major
+ * axis order; runSweep() executes the jobs on a std::thread pool.
+ *
+ * Determinism contract: every job builds its own CmpSystem, event
+ * queue and workload RNG streams, and nothing in the simulator
+ * mutates shared global state, so results depend only on the spec.
+ * Jobs are collected by job index, which makes the returned vector --
+ * and any JSON serialization of it -- byte-identical whether the
+ * sweep ran on one thread or sixteen. Wall-clock timing is inherently
+ * non-deterministic and therefore lives in separate fields that only
+ * the bench writer emits (see docs/sweep.md).
+ */
+
+#ifndef CMPCACHE_SIM_SWEEP_HH
+#define CMPCACHE_SIM_SWEEP_HH
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/system_config.hh"
+#include "trace/workload.hh"
+
+namespace cmpcache
+{
+
+/** One expanded grid cell, ready to run. */
+struct SweepJob
+{
+    unsigned index = 0; ///< position in deterministic job order
+    std::string workload;
+    WbPolicy policy = WbPolicy::Baseline;
+    unsigned outstanding = 0;
+
+    SystemConfig config;    ///< fully resolved per-job configuration
+    WorkloadParams params;  ///< fully resolved workload parameters
+
+    /** "Trade2/combined/o6" -- progress lines and labels. */
+    std::string label() const;
+};
+
+/** Sweep axes plus everything shared by all cells. */
+struct SweepSpec
+{
+    /** Commercial ("TP", "Trade2", ...) or stress ("thrash", ...)
+     * workload names. */
+    std::vector<std::string> workloads;
+    std::vector<WbPolicy> policies;
+    /** cpu.maxOutstanding values (the paper's pressure axis). */
+    std::vector<unsigned> outstanding;
+
+    std::uint64_t recordsPerThread = 20000;
+    std::uint64_t seed = 1;
+
+    /**
+     * Configuration shared by every cell. Per-cell resolution swaps
+     * in the cell's policy (halving both table sizes for Combined, as
+     * the paper does) and outstanding-miss limit, keeping every other
+     * base knob -- retry switch, table sizes, cache geometry --
+     * untouched.
+     */
+    SystemConfig base;
+
+    /**
+     * "wl.key" = value overrides applied to every cell's resolved
+     * workload parameters (footprints, sharing fractions, mixes), in
+     * order. The workload's name is preserved so results stay keyed
+     * by the axis value. fatal() on unknown keys at expand() time.
+     */
+    std::vector<std::pair<std::string, std::string>> workloadOverrides;
+
+    /** Run the coherence invariant checker after every cell. */
+    bool checkCoherence = false;
+
+    /** Number of grid cells. */
+    std::size_t size() const;
+
+    /** Flatten into jobs: workload-major, then policy, then
+     * outstanding. fatal() on empty axes or unknown names. */
+    std::vector<SweepJob> expand() const;
+
+    /** fatal() on empty axes, unknown workloads, or a base config
+     * that fails validation. */
+    void validate() const;
+};
+
+/** Everything measured about one finished cell. */
+struct SweepJobResult
+{
+    ExperimentResult result;
+    /** Invariant-checker violations (0 unless checkCoherence). */
+    std::uint64_t coherenceViolations = 0;
+
+    // Timing -- never part of deterministic output.
+    double wallSeconds = 0.0;
+    double cyclesPerSec = 0.0; ///< simulated cycles per wall second
+};
+
+/**
+ * Progress hooks. Callbacks are serialized by the runner (never
+ * concurrent) but fire from worker threads in completion order.
+ */
+class SweepObserver
+{
+  public:
+    virtual ~SweepObserver() = default;
+
+    virtual void jobStarted(const SweepJob &job, unsigned total)
+    {
+        (void)job;
+        (void)total;
+    }
+
+    /**
+     * @param done jobs finished so far (including this one)
+     * @param eta_seconds naive remaining-time estimate; < 0 while
+     *        unknown
+     */
+    virtual void jobFinished(const SweepJob &job,
+                             const SweepJobResult &r, unsigned done,
+                             unsigned total, double eta_seconds)
+    {
+        (void)job;
+        (void)r;
+        (void)done;
+        (void)total;
+        (void)eta_seconds;
+    }
+};
+
+/** Observer printing "start"/"done" lines with an ETA to a stream. */
+class SweepProgressPrinter : public SweepObserver
+{
+  public:
+    explicit SweepProgressPrinter(std::ostream &os) : os_(os) {}
+
+    void jobStarted(const SweepJob &job, unsigned total) override;
+    void jobFinished(const SweepJob &job, const SweepJobResult &r,
+                     unsigned done, unsigned total,
+                     double eta_seconds) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Run every cell of @p spec on @p num_threads worker threads
+ * (clamped to [1, jobs]).
+ * @return results in job order, independent of thread count
+ */
+std::vector<SweepJobResult> runSweep(const SweepSpec &spec,
+                                     unsigned num_threads,
+                                     SweepObserver *observer = nullptr);
+
+/**
+ * Resolve a workload by name across both families: the commercial
+ * stand-ins and the stress patterns. fatal() on unknown names.
+ */
+WorkloadParams sweepWorkloadByName(const std::string &name,
+                                   std::uint64_t records_per_thread,
+                                   std::uint64_t seed);
+
+/** Is @p name resolvable by sweepWorkloadByName()? */
+bool isSweepWorkload(const std::string &name);
+
+/**
+ * Deterministic sweep results file, schema
+ * "cmpcache-sweep-results-v1": the spec's axes plus one result object
+ * per cell in job order (parseSweepResultsJson reads it back).
+ * Byte-identical for equal specs regardless of thread count.
+ */
+void writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
+                           const std::vector<SweepJobResult> &results);
+
+/**
+ * Timing companion file, schema "cmpcache-sweep-bench-v1": per-job
+ * wall seconds and simulated-cycles-per-second throughput, plus
+ * aggregate totals. This is what bench/BENCH_*.json files hold.
+ */
+void writeSweepBenchJson(std::ostream &os, const SweepSpec &spec,
+                         const std::vector<SweepJobResult> &results,
+                         unsigned num_threads, double total_wall_seconds);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_SWEEP_HH

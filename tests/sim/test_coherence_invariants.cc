@@ -9,10 +9,9 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "common/logging.hh"
 #include "sim/cmp_system.hh"
+#include "sim/invariants.hh"
 #include "trace/workload.hh"
 
 using namespace cmpcache;
@@ -99,43 +98,10 @@ TEST_P(CoherenceInvariants, RunAndCheckGlobalState)
     EXPECT_GT(t, 0u);
     EXPECT_TRUE(sys.finished());
 
-    // Gather every valid L2 copy per line.
-    std::map<Addr, std::vector<LineState>> copies;
-    for (unsigned i = 0; i < sys.numL2s(); ++i) {
-        sys.l2(i).tags().forEach([&](const TagEntry &e) {
-            if (e.valid())
-                copies[e.lineAddr].push_back(e.state);
-        });
-    }
-
-    for (const auto &[line, states] : copies) {
-        unsigned owners = 0;   // M/T
-        unsigned excl = 0;     // E
-        unsigned sl = 0;       // SL
-        unsigned modified = 0; // M specifically
-        for (const auto s : states) {
-            owners += s == LineState::Modified || s == LineState::Tagged;
-            modified += s == LineState::Modified;
-            excl += s == LineState::Exclusive;
-            sl += s == LineState::SharedLast;
-        }
-        // At most one dirty owner per line.
-        EXPECT_LE(owners, 1u) << "line " << std::hex << line;
-        // A Modified copy tolerates no other copies at all.
-        if (modified) {
-            EXPECT_EQ(states.size(), 1u)
-                << "M alongside other copies, line " << std::hex
-                << line;
-        }
-        // Exclusive tolerates no other copies.
-        if (excl) {
-            EXPECT_EQ(states.size(), 1u)
-                << "E alongside other copies, line " << std::hex
-                << line;
-        }
-        // At most one designated clean intervention source.
-        EXPECT_LE(sl, 1u) << "line " << std::hex << line;
-    }
+    // The shared checker the sweep runner also uses.
+    const CoherenceCheck check = checkCoherence(sys);
+    EXPECT_GT(check.linesChecked, 0u);
+    EXPECT_EQ(check.violations, 0u) << check.report();
 
     // Determinism: rerunning the same case gives the same runtime.
     SyntheticWorkload wl2(workload(c.seed));
