@@ -15,6 +15,7 @@
 #ifndef CMPCACHE_BENCH_SUPPORT_HH
 #define CMPCACHE_BENCH_SUPPORT_HH
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -69,6 +70,49 @@ runCell(const std::string &workload, PolicyConfig policy,
         workloads::byName(workload, refsPerThread(), BenchSeed);
     return runExperiment(paperConfig(policy, outstanding, reuse_tracker),
                          wl);
+}
+
+/** A cell result plus its wall-clock throughput. */
+struct TimedCell
+{
+    ExperimentResult result;
+    std::uint64_t eventsExecuted = 0;
+    double wallSeconds = 0.0;
+    double cyclesPerSec = 0.0; ///< simulated cycles per wall second
+    double eventsPerSec = 0.0; ///< kernel events per wall second
+};
+
+/**
+ * runCell() with timing: wall seconds plus the two throughput axes
+ * the sweep bench files record (simulated cycles/sec and kernel
+ * events/sec). Timing is machine-dependent; keep it out of any
+ * deterministic comparison.
+ */
+inline TimedCell
+runCellTimed(const std::string &workload, PolicyConfig policy,
+             unsigned outstanding, bool reuse_tracker = false)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto wl =
+        workloads::byName(workload, refsPerThread(), BenchSeed);
+    TimedCell cell;
+    const auto start = Clock::now();
+    cell.result = runExperiment(
+        paperConfig(policy, outstanding, reuse_tracker), wl, nullptr,
+        [&cell](CmpSystem &sys) {
+            cell.eventsExecuted = sys.eventq().numExecuted();
+        });
+    cell.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (cell.wallSeconds > 0.0) {
+        cell.cyclesPerSec =
+            static_cast<double>(cell.result.execTime)
+            / cell.wallSeconds;
+        cell.eventsPerSec =
+            static_cast<double>(cell.eventsExecuted)
+            / cell.wallSeconds;
+    }
+    return cell;
 }
 
 /** Print a sweep table: rows = outstanding loads, cols = workloads. */

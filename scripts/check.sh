@@ -2,21 +2,30 @@
 # Tier-1 verification: configure, build, run the full unit-test suite,
 # then the end-to-end sweep suite. Mirrors what CI runs.
 #
-#   scripts/check.sh          # everything
-#   scripts/check.sh unit     # unit tests only
-#   scripts/check.sh e2e      # end-to-end (sweep) tests only
+#   scripts/check.sh            # everything
+#   scripts/check.sh unit       # unit tests only
+#   scripts/check.sh e2e        # end-to-end (sweep) tests only
+#   scripts/check.sh sanitize   # ASan+UBSan build, sanitize-labelled tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all) ;;
+unit | e2e | all | sanitize) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize]" >&2
     exit 2
     ;;
 esac
+
+if [ "$SELECT" = sanitize ]; then
+    # Separate build tree: sanitizer flags poison the object cache.
+    cmake -B build-sanitize -S . -DCMPCACHE_SANITIZE=ON >/dev/null
+    cmake --build build-sanitize -j"$(nproc)"
+    cd build-sanitize
+    exec ctest --output-on-failure -j"$(nproc)" -L sanitize
+fi
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"

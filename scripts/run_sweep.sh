@@ -10,8 +10,9 @@
 # Every argument is forwarded to `cmpcache sweep`; defaults below
 # apply only when the caller did not override them. Results land in
 # bench/BENCH_sweep.json (deterministic; byte-identical across
-# --threads values) and bench/BENCH_sweep_timing.json (wall-clock and
-# cycles/sec; machine-dependent by nature).
+# --threads values) and bench/BENCH_sweep_timing.json (wall-clock
+# plus cycles/sec and eventsPerSec per cell; machine-dependent by
+# nature).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

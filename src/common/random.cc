@@ -56,8 +56,24 @@ std::uint64_t
 Rng::below(std::uint64_t bound)
 {
     cmp_assert(bound > 0, "Rng::below bound must be positive");
-    // Lemire-style rejection-free enough for simulation purposes.
-    return next() % bound;
+    // Lemire's unbiased multiply-shift rejection sampling ("Fast
+    // Random Integer Generation in an Interval", ACM TOMACS 2019):
+    // map a 64-bit draw onto [0, bound) via the high half of a
+    // 128-bit product, rejecting the draws that would make some
+    // residues appear one extra time. The rejection branch is taken
+    // with probability < bound / 2^64, so it is essentially free for
+    // the small bounds the simulator uses.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            m = static_cast<unsigned __int128>(next()) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
 }
 
 std::uint64_t

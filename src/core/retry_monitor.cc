@@ -18,14 +18,29 @@ RetryMonitor::RetryMonitor(stats::Group *parent, const Params &p)
 void
 RetryMonitor::rollWindows(Tick now)
 {
-    while (now >= windowStart_ + params_.windowCycles) {
-        active_ = windowCount_ >= params_.threshold;
+    const Tick window = params_.windowCycles;
+    if (now < windowStart_ + window)
+        return;
+
+    // Close the first elapsed window with the accumulated count.
+    active_ = windowCount_ >= params_.threshold;
+    if (active_)
+        ++windowsOn_;
+    else
+        ++windowsOff_;
+    windowStart_ += window;
+    windowCount_ = 0;
+
+    // Any further elapsed windows saw zero retries; account for all
+    // of them at once instead of iterating across a long idle gap.
+    if (now >= windowStart_ + window) {
+        const std::uint64_t gap = (now - windowStart_) / window;
+        active_ = params_.threshold == 0;
         if (active_)
-            ++windowsOn_;
+            windowsOn_ += gap;
         else
-            ++windowsOff_;
-        windowStart_ += params_.windowCycles;
-        windowCount_ = 0;
+            windowsOff_ += gap;
+        windowStart_ += gap * window;
     }
 }
 

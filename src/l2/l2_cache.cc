@@ -7,32 +7,6 @@
 namespace cmpcache
 {
 
-namespace
-{
-
-/** Self-deleting deferred callback. */
-class DeferredEvent : public Event
-{
-  public:
-    explicit DeferredEvent(std::function<void()> fn) : fn_(std::move(fn))
-    {
-    }
-
-    void
-    process() override
-    {
-        fn_();
-        delete this;
-    }
-
-    std::string name() const override { return "l2-deferred"; }
-
-  private:
-    std::function<void()> fn_;
-};
-
-} // namespace
-
 L2Cache::L2Cache(stats::Group *parent, EventQueue &eq,
                  const std::string &name, AgentId id, unsigned ring_stop,
                  const L2Params &p, const PolicyConfig &policy,
@@ -536,16 +510,16 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
         ++busRetriesSeen_;
         m->inService = false;
         ++m->retries;
-        {
-            // Re-find by address at fire time: the slot may have been
-            // recycled for a different line by then.
-            auto *ev = new DeferredEvent([this, line] {
+        // Re-find by address at fire time: the slot may have been
+        // recycled for a different line by then.
+        eventq().at(
+            curTick() + params_.retryBackoff,
+            [this, line] {
                 Mshr *mm = mshrs_.find(line);
                 if (mm && !mm->inService && !mm->awaitingData)
                     tryIssue(mm);
-            });
-            eventq().schedule(ev, curTick() + params_.retryBackoff);
-        }
+            },
+            "l2-retry-backoff");
         return;
 
       case CombinedResp::Upgraded: {
@@ -586,8 +560,8 @@ L2Cache::completeWaiter(const MshrWaiter &w, Tick delay)
     if (!cpuDone_)
         return;
     const ThreadId tid = w.tid;
-    auto *ev = new DeferredEvent([this, tid] { cpuDone_(tid); });
-    eventq().schedule(ev, curTick() + delay);
+    eventq().at(curTick() + delay, [this, tid] { cpuDone_(tid); },
+                "l2-cpu-done");
 }
 
 void
@@ -621,9 +595,10 @@ L2Cache::handleFill(const BusRequest &req, const CombinedResult &res)
         if (victim->valid() && protocol::needsWriteBack(victim->state)) {
             if (wbq_.full()) {
                 // Hold the fill until a WB slot opens.
-                auto *ev = new DeferredEvent(
-                    [this, req, res] { handleFill(req, res); });
-                eventq().schedule(ev, curTick() + 8);
+                eventq().at(
+                    curTick() + 8,
+                    [this, req, res] { handleFill(req, res); },
+                    "l2-fill-stall");
                 return;
             }
             queueWriteBack(*victim);

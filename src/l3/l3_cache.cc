@@ -8,31 +8,6 @@
 namespace cmpcache
 {
 
-namespace
-{
-
-class ReleaseEvent : public Event
-{
-  public:
-    explicit ReleaseEvent(std::function<void()> fn) : fn_(std::move(fn))
-    {
-    }
-
-    void
-    process() override
-    {
-        fn_();
-        delete this;
-    }
-
-    std::string name() const override { return "l3-release"; }
-
-  private:
-    std::function<void()> fn_;
-};
-
-} // namespace
-
 L3Cache::L3Cache(stats::Group *parent, EventQueue &eq, AgentId id,
                  unsigned ring_stop, const L3Params &p)
     : SimObject(parent, "l3", eq),
@@ -153,11 +128,14 @@ L3Cache::reserveQueueSlot(const BusRequest &req, bool squash)
     if (squash) {
         // Short control-path occupancy, consumed unconditionally.
         ++wbQueueBusy_[slice];
-        auto *ev = new ReleaseEvent([this, slice] {
-            cmp_assert(wbQueueBusy_[slice] > 0, "L3 queue underflow");
-            --wbQueueBusy_[slice];
-        });
-        eventq().schedule(ev, curTick() + params_.squashOccupancy);
+        eventq().at(
+            curTick() + params_.squashOccupancy,
+            [this, slice] {
+                cmp_assert(wbQueueBusy_[slice] > 0,
+                           "L3 queue underflow");
+                --wbQueueBusy_[slice];
+            },
+            "l3-squash-release");
         return true;
     }
     // Full absorption: tentatively reserve; observeCombined consumes
@@ -247,11 +225,13 @@ L3Cache::receiveWriteBack(const BusRequest &req)
     }
 
     // Free the incoming-queue slot once the array write completes.
-    auto *ev = new ReleaseEvent([this, slice] {
-        cmp_assert(wbQueueBusy_[slice] > 0, "L3 queue underflow");
-        --wbQueueBusy_[slice];
-    });
-    eventq().schedule(ev, curTick() + params_.writeOccupancy);
+    eventq().at(
+        curTick() + params_.writeOccupancy,
+        [this, slice] {
+            cmp_assert(wbQueueBusy_[slice] > 0, "L3 queue underflow");
+            --wbQueueBusy_[slice];
+        },
+        "l3-write-release");
 }
 
 } // namespace cmpcache

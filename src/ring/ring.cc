@@ -8,33 +8,6 @@
 namespace cmpcache
 {
 
-namespace
-{
-
-/** Self-deleting event wrapper for fire-and-forget callbacks. */
-class OneShotEvent : public Event
-{
-  public:
-    explicit OneShotEvent(std::function<void()> fn)
-        : fn_(std::move(fn))
-    {
-    }
-
-    void
-    process() override
-    {
-        fn_();
-        delete this;
-    }
-
-    std::string name() const override { return "ring-oneshot"; }
-
-  private:
-    std::function<void()> fn_;
-};
-
-} // namespace
-
 Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
            unsigned num_l2s)
     : SimObject(parent, "ring", eq),
@@ -90,8 +63,7 @@ Ring::agentById(AgentId id)
 void
 Ring::at(Tick when, std::function<void()> fn)
 {
-    auto *ev = new OneShotEvent(std::move(fn));
-    eventq().schedule(ev, when);
+    eventq().at(when, std::move(fn), "ring-oneshot");
 }
 
 std::uint64_t

@@ -154,7 +154,8 @@ SweepProgressPrinter::jobFinished(const SweepJob &job,
     os_ << "sweep: [" << done << "/" << total << "] done  "
         << job.label() << ": " << r.result.execTime << " cycles in "
         << fmtSeconds(r.wallSeconds) << " ("
-        << static_cast<std::uint64_t>(r.cyclesPerSec) << " cyc/s)";
+        << static_cast<std::uint64_t>(r.cyclesPerSec) << " cyc/s, "
+        << static_cast<std::uint64_t>(r.eventsPerSec) << " ev/s)";
     if (eta_seconds >= 0.0 && done < total)
         os_ << ", eta " << fmtSeconds(eta_seconds);
     os_ << "\n";
@@ -192,13 +193,14 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
             }
 
             SweepJobResult r;
-            std::function<void(CmpSystem &)> inspect;
-            if (spec.checkCoherence) {
-                inspect = [&r](CmpSystem &sys) {
-                    r.coherenceViolations =
-                        checkCoherence(sys).violations;
+            const bool check = spec.checkCoherence;
+            const std::function<void(CmpSystem &)> inspect =
+                [&r, check](CmpSystem &sys) {
+                    r.eventsExecuted = sys.eventq().numExecuted();
+                    if (check)
+                        r.coherenceViolations =
+                            checkCoherence(sys).violations;
                 };
-            }
             const auto job_start = Clock::now();
             r.result = runExperiment(job.config, job.params, nullptr,
                                      inspect);
@@ -208,6 +210,11 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
             r.cyclesPerSec =
                 r.wallSeconds > 0.0
                     ? static_cast<double>(r.result.execTime)
+                          / r.wallSeconds
+                    : 0.0;
+            r.eventsPerSec =
+                r.wallSeconds > 0.0
+                    ? static_cast<double>(r.eventsExecuted)
                           / r.wallSeconds
                     : 0.0;
             results[i] = std::move(r);
@@ -316,8 +323,11 @@ writeSweepBenchJson(std::ostream &os, const SweepSpec &spec,
                     unsigned num_threads, double total_wall_seconds)
 {
     std::uint64_t total_cycles = 0;
-    for (const auto &r : results)
+    std::uint64_t total_events = 0;
+    for (const auto &r : results) {
         total_cycles += r.result.execTime;
+        total_events += r.eventsExecuted;
+    }
 
     os << "{\n  \"schema\": \"cmpcache-sweep-bench-v1\",\n";
     writeSpecAxes(os, spec);
@@ -326,9 +336,15 @@ writeSweepBenchJson(std::ostream &os, const SweepSpec &spec,
        << ",\n  \"totalWallSeconds\": "
        << jsonDouble(total_wall_seconds)
        << ",\n  \"totalSimCycles\": " << total_cycles
+       << ",\n  \"totalEvents\": " << total_events
        << ",\n  \"aggregateCyclesPerSec\": "
        << jsonDouble(total_wall_seconds > 0.0
                          ? static_cast<double>(total_cycles)
+                               / total_wall_seconds
+                         : 0.0)
+       << ",\n  \"aggregateEventsPerSec\": "
+       << jsonDouble(total_wall_seconds > 0.0
+                         ? static_cast<double>(total_events)
                                / total_wall_seconds
                          : 0.0)
        << ",\n  \"perJob\": [\n";
@@ -339,8 +355,10 @@ writeSweepBenchJson(std::ostream &os, const SweepSpec &spec,
            << jsonEscape(r.result.policy)
            << "\", \"outstanding\": " << r.result.maxOutstanding
            << ", \"simCycles\": " << r.result.execTime
+           << ", \"events\": " << r.eventsExecuted
            << ", \"wallSeconds\": " << jsonDouble(r.wallSeconds)
            << ", \"cyclesPerSec\": " << jsonDouble(r.cyclesPerSec)
+           << ", \"eventsPerSec\": " << jsonDouble(r.eventsPerSec)
            << "}";
         if (i + 1 < results.size())
             os << ",";

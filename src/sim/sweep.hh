@@ -99,9 +99,13 @@ struct SweepJobResult
     /** Invariant-checker violations (0 unless checkCoherence). */
     std::uint64_t coherenceViolations = 0;
 
+    /** Kernel events executed by the job (deterministic). */
+    std::uint64_t eventsExecuted = 0;
+
     // Timing -- never part of deterministic output.
     double wallSeconds = 0.0;
     double cyclesPerSec = 0.0; ///< simulated cycles per wall second
+    double eventsPerSec = 0.0; ///< kernel events per wall second
 };
 
 /**

@@ -204,3 +204,243 @@ TEST(EventQueue, DeterministicInterleaving)
     };
     EXPECT_EQ(run(), run());
 }
+
+TEST(EventQueue, RescheduleFromWithinProcess)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    EventFunctionWrapper ev(
+        [&] {
+            ticks.push_back(eq.curTick());
+            if (ticks.size() < 4)
+                eq.schedule(&ev, eq.curTick() + 100);
+        },
+        "self-resched");
+    eq.schedule(&ev, 1);
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{1, 101, 201, 301}));
+}
+
+TEST(EventQueue, RescheduleOtherEventFromWithinProcess)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto victim = makeEvent(log, 9);
+    EventFunctionWrapper mover(
+        [&] { eq.reschedule(&victim, eq.curTick() + 50); }, "mover");
+    eq.schedule(&victim, 10);
+    eq.schedule(&mover, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{9}));
+    EXPECT_EQ(eq.curTick(), 55u);
+}
+
+TEST(EventQueue, UrgentSameTickLatecomerRunsBeforePending)
+{
+    // From within a tick, scheduling a more urgent event at that same
+    // tick must still order it before the already-pending lower
+    // priority events (exercises the dirty-bucket re-sort).
+    EventQueue eq;
+    std::vector<int> log;
+    auto stat1 = makeEvent(log, 1, Event::StatPri);
+    auto stat2 = makeEvent(log, 2, Event::StatPri);
+    auto urgent = makeEvent(log, 3, Event::DefaultPri);
+    EventFunctionWrapper trigger(
+        [&] { eq.schedule(&urgent, eq.curTick()); }, "trigger",
+        Event::CombinePri);
+    eq.schedule(&stat1, 7);
+    eq.schedule(&stat2, 7);
+    eq.schedule(&trigger, 7);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(EventQueue, MixedPrioritySameTickFullOrder)
+{
+    // Many events at one tick across all priority classes: priority
+    // ranks first, insertion order breaks ties within a class.
+    EventQueue eq;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+    const Event::Priority prios[] = {Event::StatPri, Event::DefaultPri,
+                                     Event::CombinePri};
+    for (int i = 0; i < 30; ++i)
+        evs.push_back(std::make_unique<EventFunctionWrapper>(
+            [&log, i] { log.push_back(i); }, "mix", prios[i % 3]));
+    for (auto &ev : evs)
+        eq.schedule(ev.get(), 42);
+    eq.run();
+    std::vector<int> expect;
+    for (int i = 1; i < 30; i += 3) // DefaultPri first
+        expect.push_back(i);
+    for (int i = 2; i < 30; i += 3) // then CombinePri
+        expect.push_back(i);
+    for (int i = 0; i < 30; i += 3) // then StatPri
+        expect.push_back(i);
+    EXPECT_EQ(log, expect);
+}
+
+TEST(EventQueue, WheelHeapBoundaryOrdering)
+{
+    // Delays straddling the wheel span must still fire in tick order,
+    // including the exact WheelSpan-1 / WheelSpan / WheelSpan+1 edge.
+    EventQueue eq;
+    std::vector<int> log;
+    auto near = makeEvent(log, 1);
+    auto edge = makeEvent(log, 2);
+    auto far1 = makeEvent(log, 3);
+    auto far2 = makeEvent(log, 4);
+    eq.schedule(&far2, 5 * EventQueue::WheelSpan);
+    eq.schedule(&far1, EventQueue::WheelSpan + 1);
+    eq.schedule(&edge, EventQueue::WheelSpan);
+    eq.schedule(&near, EventQueue::WheelSpan - 1);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.curTick(), 5 * EventQueue::WheelSpan);
+}
+
+TEST(EventQueue, SelfRescheduleAcrossWheelBoundary)
+{
+    // An event hopping by exactly WheelSpan keeps crossing from the
+    // far heap into the wheel as time advances.
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    EventFunctionWrapper hopper(
+        [&] {
+            ticks.push_back(eq.curTick());
+            if (ticks.size() < 5)
+                eq.schedule(&hopper,
+                            eq.curTick() + EventQueue::WheelSpan);
+        },
+        "hopper");
+    eq.schedule(&hopper, 0);
+    eq.run();
+    ASSERT_EQ(ticks.size(), 5u);
+    for (std::size_t i = 0; i < ticks.size(); ++i)
+        EXPECT_EQ(ticks[i], i * EventQueue::WheelSpan);
+}
+
+TEST(EventQueue, SameTickPrioritySequenceAgreeAcrossBoundary)
+{
+    // Far-heap events migrated into the wheel must interleave with
+    // directly scheduled same-tick events per (priority, sequence).
+    EventQueue eq;
+    std::vector<int> log;
+    const Tick target = EventQueue::WheelSpan + 500;
+    auto far_stat = makeEvent(log, 1, Event::StatPri);
+    auto far_def = makeEvent(log, 2, Event::DefaultPri);
+    eq.schedule(&far_stat, target); // scheduled first: lower sequence
+    eq.schedule(&far_def, target);
+    auto near_def = makeEvent(log, 3, Event::DefaultPri);
+    EventFunctionWrapper kick(
+        [&] {
+            // target now lies inside the wheel window: this schedule
+            // appends directly to a bucket already holding migrants.
+            log.push_back(0);
+            eq.schedule(&near_def, target);
+        },
+        "kick");
+    eq.schedule(&kick, 600); // pulls time forward past migration
+    eq.run();
+    // DefaultPri in sequence order (2 before 3), StatPri last.
+    EXPECT_EQ(log, (std::vector<int>{0, 2, 3, 1}));
+}
+
+TEST(EventQueue, FarEventDescheduleThenDestroySafely)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto keeper = makeEvent(log, 1);
+    {
+        auto goner = makeEvent(log, 99);
+        eq.schedule(&goner, 3 * EventQueue::WheelSpan);
+        eq.deschedule(&goner);
+    } // dies while its far-heap entry is still pending
+    eq.schedule(&keeper, 4 * EventQueue::WheelSpan);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, ScheduledEventDestroyedWithoutDeschedule)
+{
+    // ~Event deschedules itself; the stale queue entry must not fire.
+    EventQueue eq;
+    std::vector<int> log;
+    auto keeper = makeEvent(log, 1);
+    {
+        auto goner = makeEvent(log, 99);
+        eq.schedule(&goner, 5);
+    }
+    eq.schedule(&keeper, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(EventQueue, EventsMayOutliveTheQueue)
+{
+    std::vector<int> log;
+    auto survivor = makeEvent(log, 1);
+    {
+        EventQueue eq;
+        eq.schedule(&survivor, 12);
+        eq.deschedule(&survivor); // leaves a stale entry behind
+        eq.schedule(&survivor, 15); // and a live one
+    } // queue dies first; survivor's destructor must not touch it
+    EXPECT_TRUE(log.empty());
+    EXPECT_FALSE(survivor.scheduled());
+}
+
+TEST(EventQueue, RunBoundedOnEmptyQueueKeepsTime)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    auto e1 = makeEvent(log, 1);
+    eq.schedule(&e1, 10);
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 10u);
+    eq.run(500); // empty queue: time must not jump to the bound
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, PooledAtRunsInOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    eq.at(20, [&] { log.push_back(2); });
+    eq.at(10, [&] { log.push_back(1); });
+    eq.at(20, [&] { log.push_back(3); }); // same tick: FIFO
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.numExecuted(), 3u);
+}
+
+TEST(EventQueue, PooledAtRecyclesObjects)
+{
+    // A long chain of sequential one-shots must reuse pool objects
+    // instead of growing the pool per event.
+    EventQueue eq;
+    int fires = 0;
+    std::function<void()> chain = [&] {
+        if (++fires < 1000)
+            eq.at(eq.curTick() + 1, chain);
+    };
+    eq.at(0, chain);
+    eq.run();
+    EXPECT_EQ(fires, 1000);
+    EXPECT_LE(eq.poolSize(), 64u); // one chunk is plenty
+}
+
+TEST(EventQueue, PooledAtChainsAcrossWheelBoundary)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    std::function<void()> chain = [&] {
+        ticks.push_back(eq.curTick());
+        if (ticks.size() < 4)
+            eq.at(eq.curTick() + 2 * EventQueue::WheelSpan, chain);
+    };
+    eq.at(1, chain);
+    eq.run();
+    ASSERT_EQ(ticks.size(), 4u);
+    EXPECT_EQ(ticks[3], 1 + 6 * EventQueue::WheelSpan);
+}
