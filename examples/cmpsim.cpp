@@ -14,16 +14,24 @@
  *
  *   # dump every statistic and the effective configuration
  *   ./examples/cmpsim --workload=CPW2 --stats --dump-config
+ *
+ *   # sample probes every 1000 cycles, export a Perfetto trace
+ *   ./examples/cmpsim --workload=thrash --sample-every=1000 \
+ *       --trace-out=/tmp/cmpsim.trace.json
  */
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "l1/l1_cache.hh"
+#include "obs/trace_export.hh"
 #include "sim/config_io.hh"
 #include "sim/experiment.hh"
+#include "sim/simulation.hh"
+#include "stats/sink.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload_config.hh"
 #include "trace/workloads_commercial.hh"
@@ -48,8 +56,14 @@ usage()
         "  KEY=VALUE          positional config overrides, e.g.\n"
         "                     policy=wbht cpu.outstanding=6\n"
         "  --l1-filter        filter input through private L1s\n"
-        "  --stats[=FILE]     dump all statistics\n"
+        "  --stats[=FILE]     dump all statistics as text\n"
         "  --csv[=FILE]       dump statistics as CSV\n"
+        "  --json[=FILE]      dump statistics as JSON\n"
+        "  --sample-every=N   sample observability probes every N\n"
+        "                     cycles (0 = off)\n"
+        "  --trace-out=FILE   write a Chrome trace-event (Perfetto)\n"
+        "                     JSON of coherence transactions, with\n"
+        "                     sampled counters when --sample-every\n"
         "  --dump-config      print the effective configuration\n"
         "  --help             this text\n\n"
         "config keys:\n";
@@ -59,6 +73,22 @@ usage()
                  "generator):\n";
     for (const auto &k : workloadConfigKeys())
         std::cout << "  " << k << "\n";
+}
+
+/** Write a stats dump to @p path, or to stdout when path=="true"
+ * (the flag was given with no value). */
+void
+dumpStats(const stats::Group &root, const std::string &path,
+          void (*writer)(const stats::Group &, std::ostream &))
+{
+    if (path == "true") {
+        writer(root, std::cout);
+    } else {
+        std::ofstream os(path);
+        if (!os)
+            cmp_fatal("cannot write stats file '", path, "'");
+        writer(root, os);
+    }
 }
 
 } // namespace
@@ -95,12 +125,22 @@ main(int argc, char **argv)
         else
             applyConfigOption(cfg, key, value);
     }
+    if (args.has("sample-every")) {
+        const auto every = args.getInt("sample-every", 0);
+        if (every < 0)
+            cmp_fatal("--sample-every must be >= 0");
+        cfg.obs.sampleEvery = static_cast<Tick>(every);
+    }
+    const std::string trace_out = args.getString("trace-out", "");
+    if (!trace_out.empty())
+        cfg.obs.traceEnabled = true;
     if (args.getBool("dump-config", false))
         saveConfig(cfg, std::cout);
 
     // Build the input bundle.
     TraceBundle bundle;
     std::string input_name;
+    std::optional<TraceBundle> warmup;
     if (args.has("trace")) {
         const auto records =
             readTraceFile(args.getString("trace", ""));
@@ -120,6 +160,8 @@ main(int argc, char **argv)
         bundle = synth.makeBundle();
         cfg.l2.lineSize = wl.lineSize;
         cfg.l3.lineSize = wl.lineSize;
+        if (cfg.warmupPass)
+            warmup = synth.makeBundle();
     }
 
     if (args.getBool("l1-filter", false)) {
@@ -128,22 +170,10 @@ main(int argc, char **argv)
         bundle = filterThroughL1(std::move(bundle), l1p);
     }
 
-    CmpSystem sys(cfg, std::move(bundle));
-    if (cfg.warmupPass && !args.has("trace")) {
-        const auto refs = static_cast<std::uint64_t>(args.getInt(
-            "refs",
-            static_cast<std::int64_t>(benchRecordsPerThread(30000))));
-        auto wl = workloads::byName(
-            args.getString("workload", "TP"), refs,
-            static_cast<std::uint64_t>(args.getInt("seed", 1)));
-        for (const auto &[key, value] : wl_overrides)
-            applyWorkloadOption(wl, key, value);
-        SyntheticWorkload synth(wl);
-        sys.functionalWarmup(synth.makeBundle());
-    }
-
-    const Tick t = sys.run();
-    const auto r = collectResult(sys, t, input_name);
+    Simulation sim(cfg, std::move(bundle), input_name,
+                   warmup ? &*warmup : nullptr);
+    const ExperimentResult r = sim.run();
+    const Tick t = r.execTime;
 
     std::cout << input_name << ": " << t << " cycles\n"
               << "  L2 hit rate        " << r.l2HitRatePct << "%\n"
@@ -153,27 +183,27 @@ main(int argc, char **argv)
               << "  L2 WB requests     " << r.l2WbRequests << "\n"
               << "  L3 retries         " << r.l3Retries << "\n"
               << "  off-chip accesses  " << r.offChipAccesses << "\n";
-    if (sys.config().policy.usesWbht())
+    if (sim.config().policy.usesWbht())
         std::cout << "  WBHT correct       " << r.wbhtCorrectPct
                   << "% (aborted " << r.wbAborted << ")\n";
 
-    if (args.has("stats")) {
-        const auto path = args.getString("stats", "true");
-        if (path == "true") {
-            sys.dump(std::cout);
-        } else {
-            std::ofstream os(path);
-            sys.dump(os);
-        }
-    }
-    if (args.has("csv")) {
-        const auto path = args.getString("csv", "true");
-        if (path == "true") {
-            sys.dumpCsv(std::cout);
-        } else {
-            std::ofstream os(path);
-            sys.dumpCsv(os);
-        }
+    if (args.has("stats"))
+        dumpStats(sim.system(), args.getString("stats", "true"),
+                  &stats::writeText);
+    if (args.has("csv"))
+        dumpStats(sim.system(), args.getString("csv", "true"),
+                  &stats::writeCsv);
+    if (args.has("json"))
+        dumpStats(sim.system(), args.getString("json", "true"),
+                  &stats::writeJson);
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out);
+        if (!os)
+            cmp_fatal("cannot write trace file '", trace_out, "'");
+        writeChromeTrace(os, sim.traceEvents(),
+                         sim.sampled() ? &sim.samples() : nullptr);
+        std::cerr << "trace written to " << trace_out << "\n";
     }
     return 0;
 }

@@ -6,23 +6,44 @@
 #   scripts/check.sh unit       # unit tests only
 #   scripts/check.sh e2e        # end-to-end (sweep) tests only
 #   scripts/check.sh sanitize   # ASan+UBSan build, sanitize-labelled tests
+#   scripts/check.sh obs        # ASan+UBSan build, obs-labelled tests,
+#                               # then a sampled sweep smoke run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize) ;;
+unit | e2e | all | sanitize | obs) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|obs]" >&2
     exit 2
     ;;
 esac
 
-if [ "$SELECT" = sanitize ]; then
+if [ "$SELECT" = sanitize ] || [ "$SELECT" = obs ]; then
     # Separate build tree: sanitizer flags poison the object cache.
     cmake -B build-sanitize -S . -DCMPCACHE_SANITIZE=ON >/dev/null
     cmake --build build-sanitize -j"$(nproc)"
+    if [ "$SELECT" = obs ]; then
+        # The observability suite under the sanitizers, then a sampled
+        # + traced sweep smoke run through the sanitized binary.
+        (cd build-sanitize && ctest --output-on-failure -j"$(nproc)" -L obs)
+        smoke_dir="$(mktemp -d)"
+        trap 'rm -rf "$smoke_dir"' EXIT
+        ./build-sanitize/src/cmpcache sweep \
+            --workloads=thrash --policies=wbht --refs=2000 \
+            --sample-every=5000 --trace-out="$smoke_dir/trace.json" \
+            --out="$smoke_dir/results.json" --quiet
+        for f in results.json trace.json; do
+            python3 -m json.tool "$smoke_dir/$f" >/dev/null \
+                || { echo "invalid JSON: $f" >&2; exit 1; }
+        done
+        grep -q '"timeSeries"' "$smoke_dir/results.json" \
+            || { echo "sampled sweep emitted no timeSeries" >&2; exit 1; }
+        echo "obs: sanitized suite + sampled sweep smoke OK"
+        exit 0
+    fi
     cd build-sanitize
     exec ctest --output-on-failure -j"$(nproc)" -L sanitize
 fi

@@ -14,6 +14,8 @@
 #ifndef CMPCACHE_CORE_RETRY_MONITOR_HH
 #define CMPCACHE_CORE_RETRY_MONITOR_HH
 
+#include <functional>
+
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -42,20 +44,43 @@ class RetryMonitor : public stats::Group
     /** Is the WBHT currently allowed to filter write backs? */
     bool active(Tick now);
 
+    /**
+     * Give the monitor a way to read the current tick so its gauge
+     * stats (wbht_active_now & friends) can roll windows before
+     * reporting. Without one the gauges report last-known state.
+     * Rolling is idempotent in the observed values, so a gauge read
+     * never changes what the simulation itself would compute.
+     */
+    void setTimeSource(std::function<Tick()> now)
+    {
+        timeSource_ = std::move(now);
+    }
+
     const Params &params() const { return params_; }
 
   private:
     /** Close any windows that ended before @p now. */
     void rollWindows(Tick now);
 
+    /** Roll up to the time source's now (if any) and return @p v. */
+    double gauge(const std::function<double()> &v);
+
     Params params_;
     Tick windowStart_ = 0;
     std::uint64_t windowCount_ = 0;
+    /** Retry count of the most recently closed window. */
+    std::uint64_t lastWindowCount_ = 0;
     bool active_ = false;
+    std::function<Tick()> timeSource_;
 
     stats::Scalar retriesSeen_;
     stats::Scalar windowsOn_;
     stats::Scalar windowsOff_;
+    stats::Scalar gateTransitions_;
+    stats::Formula activeNow_;
+    stats::Formula windowRetriesNow_;
+    stats::Formula lastWindowRetries_;
+    stats::Formula windowsElapsed_;
 };
 
 } // namespace cmpcache

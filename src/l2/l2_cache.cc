@@ -65,7 +65,22 @@ L2Cache::L2Cache(stats::Group *parent, EventQueue &eq,
       snarfLocalUse_(this, "snarf_local_use",
                      "snarfed lines later hit by a local thread"),
       snarfInterventionUse_(this, "snarf_intervention_use",
-                            "snarfed lines later sourced to peers")
+                            "snarfed lines later sourced to peers"),
+      wbqDepthNow_(this, "wbq_depth_now",
+                   "write-back queue entries right now",
+                   [this] {
+                       return static_cast<double>(wbq_.size());
+                   }),
+      mshrOccupancyNow_(this, "mshr_occupancy_now",
+                        "MSHRs in use right now",
+                        [this] {
+                            return static_cast<double>(mshrs_.inUse());
+                        }),
+      wbhtGateNow_(this, "wbht_gate_now",
+                   "are WBHT decisions active right now (0/1)",
+                   [this] {
+                       return wbhtDecisionsActive() ? 1.0 : 0.0;
+                   })
 {
     if (policy_.usesWbht()) {
         auto wp = policy_.wbht;

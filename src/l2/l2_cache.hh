@@ -209,6 +209,11 @@ class L2Cache : public SimObject, public BusAgent
     stats::Scalar snarfedDropped_;
     stats::Scalar snarfLocalUse_;
     stats::Scalar snarfInterventionUse_;
+
+    // Instantaneous occupancy gauges (sampler probes).
+    stats::Formula wbqDepthNow_;
+    stats::Formula mshrOccupancyNow_;
+    stats::Formula wbhtGateNow_;
 };
 
 } // namespace cmpcache

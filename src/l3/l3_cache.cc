@@ -46,7 +46,16 @@ L3Cache::L3Cache(stats::Group *parent, EventQueue &eq, AgentId id,
       victimsToMemory_(this, "victims_to_memory",
                        "dirty L3 victims written to memory"),
       victimsDropped_(this, "victims_dropped",
-                      "clean L3 victims dropped")
+                      "clean L3 victims dropped"),
+      incomingQueueBusyNow_(this, "incoming_queue_busy_now",
+                            "occupied incoming-queue entries across "
+                            "all slices right now",
+                            [this] {
+                                unsigned busy = 0;
+                                for (const auto b : wbQueueBusy_)
+                                    busy += b;
+                                return static_cast<double>(busy);
+                            })
 {
 }
 

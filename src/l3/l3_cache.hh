@@ -147,6 +147,9 @@ class L3Cache : public SimObject, public BusAgent
     stats::Scalar invalidations_;
     stats::Scalar victimsToMemory_;
     stats::Scalar victimsDropped_;
+    /** Occupied incoming-queue entries across slices (sampler
+     * probe). */
+    stats::Formula incomingQueueBusyNow_;
 };
 
 } // namespace cmpcache

@@ -65,11 +65,55 @@ usage()
         "  --bench-out=FILE      timing JSON, e.g. "
         "bench/BENCH_grid.json\n"
         "  --check-coherence     run the invariant checker per cell\n"
+        "  --sample-every=N      sample observability probes every N\n"
+        "                        cycles (0 = off, the default); adds\n"
+        "                        a timeSeries block to the results\n"
+        "  --trace-out=FILE      record coherence transactions and\n"
+        "                        write a Chrome trace-event (Perfetto)\n"
+        "                        JSON per cell; multi-cell grids get\n"
+        "                        FILE.<cell-index> before the extension\n"
+        "  --stats-format=F      capture a full stats dump per cell:\n"
+        "                        text, csv or json (default: none)\n"
+        "  --stats-out=FILE      stats dump destination (per cell,\n"
+        "                        like --trace-out; default: stderr)\n"
         "  --config=FILE         base configuration file\n"
         "  KEY=VALUE             positional base-config overrides;\n"
         "                        wl.* keys adjust every cell's "
         "workload\n"
         "  --quiet               suppress progress lines\n";
+}
+
+StatsFormat
+statsFormatFromString(const std::string &s)
+{
+    if (s == "text")
+        return StatsFormat::Text;
+    if (s == "csv")
+        return StatsFormat::Csv;
+    if (s == "json")
+        return StatsFormat::Json;
+    cmp_fatal("--stats-format expects text|csv|json, got '", s, "'");
+}
+
+/**
+ * Per-cell output path: "trace.json" stays "trace.json" for a
+ * single-cell grid and becomes "trace.3.json" for cell 3 of many.
+ */
+std::string
+perCellPath(const std::string &base, std::size_t index,
+            std::size_t total)
+{
+    if (total <= 1)
+        return base;
+    const auto dot = base.rfind('.');
+    const auto slash = base.rfind('/');
+    const bool has_ext =
+        dot != std::string::npos
+        && (slash == std::string::npos || dot > slash);
+    if (!has_ext)
+        return base + "." + std::to_string(index);
+    return base.substr(0, dot) + "." + std::to_string(index)
+           + base.substr(dot);
 }
 
 std::vector<std::string>
@@ -144,6 +188,21 @@ sweepMain(const CliArgs &args)
             applyConfigOption(spec.base, key, value);
     }
 
+    // CLI observability knobs override config-file obs.* keys.
+    if (args.has("sample-every")) {
+        const auto every = args.getInt("sample-every", 0);
+        if (every < 0)
+            cmp_fatal("--sample-every must be >= 0");
+        spec.base.obs.sampleEvery = static_cast<Tick>(every);
+    }
+    const std::string trace_out = args.getString("trace-out", "");
+    if (!trace_out.empty())
+        spec.base.obs.traceEnabled = true;
+    if (args.has("stats-format"))
+        spec.statsFormat = statsFormatFromString(
+            args.getString("stats-format", ""));
+    const std::string stats_out = args.getString("stats-out", "");
+
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
@@ -177,6 +236,39 @@ sweepMain(const CliArgs &args)
         writeSweepResultsJson(os, spec, results);
         if (!quiet)
             inform("sweep: results written to ", out);
+    }
+
+    if (!trace_out.empty()) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto path =
+                perCellPath(trace_out, i, results.size());
+            std::ofstream os(path);
+            if (!os)
+                cmp_fatal("cannot write trace file '", path, "'");
+            const auto &r = results[i];
+            writeChromeTrace(os, r.trace,
+                             r.samples.empty() ? nullptr : &r.samples);
+            if (!quiet)
+                inform("sweep: trace written to ", path);
+        }
+    }
+
+    if (spec.statsFormat != StatsFormat::None) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (stats_out.empty()) {
+                std::cerr << "# stats: cell " << i << "\n"
+                          << results[i].statsDump;
+                continue;
+            }
+            const auto path =
+                perCellPath(stats_out, i, results.size());
+            std::ofstream os(path);
+            if (!os)
+                cmp_fatal("cannot write stats file '", path, "'");
+            os << results[i].statsDump;
+            if (!quiet)
+                inform("sweep: stats written to ", path);
+        }
     }
 
     if (args.has("bench-out")) {

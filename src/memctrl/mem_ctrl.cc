@@ -14,7 +14,16 @@ MemCtrl::MemCtrl(stats::Group *parent, EventQueue &eq, AgentId id,
       reads_(this, "reads", "demand lines supplied from memory"),
       writes_(this, "writes", "lines written (dirty L3 victims)"),
       queueWait_(this, "queue_wait",
-                 "cycles demand reads waited for the channel")
+                 "cycles demand reads waited for the channel"),
+      outstandingNow_(this, "outstanding_reads_now",
+                      "demand reads in flight right now",
+                      [this] {
+                          const Tick now = curTick();
+                          std::size_t n = 0;
+                          for (const Tick done : inflight_)
+                              n += done > now;
+                          return static_cast<double>(n);
+                      })
 {
 }
 
@@ -44,7 +53,11 @@ MemCtrl::scheduleSupply(const BusRequest &req, Tick combine_time)
     queueWait_.sample(static_cast<double>(start - combine_time));
     channelFree_ = start + params_.channelOccupancy;
     ++reads_;
-    return start + params_.accessLatency;
+    const Tick done = start + params_.accessLatency;
+    std::erase_if(inflight_,
+                  [now = curTick()](Tick t) { return t <= now; });
+    inflight_.push_back(done);
+    return done;
 }
 
 void

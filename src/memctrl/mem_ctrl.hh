@@ -7,6 +7,8 @@
 #ifndef CMPCACHE_MEMCTRL_MEM_CTRL_HH
 #define CMPCACHE_MEMCTRL_MEM_CTRL_HH
 
+#include <vector>
+
 #include "ring/ring.hh"
 #include "sim/sim_object.hh"
 
@@ -45,10 +47,15 @@ class MemCtrl : public SimObject, public BusAgent
     unsigned stop_;
     MemParams params_;
     Tick channelFree_ = 0;
+    /** Completion tick of each in-flight demand read; pruned lazily
+     * on the next scheduleSupply, so it stays a handful of entries. */
+    std::vector<Tick> inflight_;
 
     stats::Scalar reads_;
     stats::Scalar writes_;
     stats::Average queueWait_;
+    /** Demand reads in flight right now (sampler probe). */
+    stats::Formula outstandingNow_;
 };
 
 } // namespace cmpcache

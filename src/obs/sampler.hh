@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Periodic statistic sampler (docs/observability.md).
+ *
+ * The Sampler owns an event-kernel callback that fires every
+ * `interval` ticks at Event::StatPri -- after all same-cycle model
+ * activity -- and appends the instantaneous value of every watched
+ * statistic to an in-memory SampleSeries. Watching resolves each
+ * dotted path through Group::find() exactly once and caches the
+ * resolved Stat pointer, so a sample is O(#channels) regardless of
+ * the size of the stats tree.
+ *
+ * The sampler terminates with the simulation: after recording a
+ * sample it reschedules itself only while other events are pending,
+ * so it never keeps the queue alive on its own and EventQueue::run()
+ * still drains.
+ *
+ * SamplerSink is the StatSink face of the same machinery: visiting a
+ * Group subtree with it enumerates sampleable stats (optionally
+ * through a path filter), which backs Sampler::watchMatching().
+ */
+
+#ifndef CMPCACHE_OBS_SAMPLER_HH
+#define CMPCACHE_OBS_SAMPLER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/time_series.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace cmpcache
+{
+
+/**
+ * StatSink that collects (path, stat) channels instead of formatting
+ * anything. All four visit methods funnel into the same registration;
+ * the optional filter decides which paths are kept.
+ */
+class SamplerSink : public stats::StatSink
+{
+  public:
+    using Filter = std::function<bool(const std::string &)>;
+
+    struct Channel
+    {
+        std::string path;
+        const stats::Stat *stat;
+    };
+
+    explicit SamplerSink(Filter filter = {})
+        : filter_(std::move(filter))
+    {
+    }
+
+    void
+    visitScalar(const std::string &path,
+                const stats::Scalar &s) override
+    {
+        add(path, s);
+    }
+    void
+    visitAverage(const std::string &path,
+                 const stats::Average &s) override
+    {
+        add(path, s);
+    }
+    void
+    visitHistogram(const std::string &path,
+                   const stats::Histogram &s) override
+    {
+        add(path, s);
+    }
+    void
+    visitFormula(const std::string &path,
+                 const stats::Formula &s) override
+    {
+        add(path, s);
+    }
+
+    const std::vector<Channel> &channels() const { return channels_; }
+
+  private:
+    void
+    add(const std::string &path, const stats::Stat &s)
+    {
+        if (!filter_ || filter_(path))
+            channels_.push_back({path, &s});
+    }
+
+    Filter filter_;
+    std::vector<Channel> channels_;
+};
+
+class Sampler
+{
+  public:
+    /**
+     * @param eq       queue driving the simulation being observed
+     * @param root     group subtree the watch paths are relative to
+     * @param interval sampling period in ticks (> 0)
+     */
+    Sampler(EventQueue &eq, const stats::Group &root, Tick interval);
+
+    /**
+     * Watch one stat by dotted path relative to the root group
+     * ("ring.pending_now"). The path is resolved once, here; the
+     * cached pointer makes subsequent samples O(1) per channel.
+     * @return false if the path does not name a stat (or is already
+     *         watched)
+     */
+    bool watch(const std::string &path);
+
+    /**
+     * Watch every stat in the subtree whose root-relative path the
+     * filter admits (all of them with a null filter), in emission
+     * order. @return the number of channels added.
+     */
+    std::size_t watchMatching(const SamplerSink::Filter &filter);
+
+    /** Schedule the first sample one interval from now. */
+    void start();
+
+    std::size_t numChannels() const { return series_.names.size(); }
+    bool started() const { return started_; }
+
+    /** The captured series (grows until the simulation drains). */
+    const SampleSeries &series() const { return series_; }
+
+  private:
+    void fire();
+
+    EventQueue &eq_;
+    const stats::Group &root_;
+    Tick interval_;
+    std::vector<const stats::Stat *> stats_;
+    SampleSeries series_;
+    EventFunctionWrapper event_;
+    bool started_ = false;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_OBS_SAMPLER_HH

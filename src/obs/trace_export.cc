@@ -1,0 +1,140 @@
+#include "obs/trace_export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+bool
+operator==(const TraceEvent &a, const TraceEvent &b)
+{
+    return std::strcmp(a.name, b.name) == 0
+           && std::strcmp(a.cat, b.cat) == 0 && a.start == b.start
+           && a.end == b.end && a.track == b.track && a.id == b.id
+           && a.addr == b.addr && std::strcmp(a.result, b.result) == 0;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    cmp_assert(capacity_ > 0, "trace recorder needs capacity > 0");
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+TraceRecorder::record(TraceEvent ev)
+{
+    ev.id = recorded_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(ev);
+    } else {
+        ring_[static_cast<std::size_t>(ev.id % capacity_)] = ev;
+    }
+}
+
+std::size_t
+TraceRecorder::size() const
+{
+    return ring_.size();
+}
+
+std::uint64_t
+TraceRecorder::dropped() const
+{
+    return recorded_ - ring_.size();
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    if (recorded_ <= capacity_) {
+        out = ring_;
+    } else {
+        // The buffer has wrapped: the oldest surviving event sits at
+        // the next write position.
+        const auto head =
+            static_cast<std::size_t>(recorded_ % capacity_);
+        out.insert(out.end(), ring_.begin() + head, ring_.end());
+        out.insert(out.end(), ring_.begin(), ring_.begin() + head);
+    }
+    return out;
+}
+
+namespace
+{
+
+struct TraceLine
+{
+    Tick ts;
+    std::string json;
+};
+
+std::string
+hexAddr(std::uint64_t addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const SampleSeries *series)
+{
+    std::vector<TraceLine> lines;
+    lines.reserve(events.size()
+                  + (series ? series->numSamples()
+                                  * series->numChannels()
+                            : 0));
+
+    for (const auto &ev : events) {
+        std::ostringstream l;
+        l << "{\"name\": \"" << jsonEscape(ev.name) << "\", \"cat\": \""
+          << jsonEscape(ev.cat) << "\", \"ph\": \"X\", \"ts\": "
+          << ev.start << ", \"dur\": " << ev.end - ev.start
+          << ", \"pid\": 0, \"tid\": " << ev.track
+          << ", \"args\": {\"addr\": \"" << hexAddr(ev.addr)
+          << "\", \"txn\": " << ev.id << ", \"resp\": \""
+          << jsonEscape(ev.result) << "\"}}";
+        lines.push_back({ev.start, l.str()});
+    }
+
+    if (series) {
+        for (std::size_t i = 0; i < series->numSamples(); ++i) {
+            for (std::size_t c = 0; c < series->numChannels(); ++c) {
+                std::ostringstream l;
+                l << "{\"name\": \"" << jsonEscape(series->names[c])
+                  << "\", \"ph\": \"C\", \"ts\": " << series->ticks[i]
+                  << ", \"pid\": 0, \"args\": {\"value\": "
+                  << jsonDouble(series->values[c][i]) << "}}";
+                lines.push_back({series->ticks[i], l.str()});
+            }
+        }
+    }
+
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const TraceLine &a, const TraceLine &b) {
+                         return a.ts < b.ts;
+                     });
+
+    os << "{\n\"traceEvents\": [";
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        os << (i ? ",\n" : "\n") << lines[i].json;
+    os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+} // namespace cmpcache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bounded recording of coherence-transaction timing and export to the
+ * Chrome trace-event JSON format (loadable in Perfetto / chrome://
+ * tracing; see docs/observability.md for the schema).
+ *
+ * The recorder is a fixed-capacity ring buffer: producers (the ring
+ * interconnect) call record() unconditionally and the newest
+ * `capacity` events survive, so tracing a long run has bounded memory
+ * no matter how hot the bus is. Events use plain fields (static
+ * strings, ticks, ids) so this library depends only on common/ --
+ * the interconnect links against obs, never the reverse.
+ */
+
+#ifndef CMPCACHE_OBS_TRACE_EXPORT_HH
+#define CMPCACHE_OBS_TRACE_EXPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/time_series.hh"
+
+namespace cmpcache
+{
+
+/**
+ * One completed span. `name`/`cat`/`result` must point to storage
+ * outliving the recorder (string literals: bus-command and
+ * combined-response names).
+ */
+struct TraceEvent
+{
+    const char *name = "";   // e.g. "Read", "WriteBackDirty"
+    const char *cat = "";    // e.g. "coherence"
+    Tick start = 0;          // span begin (transaction issue)
+    Tick end = 0;            // span end (data delivered / combined)
+    std::uint32_t track = 0; // originating agent (Chrome "tid")
+    std::uint64_t id = 0;    // per-recorder transaction ordinal
+    std::uint64_t addr = 0;  // line address
+    const char *result = ""; // combined response, e.g. "Retry"
+};
+
+bool operator==(const TraceEvent &a, const TraceEvent &b);
+
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(std::size_t capacity);
+
+    /** Append @p ev, evicting the oldest event once full. The
+     * recorder assigns the event's id (recording ordinal). */
+    void record(TraceEvent ev);
+
+    std::size_t capacity() const { return capacity_; }
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+    /** Total record() calls, including evicted events. */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Events lost to ring-buffer wrap-around. */
+    std::uint64_t dropped() const;
+
+    /** The surviving events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;
+    std::uint64_t recorded_ = 0;
+};
+
+/**
+ * Write a Chrome trace-event JSON file: one complete-event ("ph":"X")
+ * per TraceEvent and, when @p series is given, one counter track
+ * ("ph":"C") per sampled channel. Ticks are exported as microseconds
+ * (1 tick = 1 us in the viewer's timeline). Events are emitted in
+ * ascending timestamp order; ties keep recording order.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const SampleSeries *series = nullptr);
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_OBS_TRACE_EXPORT_HH

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/retry_monitor.hh"
+#include "obs/trace_export.hh"
 
 namespace cmpcache
 {
@@ -20,10 +21,17 @@ Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
                      "line transfers on the data ring"),
       dataSegmentWaits_(this, "data_segment_waits",
                         "transfers delayed by a busy segment"),
+      retryResponses_(this, "retry_responses",
+                      "transactions answered with Retry"),
       queueDelay_(this, "queue_delay",
                   "cycles requests waited for an address slot"),
       queueDepth_(this, "queue_depth",
-                  "address queue depth at enqueue time", 0, 64, 16)
+                  "address queue depth at enqueue time", 0, 64, 16),
+      pendingNow_(this, "pending_now",
+                  "requests queued for an address slot right now",
+                  [this] {
+                      return static_cast<double>(reqQueue_.size());
+                  })
 {
     nextFree_[0].assign(params_.numStops, 0);
     nextFree_[1].assign(params_.numStops, 0);
@@ -105,14 +113,16 @@ Ring::drain()
     nextLaunch_ = now + params_.addrSlotCycles;
 
     const BusRequest req = pending.req;
-    at(now + params_.snoopLatency, [this, req] { combineNow(req); });
+    const Tick enq = pending.enqueued;
+    at(now + params_.snoopLatency,
+       [this, req, enq] { combineNow(req, enq); });
 
     if (!reqQueue_.empty())
         eventq().schedule(&drainEvent_, nextLaunch_);
 }
 
 void
-Ring::combineNow(BusRequest req)
+Ring::combineNow(BusRequest req, Tick enqueued)
 {
     // Gather snoop responses from everyone except the requester.
     std::vector<SnoopResponse> responses;
@@ -131,8 +141,11 @@ Ring::combineNow(BusRequest req)
     const CombinedResult res = collector_.combine(req, responses);
     const Tick now = curTick();
 
-    if (res.resp == CombinedResp::Retry && retryMonitor_)
-        retryMonitor_->recordRetry(now);
+    if (res.resp == CombinedResp::Retry) {
+        ++retryResponses_;
+        if (retryMonitor_)
+            retryMonitor_->recordRetry(now);
+    }
 
     if (observer_)
         observer_(req, res);
@@ -172,7 +185,13 @@ Ring::combineNow(BusRequest req)
       case CombinedResp::Retry:
       case CombinedResp::Upgraded:
       case CombinedResp::WbSquashed:
-        return; // no data phase
+        // No data phase: the span ends at the combined response.
+        if (tracer_) {
+            tracer_->record({toString(req.cmd), "coherence", enqueued,
+                             now, req.requester, 0, req.lineAddr,
+                             toString(res.resp)});
+        }
+        return;
     }
 
     cmp_assert(supplier && sink, "data phase without endpoints");
@@ -180,6 +199,11 @@ Ring::combineNow(BusRequest req)
     const Tick ready = supplier->scheduleSupply(req, now);
     const Tick arrive = reserveDataTransfer(
         supplier->ringStop(), sink->ringStop(), ready);
+    if (tracer_) {
+        tracer_->record({toString(req.cmd), "coherence", enqueued,
+                         arrive, req.requester, 0, req.lineAddr,
+                         toString(res.resp)});
+    }
     if (isWriteBack(req.cmd)) {
         at(arrive, [sink, req] { sink->receiveWriteBack(req); });
     } else {

@@ -42,6 +42,7 @@ namespace cmpcache
 {
 
 class RetryMonitor;
+class TraceRecorder;
 
 /** Interface every component on the ring implements. */
 class BusAgent
@@ -125,6 +126,10 @@ class Ring : public SimObject
     /** The system's retry monitor observes ring retries. */
     void setRetryMonitor(RetryMonitor *mon) { retryMonitor_ = mon; }
 
+    /** Record a duration event per completed transaction (issue to
+     * data delivery) into @p t; null disables tracing. */
+    void setTracer(TraceRecorder *t) { tracer_ = t; }
+
     /**
      * Analysis hook invoked for every combined response (used by the
      * redundancy/reuse trackers behind Tables 1 and 2, and by tests).
@@ -154,7 +159,7 @@ class Ring : public SimObject
   private:
     void scheduleDrain();
     void drain();
-    void combineNow(BusRequest req);
+    void combineNow(BusRequest req, Tick enqueued);
     BusAgent *agentById(AgentId id);
 
     /** Fire-and-forget lambda event (self-deleting). */
@@ -169,6 +174,7 @@ class Ring : public SimObject
     RingParams params_;
     SnoopCollector collector_;
     RetryMonitor *retryMonitor_ = nullptr;
+    TraceRecorder *tracer_ = nullptr;
     Observer observer_;
 
     std::vector<BusAgent *> agents_;
@@ -187,8 +193,11 @@ class Ring : public SimObject
     stats::Scalar launches_;
     stats::Scalar dataTransfers_;
     stats::Scalar dataSegmentWaits_;
+    stats::Scalar retryResponses_;
     stats::Average queueDelay_;
     stats::Histogram queueDepth_;
+    /** Instantaneous address-queue occupancy (sampler probe). */
+    stats::Formula pendingNow_;
 };
 
 } // namespace cmpcache

@@ -57,6 +57,7 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
 
     retryMonitor_ =
         std::make_unique<RetryMonitor>(this, cfg_.policy.retry);
+    retryMonitor_->setTimeSource([this] { return eq_.curTick(); });
 
     ring_ = std::make_unique<Ring>(this, eq_, cfg_.ring, cfg_.numL2s);
     ring_->setRetryMonitor(retryMonitor_.get());
@@ -212,6 +213,38 @@ CmpSystem::finished() const
 {
     return std::all_of(cpus_.begin(), cpus_.end(),
                        [](const auto &c) { return c->done(); });
+}
+
+std::vector<std::string>
+CmpSystem::defaultProbePaths() const
+{
+    std::vector<std::string> paths = {
+        "ring.pending_now",
+        "ring.retry_responses",
+        "ring.requests",
+        "retry_monitor.retries_seen",
+        "retry_monitor.window_retries_now",
+        "retry_monitor.last_window_retries",
+        "retry_monitor.windows_elapsed",
+        "retry_monitor.wbht_active_now",
+        "retry_monitor.gate_transitions",
+        "l3.incoming_queue_busy_now",
+        "l3.retries_issued",
+        "mem.outstanding_reads_now",
+        "mem.reads",
+    };
+    for (unsigned i = 0; i < numL2s(); ++i) {
+        const std::string l2 = cstr("l2_", i, ".");
+        paths.push_back(l2 + "wbq_depth_now");
+        paths.push_back(l2 + "mshr_occupancy_now");
+        paths.push_back(l2 + "wbht_gate_now");
+        paths.push_back(l2 + "wb_issued");
+        paths.push_back(l2 + "wb_aborted_by_wbht");
+        paths.push_back(l2 + "wb_snarfed_out");
+        paths.push_back(l2 + "snarfed_received");
+        paths.push_back(l2 + "snarfed_dropped");
+    }
+    return paths;
 }
 
 std::uint64_t

@@ -99,6 +99,14 @@ class CmpSystem : public stats::Group
         return reuseTracker_.get();
     }
 
+    /**
+     * The stat paths (relative to this group) the periodic sampler
+     * watches by default: the instantaneous occupancy gauges plus the
+     * counters the paper's adaptive mechanisms react to. See
+     * docs/observability.md for the full probe inventory.
+     */
+    std::vector<std::string> defaultProbePaths() const;
+
     // Aggregates used by the experiment harness
     std::uint64_t totalL2WbIssued() const;
     std::uint64_t totalL2Accesses() const;

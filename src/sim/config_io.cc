@@ -104,6 +104,9 @@ handlers()
         {"l3.wb_queue_depth", U64_KEY(l3.wbQueueDepth)},
         {"mem.access_latency", U64_KEY(mem.accessLatency)},
         {"mem.channel_occupancy", U64_KEY(mem.channelOccupancy)},
+        {"obs.sample_every", U64_KEY(obs.sampleEvery)},
+        {"obs.trace", BOOL_KEY(obs.traceEnabled)},
+        {"obs.trace_capacity", U64_KEY(obs.traceCapacity)},
         {"ring.addr_slot_cycles", U64_KEY(ring.addrSlotCycles)},
         {"ring.snoop_latency", U64_KEY(ring.snoopLatency)},
         {"ring.hop_cycles", U64_KEY(ring.hopCycles)},

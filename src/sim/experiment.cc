@@ -4,6 +4,8 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "sim/simulation.hh"
+#include "stats/sink.hh"
 
 namespace cmpcache
 {
@@ -106,25 +108,13 @@ runExperiment(const SystemConfig &cfg, const WorkloadParams &workload,
               std::ostream *dump_stats,
               const std::function<void(CmpSystem &)> &inspect)
 {
-    SystemConfig local = cfg;
-    if (workload.numThreads != local.numThreads()) {
-        cmp_fatal("workload has ", workload.numThreads,
-                  " threads but the system expects ",
-                  local.numThreads());
-    }
-    local.l2.lineSize = workload.lineSize;
-    local.l3.lineSize = workload.lineSize;
-
-    SyntheticWorkload wl(workload);
-    CmpSystem sys(local, wl.makeBundle());
-    if (local.warmupPass)
-        sys.functionalWarmup(wl.makeBundle());
-    const Tick t = sys.run();
+    Simulation sim(cfg, workload);
+    const ExperimentResult r = sim.run();
     if (dump_stats)
-        sys.dump(*dump_stats);
+        stats::writeText(sim.system(), *dump_stats);
     if (inspect)
-        inspect(sys);
-    return collectResult(sys, t, workload.name);
+        inspect(sim.system());
+    return r;
 }
 
 std::uint64_t

@@ -1,8 +1,5 @@
 #include "sim/result_json.hh"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <ostream>
 #include <sstream>
@@ -10,48 +7,6 @@
 
 namespace cmpcache
 {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonDouble(double v)
-{
-    if (std::isnan(v) || std::isinf(v))
-        return "0"; // JSON has no NaN/Inf; results never produce them
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
 
 namespace
 {
@@ -128,262 +83,6 @@ fields()
     return defs;
 }
 
-/**
- * Minimal strict JSON value. Numbers keep their raw token so integer
- * fields can be converted without a double round trip.
- */
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string number; // raw token
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    get(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    bool
-    parse(JsonValue &out, std::string &err)
-    {
-        if (!value(out, err))
-            return false;
-        skipWs();
-        if (pos_ != s_.size()) {
-            err = at("trailing characters after JSON value");
-            return false;
-        }
-        return true;
-    }
-
-  private:
-    std::string
-    at(const std::string &msg) const
-    {
-        return msg + " (offset " + std::to_string(pos_) + ")";
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size()
-               && std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *word, std::string &err)
-    {
-        for (const char *p = word; *p; ++p, ++pos_) {
-            if (pos_ >= s_.size() || s_[pos_] != *p) {
-                err = at(std::string("expected '") + word + "'");
-                return false;
-            }
-        }
-        return true;
-    }
-
-    bool
-    value(JsonValue &out, std::string &err)
-    {
-        skipWs();
-        if (pos_ >= s_.size()) {
-            err = at("unexpected end of input");
-            return false;
-        }
-        const char c = s_[pos_];
-        if (c == '{')
-            return object(out, err);
-        if (c == '[')
-            return array(out, err);
-        if (c == '"') {
-            out.kind = JsonValue::Kind::String;
-            return string(out.string, err);
-        }
-        if (c == 't' || c == 'f') {
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = c == 't';
-            return literal(c == 't' ? "true" : "false", err);
-        }
-        if (c == 'n') {
-            out.kind = JsonValue::Kind::Null;
-            return literal("null", err);
-        }
-        return number(out, err);
-    }
-
-    bool
-    string(std::string &out, std::string &err)
-    {
-        ++pos_; // opening quote
-        while (pos_ < s_.size()) {
-            const char c = s_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    break;
-                const char e = s_[pos_++];
-                switch (e) {
-                  case '"':
-                    out += '"';
-                    break;
-                  case '\\':
-                    out += '\\';
-                    break;
-                  case '/':
-                    out += '/';
-                    break;
-                  case 'n':
-                    out += '\n';
-                    break;
-                  case 't':
-                    out += '\t';
-                    break;
-                  default:
-                    err = at(std::string("unsupported escape '\\")
-                             + e + "'");
-                    return false;
-                }
-            } else {
-                out += c;
-            }
-        }
-        err = at("unterminated string");
-        return false;
-    }
-
-    bool
-    number(JsonValue &out, std::string &err)
-    {
-        const std::size_t start = pos_;
-        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
-            ++pos_;
-        bool digits = false;
-        while (pos_ < s_.size()
-               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
-                   || s_[pos_] == '.' || s_[pos_] == 'e'
-                   || s_[pos_] == 'E' || s_[pos_] == '-'
-                   || s_[pos_] == '+')) {
-            digits |= std::isdigit(static_cast<unsigned char>(s_[pos_]))
-                      != 0;
-            ++pos_;
-        }
-        if (!digits) {
-            err = at("expected a JSON value");
-            return false;
-        }
-        out.kind = JsonValue::Kind::Number;
-        out.number = s_.substr(start, pos_ - start);
-        // Validate the token parses as a double.
-        char *end = nullptr;
-        std::strtod(out.number.c_str(), &end);
-        if (end != out.number.c_str() + out.number.size()) {
-            err = at("malformed number '" + out.number + "'");
-            return false;
-        }
-        return true;
-    }
-
-    bool
-    object(JsonValue &out, std::string &err)
-    {
-        out.kind = JsonValue::Kind::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (pos_ >= s_.size() || s_[pos_] != '"') {
-                err = at("expected object key");
-                return false;
-            }
-            std::string key;
-            if (!string(key, err))
-                return false;
-            skipWs();
-            if (pos_ >= s_.size() || s_[pos_] != ':') {
-                err = at("expected ':' after key '" + key + "'");
-                return false;
-            }
-            ++pos_;
-            JsonValue v;
-            if (!value(v, err))
-                return false;
-            out.object.emplace_back(std::move(key), std::move(v));
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (pos_ < s_.size() && s_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            err = at("expected ',' or '}' in object");
-            return false;
-        }
-    }
-
-    bool
-    array(JsonValue &out, std::string &err)
-    {
-        out.kind = JsonValue::Kind::Array;
-        ++pos_; // '['
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            JsonValue v;
-            if (!value(v, err))
-                return false;
-            out.array.push_back(std::move(v));
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (pos_ < s_.size() && s_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            err = at("expected ',' or ']' in array");
-            return false;
-        }
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
 bool
 fail(std::string *error, const std::string &msg)
 {
@@ -392,12 +91,38 @@ fail(std::string *error, const std::string &msg)
     return false;
 }
 
+/**
+ * Check an optional "schemaVersion" field: absent means the implicit
+ * v1 of earlier releases; present must be an integer in
+ * [1, kResultSchemaVersion].
+ */
+bool
+checkSchemaVersion(const JsonValue &v, std::string *error)
+{
+    const JsonValue *sv = v.get("schemaVersion");
+    if (!sv)
+        return true; // v1: the field did not exist yet
+    if (sv->kind != JsonValue::Kind::Number
+        || sv->number.find_first_of(".eE-") != std::string::npos)
+        return fail(error, "schemaVersion must be a positive integer");
+    const std::uint64_t ver =
+        std::strtoull(sv->number.c_str(), nullptr, 10);
+    if (ver < 1 || ver > kResultSchemaVersion)
+        return fail(error, "unsupported schemaVersion " + sv->number
+                               + " (newest known: "
+                               + std::to_string(kResultSchemaVersion)
+                               + ")");
+    return true;
+}
+
 bool
 resultFromValue(const JsonValue &v, ExperimentResult &out,
                 std::string *error)
 {
     if (v.kind != JsonValue::Kind::Object)
         return fail(error, "result is not a JSON object");
+    if (!checkSchemaVersion(v, error))
+        return false;
     ExperimentResult r;
     for (const auto &f : fields()) {
         const JsonValue *fv = v.get(f.key);
@@ -443,11 +168,9 @@ writeResultJson(std::ostream &os, const ExperimentResult &r,
 {
     const std::string pad(indent, ' ');
     os << pad << "{\n";
-    bool first = true;
+    os << pad << "  \"schemaVersion\": " << kResultSchemaVersion;
     for (const auto &f : fields()) {
-        if (!first)
-            os << ",\n";
-        first = false;
+        os << ",\n";
         os << pad << "  \"" << f.key << "\": ";
         switch (f.kind) {
           case FieldKind::Str:
@@ -480,10 +203,8 @@ parseResultJson(const std::string &text, ExperimentResult &out,
                 std::string *error)
 {
     JsonValue v;
-    std::string err;
-    JsonParser p(text);
-    if (!p.parse(v, err))
-        return fail(error, err);
+    if (!parseJson(text, v, error))
+        return false;
     return resultFromValue(v, out, error);
 }
 
@@ -493,15 +214,14 @@ parseSweepResultsJson(const std::string &text,
                       std::string *error)
 {
     JsonValue v;
-    std::string err;
-    JsonParser p(text);
-    if (!p.parse(v, err))
-        return fail(error, err);
+    if (!parseJson(text, v, error))
+        return false;
     if (v.kind != JsonValue::Kind::Object)
         return fail(error, "results file is not a JSON object");
     const JsonValue *schema = v.get("schema");
     if (!schema || schema->kind != JsonValue::Kind::String
-        || schema->string != "cmpcache-sweep-results-v1")
+        || (schema->string != "cmpcache-sweep-results-v2"
+            && schema->string != "cmpcache-sweep-results-v1"))
         return fail(error, "missing or unknown schema tag");
     const JsonValue *results = v.get("results");
     if (!results || results->kind != JsonValue::Kind::Array)

@@ -1,12 +1,16 @@
 /**
  * @file
  * Machine-readable experiment results: JSON emission and strict
- * parsing of ExperimentResult records (schema
- * "cmpcache-experiment-result-v1", see docs/sweep.md).
+ * parsing of ExperimentResult records (see docs/sweep.md).
  *
  * Emission is deterministic: fixed key order, integers printed
  * exactly, doubles printed with 17 significant digits so a
  * write/parse round trip reproduces every field bit-for-bit.
+ *
+ * Result objects are versioned: emission writes
+ * "schemaVersion": kResultSchemaVersion as the first field; parsing
+ * accepts objects without the field (the implicit v1 of earlier
+ * releases) as well as any version up to the current one.
  */
 
 #ifndef CMPCACHE_SIM_RESULT_JSON_HH
@@ -16,10 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/experiment.hh"
 
 namespace cmpcache
 {
+
+/** Version written into every emitted result object. */
+constexpr std::uint64_t kResultSchemaVersion = 2;
 
 /**
  * Write one result as a JSON object. Every line is prefixed by
@@ -42,18 +50,13 @@ bool parseResultJson(const std::string &text, ExperimentResult &out,
                      std::string *error = nullptr);
 
 /**
- * Parse a whole sweep results file ("cmpcache-sweep-results-v1"):
- * checks the schema tag and extracts the "results" array.
+ * Parse a whole sweep results file ("cmpcache-sweep-results-v2", or
+ * the v1 tag of earlier releases): checks the schema tag and extracts
+ * the "results" array.
  */
 bool parseSweepResultsJson(const std::string &text,
                            std::vector<ExperimentResult> &out,
                            std::string *error = nullptr);
-
-/** JSON string escaping for emitters ("\"" -> "\\\"", etc.). */
-std::string jsonEscape(const std::string &s);
-
-/** Deterministic JSON representation of a double (17 sig. digits). */
-std::string jsonDouble(double v);
 
 } // namespace cmpcache
 

@@ -1,0 +1,96 @@
+#include "sim/simulation.hh"
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+/** Propagate the workload's line size into the cache configs. */
+SystemConfig
+resolveConfig(const SystemConfig &cfg, const WorkloadParams &workload)
+{
+    SystemConfig local = cfg;
+    if (workload.numThreads != local.numThreads()) {
+        cmp_fatal("workload has ", workload.numThreads,
+                  " threads but the system expects ",
+                  local.numThreads());
+    }
+    local.l2.lineSize = workload.lineSize;
+    local.l3.lineSize = workload.lineSize;
+    return local;
+}
+
+} // namespace
+
+Simulation::Simulation(const SystemConfig &cfg,
+                       const WorkloadParams &workload)
+    : inputName_(workload.name)
+{
+    const SystemConfig local = resolveConfig(cfg, workload);
+    const SyntheticWorkload synth(workload);
+    sys_ = std::make_unique<CmpSystem>(local, synth.makeBundle());
+    if (local.warmupPass)
+        sys_->functionalWarmup(synth.makeBundle());
+    initObservability();
+}
+
+Simulation::Simulation(const SystemConfig &cfg, TraceBundle traces,
+                       std::string input_name, TraceBundle *warmup)
+    : inputName_(std::move(input_name))
+{
+    sys_ = std::make_unique<CmpSystem>(cfg, std::move(traces));
+    if (warmup)
+        sys_->functionalWarmup(std::move(*warmup));
+    initObservability();
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::initObservability()
+{
+    const ObsConfig &obs = sys_->config().obs;
+    if (obs.sampleEvery > 0) {
+        sampler_ = std::make_unique<Sampler>(
+            sys_->eventq(), *sys_, obs.sampleEvery);
+        for (const auto &path : sys_->defaultProbePaths()) {
+            const bool ok = sampler_->watch(path);
+            cmp_assert(ok, "unresolvable probe path '", path, "'");
+        }
+        sampler_->start();
+    }
+    if (obs.traceEnabled) {
+        tracer_ =
+            std::make_unique<TraceRecorder>(obs.traceCapacity);
+        sys_->ring().setTracer(tracer_.get());
+    }
+}
+
+const ExperimentResult &
+Simulation::run()
+{
+    if (!ran_) {
+        const Tick finish = sys_->run();
+        result_ = collectResult(*sys_, finish, inputName_);
+        ran_ = true;
+    }
+    return result_;
+}
+
+const SampleSeries &
+Simulation::samples() const
+{
+    static const SampleSeries empty;
+    return sampler_ ? sampler_->series() : empty;
+}
+
+std::vector<TraceEvent>
+Simulation::traceEvents() const
+{
+    return tracer_ ? tracer_->events() : std::vector<TraceEvent>{};
+}
+
+} // namespace cmpcache

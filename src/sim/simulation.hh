@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulation: the one front door to running cmpcache.
+ *
+ * Owns the whole lifecycle -- configuration, system construction,
+ * warmup, the timed run, result collection -- plus the observability
+ * layer (periodic sampler, coherence-transaction tracer) when
+ * cfg.obs asks for it. The CLI sweep runner and the examples all run
+ * through this class, so every entry point gets identical semantics:
+ *
+ *     Simulation sim(cfg, workloadParams);
+ *     ExperimentResult r = sim.run();
+ *     stats::writeText(sim.system(), std::cout);
+ *     if (sim.sampled()) ... sim.samples() ...
+ */
+
+#ifndef CMPCACHE_SIM_SIMULATION_HH
+#define CMPCACHE_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/sampler.hh"
+#include "obs/trace_export.hh"
+#include "sim/cmp_system.hh"
+#include "sim/experiment.hh"
+#include "sim/system_config.hh"
+#include "trace/workload.hh"
+
+namespace cmpcache
+{
+
+class Simulation
+{
+  public:
+    /**
+     * Synthetic-workload run: resolves the workload's line size into
+     * the cache configs, builds the system, and (if cfg.warmupPass)
+     * functionally pre-warms the caches with one workload pass.
+     */
+    Simulation(const SystemConfig &cfg, const WorkloadParams &workload);
+
+    /**
+     * Pre-built trace run (e.g. trace files). The bundle is consumed;
+     * @p warmup, when non-null, feeds a functional warmup pass first.
+     * The config is taken as-is (line sizes must already be set).
+     */
+    Simulation(const SystemConfig &cfg, TraceBundle traces,
+               std::string input_name,
+               TraceBundle *warmup = nullptr);
+
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /**
+     * Run the traces to completion and collect the result. Idempotent:
+     * later calls return the first run's result.
+     */
+    const ExperimentResult &run();
+
+    bool ran() const { return ran_; }
+
+    CmpSystem &system() { return *sys_; }
+    const CmpSystem &system() const { return *sys_; }
+    const SystemConfig &config() const { return sys_->config(); }
+
+    /** Was the periodic sampler enabled (cfg.obs.sampleEvery > 0)? */
+    bool sampled() const { return sampler_ != nullptr; }
+    /** The captured time series (empty when not sampled). */
+    const SampleSeries &samples() const;
+
+    /** Was transaction tracing enabled (cfg.obs.traceEnabled)? */
+    bool traced() const { return tracer_ != nullptr; }
+    const TraceRecorder *tracer() const { return tracer_.get(); }
+    /** The surviving trace events (empty when not traced). */
+    std::vector<TraceEvent> traceEvents() const;
+
+  private:
+    /** Attach sampler / tracer per the system's ObsConfig. */
+    void initObservability();
+
+    std::string inputName_;
+    std::unique_ptr<CmpSystem> sys_;
+    std::unique_ptr<Sampler> sampler_;
+    std::unique_ptr<TraceRecorder> tracer_;
+    ExperimentResult result_;
+    bool ran_ = false;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_SIMULATION_HH

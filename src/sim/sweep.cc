@@ -6,11 +6,14 @@
 #include <cstdio>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <thread>
 
 #include "common/logging.hh"
 #include "sim/invariants.hh"
 #include "sim/result_json.hh"
+#include "sim/simulation.hh"
+#include "stats/sink.hh"
 #include "trace/workload_config.hh"
 #include "trace/workloads_commercial.hh"
 #include "trace/workloads_stress.hh"
@@ -193,17 +196,37 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
             }
 
             SweepJobResult r;
-            const bool check = spec.checkCoherence;
-            const std::function<void(CmpSystem &)> inspect =
-                [&r, check](CmpSystem &sys) {
-                    r.eventsExecuted = sys.eventq().numExecuted();
-                    if (check)
-                        r.coherenceViolations =
-                            checkCoherence(sys).violations;
-                };
             const auto job_start = Clock::now();
-            r.result = runExperiment(job.config, job.params, nullptr,
-                                     inspect);
+            {
+                Simulation sim(job.config, job.params);
+                r.result = sim.run();
+                r.eventsExecuted =
+                    sim.system().eventq().numExecuted();
+                if (spec.checkCoherence)
+                    r.coherenceViolations =
+                        checkCoherence(sim.system()).violations;
+                if (sim.sampled())
+                    r.samples = sim.samples();
+                if (sim.traced())
+                    r.trace = sim.traceEvents();
+                if (spec.statsFormat != StatsFormat::None) {
+                    std::ostringstream dump;
+                    switch (spec.statsFormat) {
+                      case StatsFormat::Text:
+                        stats::writeText(sim.system(), dump);
+                        break;
+                      case StatsFormat::Csv:
+                        stats::writeCsv(sim.system(), dump);
+                        break;
+                      case StatsFormat::Json:
+                        stats::writeJson(sim.system(), dump);
+                        break;
+                      case StatsFormat::None:
+                        break;
+                    }
+                    r.statsDump = dump.str();
+                }
+            }
             r.wallSeconds =
                 std::chrono::duration<double>(Clock::now() - job_start)
                     .count();
@@ -297,7 +320,8 @@ void
 writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
                       const std::vector<SweepJobResult> &results)
 {
-    os << "{\n  \"schema\": \"cmpcache-sweep-results-v1\",\n";
+    os << "{\n  \"schema\": \"cmpcache-sweep-results-v2\",\n"
+       << "  \"schemaVersion\": " << kResultSchemaVersion << ",\n";
     writeSpecAxes(os, spec);
     os << ",\n  \"checkCoherence\": "
        << (spec.checkCoherence ? "true" : "false");
@@ -306,6 +330,17 @@ writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
         writeJsonList(os, results, [&os](const SweepJobResult &r) {
             os << r.coherenceViolations;
         });
+    }
+    if (spec.base.obs.sampleEvery > 0) {
+        os << ",\n  \"sampleEvery\": " << spec.base.obs.sampleEvery
+           << ",\n  \"timeSeries\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            writeSampleSeriesJson(os, results[i].samples, 4);
+            if (i + 1 < results.size())
+                os << ",";
+            os << "\n";
+        }
+        os << "  ]";
     }
     os << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {

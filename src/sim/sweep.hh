@@ -25,12 +25,23 @@
 #include <utility>
 #include <vector>
 
+#include "obs/time_series.hh"
+#include "obs/trace_export.hh"
 #include "sim/experiment.hh"
 #include "sim/system_config.hh"
 #include "trace/workload.hh"
 
 namespace cmpcache
 {
+
+/** Full-stats dump format captured per cell (None = no dump). */
+enum class StatsFormat
+{
+    None,
+    Text,
+    Csv,
+    Json,
+};
 
 /** One expanded grid cell, ready to run. */
 struct SweepJob
@@ -80,6 +91,13 @@ struct SweepSpec
     /** Run the coherence invariant checker after every cell. */
     bool checkCoherence = false;
 
+    /**
+     * Capture a full stats dump per cell in this format (the CLI's
+     * --stats-format). Sampling and tracing are configured through
+     * base.obs (the CLI's --sample-every / --trace-out).
+     */
+    StatsFormat statsFormat = StatsFormat::None;
+
     /** Number of grid cells. */
     std::size_t size() const;
 
@@ -101,6 +119,18 @@ struct SweepJobResult
 
     /** Kernel events executed by the job (deterministic). */
     std::uint64_t eventsExecuted = 0;
+
+    /** Sampled time series (empty unless base.obs.sampleEvery > 0);
+     * deterministic. */
+    SampleSeries samples;
+
+    /** Recorded coherence transactions (empty unless
+     * base.obs.traceEnabled); deterministic, ring-buffer bounded. */
+    std::vector<TraceEvent> trace;
+
+    /** Full stats dump (empty unless statsFormat != None);
+     * deterministic. */
+    std::string statsDump;
 
     // Timing -- never part of deterministic output.
     double wallSeconds = 0.0;
@@ -177,8 +207,10 @@ bool isSweepWorkload(const std::string &name);
 
 /**
  * Deterministic sweep results file, schema
- * "cmpcache-sweep-results-v1": the spec's axes plus one result object
- * per cell in job order (parseSweepResultsJson reads it back).
+ * "cmpcache-sweep-results-v2": the spec's axes, an optional
+ * "timeSeries" block (one sampled-series object per cell, present
+ * when base.obs.sampleEvery > 0), and one result object per cell in
+ * job order (parseSweepResultsJson reads it back, v1 files included).
  * Byte-identical for equal specs regardless of thread count.
  */
 void writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,

@@ -13,6 +13,7 @@
 #include "l2/l2_cache.hh"
 #include "l3/l3_cache.hh"
 #include "memctrl/mem_ctrl.hh"
+#include "obs/obs_config.hh"
 #include "ring/ring.hh"
 
 namespace cmpcache
@@ -30,6 +31,7 @@ struct SystemConfig
     RingParams ring;
     CpuParams cpu;
     PolicyConfig policy;
+    ObsConfig obs;
 
     /** Track per-line write-back reuse (Table 2); costs memory. */
     bool enableWbReuseTracker = false;

@@ -1,0 +1,185 @@
+#include "stats/sink.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+namespace stats
+{
+
+namespace
+{
+
+/** Default ostream formatting, detached from the target stream's
+ * state (precision, flags) so output is caller-independent. */
+template <typename T>
+std::string
+fmt(T v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+/** "bucket[lo,hi)" suffix of one histogram bucket. */
+std::string
+bucketKey(const Histogram &h, std::size_t i)
+{
+    std::ostringstream os;
+    const double lo = h.bucketLow(i);
+    os << "bucket[" << lo << "," << lo + h.bucketWidth() << ")";
+    return os.str();
+}
+
+} // namespace
+
+void
+TextSink::visitScalar(const std::string &path, const Scalar &s)
+{
+    os_ << path << " " << s.value() << " # " << s.desc() << "\n";
+}
+
+void
+TextSink::visitAverage(const std::string &path, const Average &s)
+{
+    os_ << path << " " << fmt(s.mean()) << " # " << s.desc()
+        << " (samples=" << s.count() << ")\n";
+}
+
+void
+TextSink::visitHistogram(const std::string &path, const Histogram &s)
+{
+    os_ << path << ".mean " << fmt(s.mean()) << " # " << s.desc()
+        << "\n";
+    os_ << path << ".count " << s.count() << "\n";
+    if (s.underflow())
+        os_ << path << ".underflow " << s.underflow() << "\n";
+    for (std::size_t i = 0; i < s.numBuckets(); ++i) {
+        if (!s.bucketCount(i))
+            continue;
+        os_ << path << "." << bucketKey(s, i) << " " << s.bucketCount(i)
+            << "\n";
+    }
+    if (s.overflow())
+        os_ << path << ".overflow " << s.overflow() << "\n";
+}
+
+void
+TextSink::visitFormula(const std::string &path, const Formula &s)
+{
+    os_ << path << " " << fmt(s.value()) << " # " << s.desc() << "\n";
+}
+
+void
+CsvSink::visitScalar(const std::string &path, const Scalar &s)
+{
+    os_ << path << "," << s.value() << "\n";
+}
+
+void
+CsvSink::visitAverage(const std::string &path, const Average &s)
+{
+    os_ << path << "," << fmt(s.mean()) << "\n";
+}
+
+void
+CsvSink::visitHistogram(const std::string &path, const Histogram &s)
+{
+    os_ << path << ".mean," << fmt(s.mean()) << "\n";
+    os_ << path << ".count," << s.count() << "\n";
+    if (s.underflow())
+        os_ << path << ".underflow," << s.underflow() << "\n";
+    for (std::size_t i = 0; i < s.numBuckets(); ++i) {
+        if (!s.bucketCount(i))
+            continue;
+        os_ << path << "." << bucketKey(s, i) << ","
+            << s.bucketCount(i) << "\n";
+    }
+    if (s.overflow())
+        os_ << path << ".overflow," << s.overflow() << "\n";
+}
+
+void
+CsvSink::visitFormula(const std::string &path, const Formula &s)
+{
+    os_ << path << "," << fmt(s.value()) << "\n";
+}
+
+void
+JsonSink::row(const std::string &key, const std::string &value)
+{
+    cmp_assert(!closed_, "JsonSink visited after close()");
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+    os_ << "  \"" << key << "\": " << value;
+}
+
+void
+JsonSink::close()
+{
+    cmp_assert(!closed_, "JsonSink closed twice");
+    closed_ = true;
+    os_ << "\n}\n";
+}
+
+void
+JsonSink::visitScalar(const std::string &path, const Scalar &s)
+{
+    row(path, fmt(s.value()));
+}
+
+void
+JsonSink::visitAverage(const std::string &path, const Average &s)
+{
+    row(path, fmt(s.mean()));
+}
+
+void
+JsonSink::visitHistogram(const std::string &path, const Histogram &s)
+{
+    row(path + ".mean", fmt(s.mean()));
+    row(path + ".count", fmt(s.count()));
+    if (s.underflow())
+        row(path + ".underflow", fmt(s.underflow()));
+    for (std::size_t i = 0; i < s.numBuckets(); ++i) {
+        if (!s.bucketCount(i))
+            continue;
+        row(path + "." + bucketKey(s, i), fmt(s.bucketCount(i)));
+    }
+    if (s.overflow())
+        row(path + ".overflow", fmt(s.overflow()));
+}
+
+void
+JsonSink::visitFormula(const std::string &path, const Formula &s)
+{
+    row(path, fmt(s.value()));
+}
+
+void
+writeText(const Group &g, std::ostream &os)
+{
+    TextSink sink(os);
+    g.emitStats(sink);
+}
+
+void
+writeCsv(const Group &g, std::ostream &os)
+{
+    CsvSink sink(os);
+    g.emitStats(sink);
+}
+
+void
+writeJson(const Group &g, std::ostream &os)
+{
+    JsonSink sink(os);
+    g.emitStats(sink);
+    sink.close();
+}
+
+} // namespace stats
+} // namespace cmpcache

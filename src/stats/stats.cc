@@ -1,7 +1,6 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
-#include <iomanip>
 
 #include "common/logging.hh"
 
@@ -18,16 +17,15 @@ Stat::Stat(Group *parent, std::string name, std::string desc)
 }
 
 void
-Scalar::dump(std::ostream &os, const std::string &prefix) const
+Scalar::emit(StatSink &sink, const std::string &prefix) const
 {
-    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+    sink.visitScalar(prefix + name(), *this);
 }
 
 void
-Average::dump(std::ostream &os, const std::string &prefix) const
+Average::emit(StatSink &sink, const std::string &prefix) const
 {
-    os << prefix << name() << " " << mean() << " # " << desc()
-       << " (samples=" << count_ << ")\n";
+    sink.visitAverage(prefix + name(), *this);
 }
 
 Histogram::Histogram(Group *parent, std::string name, std::string desc,
@@ -67,22 +65,9 @@ Histogram::reset()
 }
 
 void
-Histogram::dump(std::ostream &os, const std::string &prefix) const
+Histogram::emit(StatSink &sink, const std::string &prefix) const
 {
-    os << prefix << name() << ".mean " << mean() << " # " << desc()
-       << "\n";
-    os << prefix << name() << ".count " << count_ << "\n";
-    if (underflow_)
-        os << prefix << name() << ".underflow " << underflow_ << "\n";
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        if (!buckets_[i])
-            continue;
-        const double lo = min_ + bucketWidth_ * static_cast<double>(i);
-        os << prefix << name() << ".bucket[" << lo << ","
-           << lo + bucketWidth_ << ") " << buckets_[i] << "\n";
-    }
-    if (overflow_)
-        os << prefix << name() << ".overflow " << overflow_ << "\n";
+    sink.visitHistogram(prefix + name(), *this);
 }
 
 Formula::Formula(Group *parent, std::string name, std::string desc,
@@ -92,9 +77,9 @@ Formula::Formula(Group *parent, std::string name, std::string desc,
 }
 
 void
-Formula::dump(std::ostream &os, const std::string &prefix) const
+Formula::emit(StatSink &sink, const std::string &prefix) const
 {
-    os << prefix << name() << " " << value() << " # " << desc() << "\n";
+    sink.visitFormula(prefix + name(), *this);
 }
 
 Group::Group(std::string name) : name_(std::move(name)) {}
@@ -138,72 +123,25 @@ Group::resetStats()
 }
 
 void
-Group::dump(std::ostream &os) const
+Group::emitStats(StatSink &sink) const
 {
     const std::string prefix = path() + ".";
     for (const auto *s : stats_)
-        s->dump(os, prefix);
+        s->emit(sink, prefix);
     for (const auto *g : children_)
-        g->dump(os);
+        g->emitStats(sink);
 }
 
 void
-Group::dumpCsv(std::ostream &os) const
+Group::forEachStat(
+    const std::function<void(const std::string &, const Stat &)> &fn)
+    const
 {
-    // Reuse the text dump, then rewrite it: simplest correct approach
-    // would duplicate formatting; instead emit name,value pairs here.
     const std::string prefix = path() + ".";
-    for (const auto *s : stats_) {
-        std::ostringstream tmp;
-        s->dump(tmp, prefix);
-        std::string line;
-        std::istringstream in(tmp.str());
-        while (std::getline(in, line)) {
-            const auto sp = line.find(' ');
-            if (sp == std::string::npos)
-                continue;
-            auto end = line.find(" #");
-            if (end == std::string::npos)
-                end = line.size();
-            os << line.substr(0, sp) << ","
-               << line.substr(sp + 1, end - sp - 1) << "\n";
-        }
-    }
+    for (const auto *s : stats_)
+        fn(prefix + s->name(), *s);
     for (const auto *g : children_)
-        g->dumpCsv(os);
-}
-
-namespace
-{
-
-void
-jsonLines(const Group &g, std::ostream &os, bool &first)
-{
-    std::ostringstream csv;
-    g.dumpCsv(csv);
-    std::string line;
-    std::istringstream in(csv.str());
-    while (std::getline(in, line)) {
-        const auto comma = line.rfind(',');
-        if (comma == std::string::npos)
-            continue;
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << "  \"" << line.substr(0, comma)
-           << "\": " << line.substr(comma + 1);
-    }
-}
-
-} // namespace
-
-void
-Group::dumpJson(std::ostream &os) const
-{
-    os << "{\n";
-    bool first = true;
-    jsonLines(*this, os, first);
-    os << "\n}\n";
+        g->forEachStat(fn);
 }
 
 const Stat *

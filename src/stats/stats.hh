@@ -4,9 +4,11 @@
  *
  * Every simulated component owns a stats::Group and registers named
  * statistics with it. Groups nest, forming a dotted hierarchy
- * (e.g. "system.l2_1.wbht.hits"). Statistics can be dumped as
- * human-readable text or CSV, and reset between warmup and measurement
- * phases.
+ * (e.g. "system.l2_1.wbht.hits"). Output goes through the StatSink
+ * visitor interface (src/stats/sink.hh): a Group emits every stat in
+ * registration order into a sink, and the sink decides the format
+ * (text, CSV, JSON, an in-memory time series, ...). Statistics can be
+ * reset between warmup and measurement phases.
  */
 
 #ifndef CMPCACHE_STATS_STATS_HH
@@ -14,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <ostream>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,35 @@ namespace stats
 {
 
 class Group;
+class Scalar;
+class Average;
+class Histogram;
+class Formula;
+
+/**
+ * Visitor receiving every statistic of a Group subtree, one typed
+ * callback per stat, in registration order. @p path is the full
+ * dotted path including the stat name ("system.l2_0.hits").
+ *
+ * Implementations: TextSink / CsvSink / JsonSink (sink.hh) for the
+ * classic dump formats, SamplerSink (obs/sampler.hh) for periodic
+ * time-series capture.
+ */
+class StatSink
+{
+  public:
+    virtual ~StatSink() = default;
+
+    virtual void visitScalar(const std::string &path, const Scalar &s)
+        = 0;
+    virtual void visitAverage(const std::string &path, const Average &s)
+        = 0;
+    virtual void visitHistogram(const std::string &path,
+                                const Histogram &s)
+        = 0;
+    virtual void visitFormula(const std::string &path, const Formula &s)
+        = 0;
+};
 
 /** Base class of all statistics. */
 class Stat
@@ -41,9 +71,16 @@ class Stat
     /** Zero the statistic (used after cache warmup). */
     virtual void reset() = 0;
 
-    /** Append "name value" lines to @p os, prefixed by @p prefix. */
-    virtual void dump(std::ostream &os, const std::string &prefix) const
+    /** Visit @p sink with this stat at path @p prefix + name. */
+    virtual void emit(StatSink &sink, const std::string &prefix) const
         = 0;
+
+    /**
+     * The stat's instantaneous numeric value, as captured by the
+     * periodic sampler: a Scalar's count, an Average's or Histogram's
+     * mean, a Formula's evaluation.
+     */
+    virtual double sampledValue() const = 0;
 
   private:
     std::string name_;
@@ -63,7 +100,11 @@ class Scalar : public Stat
     std::uint64_t value() const { return value_; }
 
     void reset() override { value_ = 0; }
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void emit(StatSink &sink, const std::string &prefix) const override;
+    double sampledValue() const override
+    {
+        return static_cast<double>(value_);
+    }
 
   private:
     std::uint64_t value_ = 0;
@@ -81,7 +122,8 @@ class Average : public Stat
     std::uint64_t count() const { return count_; }
 
     void reset() override { sum_ = 0.0; count_ = 0; }
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void emit(StatSink &sink, const std::string &prefix) const override;
+    double sampledValue() const override { return mean(); }
 
   private:
     double sum_ = 0.0;
@@ -104,11 +146,17 @@ class Histogram : public Stat
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     std::uint64_t bucketCount(std::size_t i) const { return buckets_[i]; }
     std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketLow(std::size_t i) const
+    {
+        return min_ + bucketWidth_ * static_cast<double>(i);
+    }
+    double bucketWidth() const { return bucketWidth_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
     void reset() override;
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void emit(StatSink &sink, const std::string &prefix) const override;
+    double sampledValue() const override { return mean(); }
 
   private:
     double min_;
@@ -121,7 +169,7 @@ class Histogram : public Stat
     double sum_ = 0.0;
 };
 
-/** A value computed from other statistics at dump time. */
+/** A value computed from other statistics at visit time. */
 class Formula : public Stat
 {
   public:
@@ -131,7 +179,8 @@ class Formula : public Stat
     double value() const { return fn_ ? fn_() : 0.0; }
 
     void reset() override {}
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void emit(StatSink &sink, const std::string &prefix) const override;
+    double sampledValue() const override { return value(); }
 
   private:
     std::function<double()> fn_;
@@ -160,15 +209,21 @@ class Group
     /** Recursively zero every stat in this subtree. */
     void resetStats();
 
-    /** Recursively dump "path.stat value # desc" text lines. */
-    void dump(std::ostream &os) const;
+    /**
+     * Visit every stat in this subtree in registration order: a
+     * group's own stats first, then its children, depth first. All
+     * output paths (text, CSV, JSON, sampling) build on this.
+     */
+    void emitStats(StatSink &sink) const;
 
-    /** Recursively dump "path.stat,value" CSV lines. */
-    void dumpCsv(std::ostream &os) const;
-
-    /** Dump the subtree as a flat JSON object
-     * {"path.stat": value, ...}. */
-    void dumpJson(std::ostream &os) const;
+    /**
+     * Invoke @p fn for every stat in the subtree with its full dotted
+     * path, in the same order as emitStats. Used by the sampler to
+     * enumerate sampleable stats without formatting anything.
+     */
+    void forEachStat(
+        const std::function<void(const std::string &, const Stat &)>
+            &fn) const;
 
     /** Find a stat by dotted path relative to this group; null if
      * absent. */

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/snarf_table.hh"
+#include "stats/sink.hh"
 
 using namespace cmpcache;
 
@@ -97,7 +98,7 @@ TEST_F(SnarfTableTest, StatsCount)
     st_->recordMiss(0x1000);
     st_->shouldFlagSnarf(0x1000);
     std::ostringstream os;
-    root_.dump(os);
+    stats::writeText(root_, os);
     EXPECT_NE(os.str().find("snarf_table.wb_recorded 1"),
               std::string::npos);
     EXPECT_NE(os.str().find("snarf_table.miss_marked 1"),

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/wbht.hh"
+#include "stats/sink.hh"
 
 using namespace cmpcache;
 
@@ -82,7 +83,7 @@ TEST_F(WbhtTest, StatsExposedThroughGroup)
     wbht_->recordL3Valid(0x1000);
     wbht_->shouldAbort(0x1000, true);
     std::ostringstream os;
-    root_.dump(os);
+    stats::writeText(root_, os);
     EXPECT_NE(os.str().find("wbht.allocated 1"), std::string::npos);
     EXPECT_NE(os.str().find("wbht.aborted 1"), std::string::npos);
     EXPECT_NE(os.str().find("wbht.correct 1"), std::string::npos);

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * TraceRecorder / Chrome-trace exporter tests: ring-buffer bounds,
+ * and a Perfetto-loadability smoke test -- the emitted JSON parses
+ * and its timestamps are monotonically non-decreasing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "obs/trace_export.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+TraceEvent
+ev(Tick start, Tick end, std::uint32_t track = 0)
+{
+    TraceEvent e;
+    e.name = "Read";
+    e.cat = "coherence";
+    e.start = start;
+    e.end = end;
+    e.track = track;
+    e.addr = 0x1000;
+    e.result = "HitM";
+    return e;
+}
+
+TEST(TraceRecorderTest, KeepsNewestCapacityEvents)
+{
+    TraceRecorder rec(3);
+    for (Tick t = 0; t < 5; ++t)
+        rec.record(ev(t * 10, t * 10 + 5));
+
+    EXPECT_EQ(rec.capacity(), 3u);
+    EXPECT_EQ(rec.size(), 3u);
+    EXPECT_EQ(rec.recorded(), 5u);
+    EXPECT_EQ(rec.dropped(), 2u);
+
+    const auto events = rec.events();
+    ASSERT_EQ(events.size(), 3u);
+    // Oldest first, ids are recording ordinals: 2, 3, 4 survive.
+    EXPECT_EQ(events[0].id, 2u);
+    EXPECT_EQ(events[0].start, 20u);
+    EXPECT_EQ(events[2].id, 4u);
+}
+
+TEST(TraceRecorderTest, PartiallyFilledRingUnwrapsInOrder)
+{
+    TraceRecorder rec(8);
+    rec.record(ev(100, 110));
+    rec.record(ev(200, 230));
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.dropped(), 0u);
+    const auto events = rec.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].start, 100u);
+    EXPECT_EQ(events[1].start, 200u);
+}
+
+TEST(ChromeTraceTest, OutputParsesAndTimestampsAreMonotonic)
+{
+    // Record out of start-order: the exporter must sort.
+    std::vector<TraceEvent> events = {
+        ev(300, 340, 1), ev(100, 150, 0), ev(200, 220, 2)};
+
+    SampleSeries series;
+    series.interval = 100;
+    series.ticks = {100, 200};
+    series.names = {"ring.pending_now"};
+    series.values = {{2.0, 5.0}};
+
+    std::ostringstream os;
+    writeChromeTrace(os, events, &series);
+    const std::string text = os.str();
+
+    std::string error;
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc, &error)) << error;
+    const JsonValue *list = doc.get("traceEvents");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->kind, JsonValue::Kind::Array);
+    // 3 duration events + 2 samples x 1 counter channel.
+    EXPECT_EQ(list->array.size(), 5u);
+
+    double last_ts = -1.0;
+    bool saw_x = false, saw_c = false;
+    for (const auto &e : list->array) {
+        const JsonValue *ph = e.get("ph");
+        const JsonValue *ts = e.get("ts");
+        ASSERT_NE(ph, nullptr);
+        ASSERT_NE(ts, nullptr);
+        const double ts_v = std::stod(ts->number);
+        EXPECT_GE(ts_v, last_ts) << "timestamps must be sorted";
+        last_ts = ts_v;
+        if (ph->string == "X") {
+            saw_x = true;
+            ASSERT_NE(e.get("dur"), nullptr);
+            EXPECT_GE(std::stod(e.get("dur")->number), 0.0);
+            ASSERT_NE(e.get("args"), nullptr);
+        } else if (ph->string == "C") {
+            saw_c = true;
+        }
+    }
+    EXPECT_TRUE(saw_x);
+    EXPECT_TRUE(saw_c);
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsStillValidJson)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, {}, nullptr);
+    std::string error;
+    EXPECT_TRUE(validateJson(os.str(), &error)) << error;
+}
+
+TEST(ChromeTraceTest, DeterministicForEqualInput)
+{
+    std::vector<TraceEvent> events = {ev(10, 30), ev(10, 20, 1)};
+    std::ostringstream a, b;
+    writeChromeTrace(a, events, nullptr);
+    writeChromeTrace(b, events, nullptr);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/cmp_system.hh"
+#include "stats/sink.hh"
 
 using namespace cmpcache;
 
@@ -439,7 +440,7 @@ TEST(CmpSystem, StatsDumpIsComprehensive)
     CmpSystem sys(cfg, bundleOf({{ld(0x0)}, {}}));
     sys.run();
     std::ostringstream os;
-    sys.dump(os);
+    stats::writeText(sys, os);
     for (const char *needle :
          {"system.l2_0.accesses", "system.l3.load_lookups",
           "system.mem.reads", "system.ring.requests",

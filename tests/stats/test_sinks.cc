@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Golden-output tests for the StatSink implementations. The literals
+ * below are exactly what the pre-redesign Group::dump / dumpCsv /
+ * dumpJson produced for the same tree, so these tests pin the sink
+ * API to byte-identical output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "obs/sampler.hh"
+#include "stats/sink.hh"
+#include "stats/stats.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::stats;
+
+namespace
+{
+
+/** One of everything, nested one level deep. */
+class SinkTest : public ::testing::Test
+{
+  protected:
+    SinkTest()
+        : root("sys"),
+          hits(&root, "hits", "hit count"),
+          lat(&root, "lat", "latency"),
+          occ(&root, "occ", "occupancy", 0.0, 4.0, 2),
+          ratio(&root, "ratio", "hit ratio", [] { return 0.25; }),
+          l2(&root, "l2"),
+          misses(&l2, "misses", "miss count")
+    {
+        hits += 42;
+        lat.sample(1.0);
+        lat.sample(2.0);
+        occ.sample(-1.0); // underflow
+        occ.sample(0.5);  // bucket[0,2)
+        occ.sample(1.0);  // bucket[0,2)
+        occ.sample(3.0);  // bucket[2,4)
+        occ.sample(5.0);  // overflow
+        misses += 7;
+    }
+
+    Group root;
+    Scalar hits;
+    Average lat;
+    Histogram occ;
+    Formula ratio;
+    Group l2;
+    Scalar misses;
+};
+
+TEST_F(SinkTest, TextGolden)
+{
+    std::ostringstream os;
+    writeText(root, os);
+    EXPECT_EQ(os.str(),
+              "sys.hits 42 # hit count\n"
+              "sys.lat 1.5 # latency (samples=2)\n"
+              "sys.occ.mean 1.7 # occupancy\n"
+              "sys.occ.count 5\n"
+              "sys.occ.underflow 1\n"
+              "sys.occ.bucket[0,2) 2\n"
+              "sys.occ.bucket[2,4) 1\n"
+              "sys.occ.overflow 1\n"
+              "sys.ratio 0.25 # hit ratio\n"
+              "sys.l2.misses 7 # miss count\n");
+}
+
+TEST_F(SinkTest, CsvGolden)
+{
+    std::ostringstream os;
+    writeCsv(root, os);
+    EXPECT_EQ(os.str(),
+              "sys.hits,42\n"
+              "sys.lat,1.5\n"
+              "sys.occ.mean,1.7\n"
+              "sys.occ.count,5\n"
+              "sys.occ.underflow,1\n"
+              "sys.occ.bucket[0,2),2\n"
+              "sys.occ.bucket[2,4),1\n"
+              "sys.occ.overflow,1\n"
+              "sys.ratio,0.25\n"
+              "sys.l2.misses,7\n");
+}
+
+TEST_F(SinkTest, JsonGolden)
+{
+    std::ostringstream os;
+    writeJson(root, os);
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"sys.hits\": 42,\n"
+              "  \"sys.lat\": 1.5,\n"
+              "  \"sys.occ.mean\": 1.7,\n"
+              "  \"sys.occ.count\": 5,\n"
+              "  \"sys.occ.underflow\": 1,\n"
+              "  \"sys.occ.bucket[0,2)\": 2,\n"
+              "  \"sys.occ.bucket[2,4)\": 1,\n"
+              "  \"sys.occ.overflow\": 1,\n"
+              "  \"sys.ratio\": 0.25,\n"
+              "  \"sys.l2.misses\": 7\n"
+              "}\n");
+    std::string error;
+    EXPECT_TRUE(validateJson(os.str(), &error)) << error;
+}
+
+TEST_F(SinkTest, CallerStreamStateDoesNotLeakIn)
+{
+    // The sinks format through a fresh default-state stream, so a
+    // caller's precision/flags cannot perturb golden output.
+    std::ostringstream os;
+    os.precision(1);
+    os.setf(std::ios::fixed);
+    std::ostringstream plain;
+    writeCsv(root, os);
+    writeCsv(root, plain);
+    EXPECT_EQ(os.str(), plain.str());
+}
+
+TEST_F(SinkTest, EmissionOrderIsRegistrationOrderDepthFirst)
+{
+    // Group stats precede child groups; both in registration order.
+    std::ostringstream os;
+    writeCsv(root, os);
+    const auto text = os.str();
+    EXPECT_LT(text.find("sys.hits"), text.find("sys.lat"));
+    EXPECT_LT(text.find("sys.ratio"), text.find("sys.l2.misses"));
+}
+
+TEST(JsonSinkTest, EmptyGroupStillBalancesBraces)
+{
+    Group root("empty");
+    std::ostringstream os;
+    writeJson(root, os);
+    EXPECT_EQ(os.str(), "{\n\n}\n");
+    std::string error;
+    EXPECT_TRUE(validateJson(os.str(), &error)) << error;
+}
+
+TEST(SamplerSinkTest, CollectsChannelsThroughVisitorInterface)
+{
+    Group root("sys");
+    Scalar a(&root, "a", "");
+    Average b(&root, "b", "");
+    Histogram c(&root, "c", "", 0.0, 1.0, 1);
+    Formula d(&root, "d", "", [] { return 4.0; });
+
+    SamplerSink all;
+    root.emitStats(all);
+    ASSERT_EQ(all.channels().size(), 4u);
+    EXPECT_EQ(all.channels()[0].path, "sys.a");
+    EXPECT_EQ(all.channels()[3].path, "sys.d");
+    EXPECT_EQ(all.channels()[3].stat->sampledValue(), 4.0);
+
+    SamplerSink filtered(
+        [](const std::string &p) { return p == "sys.b"; });
+    root.emitStats(filtered);
+    ASSERT_EQ(filtered.channels().size(), 1u);
+    EXPECT_EQ(filtered.channels()[0].path, "sys.b");
+}
+
+} // namespace

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "stats/sink.hh"
 #include "stats/stats.hh"
 
 using namespace cmpcache;
@@ -81,7 +82,7 @@ TEST(Stats, DumpContainsPathsValuesAndDescriptions)
     Scalar s(&child, "n", "number of things");
     s += 7;
     std::ostringstream os;
-    root.dump(os);
+    stats::writeText(root, os);
     EXPECT_NE(os.str().find("sys.c.n 7"), std::string::npos);
     EXPECT_NE(os.str().find("number of things"), std::string::npos);
 }
@@ -92,7 +93,7 @@ TEST(Stats, CsvDumpHasNameValuePairs)
     Scalar s(&root, "n", "things");
     s += 3;
     std::ostringstream os;
-    root.dumpCsv(os);
+    stats::writeCsv(root, os);
     EXPECT_NE(os.str().find("sys.n,3"), std::string::npos);
 }
 
@@ -131,7 +132,7 @@ TEST(Stats, ChildGroupUnregistersOnDestruction)
         s += 1;
     }
     std::ostringstream os;
-    root.dump(os); // must not touch the destroyed child
+    stats::writeText(root, os); // must not touch the destroyed child
     EXPECT_EQ(os.str().find("tmp"), std::string::npos);
 }
 
@@ -155,7 +156,7 @@ TEST(Stats, JsonDumpIsWellFormedKeyValueMap)
     a.sample(1.0);
     a.sample(2.0);
     std::ostringstream os;
-    root.dumpJson(os);
+    stats::writeJson(root, os);
     const std::string j = os.str();
     EXPECT_EQ(j.front(), '{');
     EXPECT_NE(j.find("\"sys.c.n\": 3"), std::string::npos);

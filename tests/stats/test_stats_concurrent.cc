@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "stats/sink.hh"
 #include "stats/stats.hh"
 
 using namespace cmpcache::stats;
@@ -67,7 +68,7 @@ struct SystemStats
     dumpText() const
     {
         std::ostringstream os;
-        root.dump(os);
+        writeText(root, os);
         return os.str();
     }
 };
@@ -99,10 +100,10 @@ TEST(StatsConcurrent, IdenticalTreesDumpIdentically)
     EXPECT_EQ(a.dumpText(), b.dumpText());
 
     std::ostringstream csv_a, csv_b, json_a, json_b;
-    a.root.dumpCsv(csv_a);
-    b.root.dumpCsv(csv_b);
-    a.root.dumpJson(json_a);
-    b.root.dumpJson(json_b);
+    writeCsv(a.root, csv_a);
+    writeCsv(b.root, csv_b);
+    writeJson(a.root, json_a);
+    writeJson(b.root, json_b);
     EXPECT_EQ(csv_a.str(), csv_b.str());
     EXPECT_EQ(json_a.str(), json_b.str());
 }
