@@ -91,12 +91,9 @@ dumpStats(const stats::Group &root, const std::string &path,
     }
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+realMain(const CliArgs &args)
 {
-    const CliArgs args(argc, argv);
     if (args.getBool("help", false)) {
         usage();
         return 0;
@@ -108,8 +105,12 @@ main(int argc, char **argv)
     cfg.policy.retry.windowCycles = 250000;
     cfg.policy.retry.threshold = 100;
 
-    if (args.has("config"))
-        loadConfigFile(cfg, args.getString("config", ""));
+    if (args.has("config")) {
+        const auto loaded =
+            loadConfigFile(cfg, args.getString("config", ""));
+        if (!loaded.ok())
+            cmp_fatal(loaded.error().message);
+    }
     // Positional key=value arguments act as overrides; "wl.*" keys
     // customize the synthetic workload.
     std::vector<std::pair<std::string, std::string>> wl_overrides;
@@ -120,10 +121,13 @@ main(int argc, char **argv)
                       "' is not a key=value override");
         const auto key = pos.substr(0, eq);
         const auto value = pos.substr(eq + 1);
-        if (isWorkloadKey(key))
+        if (isWorkloadKey(key)) {
             wl_overrides.emplace_back(key, value);
-        else
-            applyConfigOption(cfg, key, value);
+        } else {
+            const auto applied = applyConfigOption(cfg, key, value);
+            if (!applied.ok())
+                cmp_fatal(applied.error().message);
+        }
     }
     if (args.has("sample-every")) {
         const auto every = args.getInt("sample-every", 0);
@@ -142,9 +146,10 @@ main(int argc, char **argv)
     std::string input_name;
     std::optional<TraceBundle> warmup;
     if (args.has("trace")) {
-        const auto records =
-            readTraceFile(args.getString("trace", ""));
-        bundle = splitByThread(records, cfg.numThreads());
+        auto records = readTraceFile(args.getString("trace", ""));
+        if (!records.ok())
+            cmp_fatal(records.error().message);
+        bundle = splitByThread(*records, cfg.numThreads());
         input_name = args.getString("trace", "");
     } else {
         const auto refs = static_cast<std::uint64_t>(args.getInt(
@@ -172,6 +177,10 @@ main(int argc, char **argv)
 
     Simulation sim(cfg, std::move(bundle), input_name,
                    warmup ? &*warmup : nullptr);
+    // A watchdog trip flushes whatever the tracer captured so the
+    // hang can be inspected in Perfetto.
+    if (!trace_out.empty())
+        sim.setWatchdogFlushPath(trace_out);
     const ExperimentResult r = sim.run();
     const Tick t = r.execTime;
 
@@ -206,4 +215,19 @@ main(int argc, char **argv)
         std::cerr << "trace written to " << trace_out << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    try {
+        return realMain(args);
+    } catch (const SimException &e) {
+        std::cerr << "error (" << toString(e.error().kind)
+                  << "): " << e.error().message << "\n";
+        return 1;
+    }
 }

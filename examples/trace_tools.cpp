@@ -40,13 +40,23 @@ main(int argc, char **argv)
               << name << "\n";
 
     // 2. Write to disk.
-    writeTraceFile(path, records,
-                   binary ? TraceFormat::Binary : TraceFormat::Text);
+    const auto written = writeTraceFile(
+        path, records,
+        binary ? TraceFormat::Binary : TraceFormat::Text);
+    if (!written.ok()) {
+        std::cerr << "error: " << written.error().message << "\n";
+        return 1;
+    }
     std::cout << "wrote " << path << " ("
               << (binary ? "binary" : "text") << ")\n";
 
     // 3. Read back and verify.
-    const auto back = readTraceFile(path);
+    const auto loaded = readTraceFile(path);
+    if (!loaded.ok()) {
+        std::cerr << "error: " << loaded.error().message << "\n";
+        return 1;
+    }
+    const auto &back = *loaded;
     if (back != records) {
         std::cerr << "round-trip mismatch!\n";
         return 1;

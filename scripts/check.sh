@@ -8,15 +8,18 @@
 #   scripts/check.sh sanitize   # ASan+UBSan build, sanitize-labelled tests
 #   scripts/check.sh obs        # ASan+UBSan build, obs-labelled tests,
 #                               # then a sampled sweep smoke run
+#   scripts/check.sh faults     # fault/watchdog suite, then smoke runs:
+#                               # an injected-fault sweep plus a faults-off
+#                               # thread-count byte-identity check
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | obs) ;;
+unit | e2e | all | sanitize | obs | faults) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|obs]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|obs|faults]" >&2
     exit 2
     ;;
 esac
@@ -58,6 +61,33 @@ unit)
     ;;
 e2e)
     ctest --output-on-failure -j"$(nproc)" -L e2e
+    ;;
+faults)
+    ctest --output-on-failure -j"$(nproc)" -L faults
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    # An injected-fault sweep must complete and surface fault.* counts
+    # in the sampled series.
+    ./src/cmpcache sweep \
+        --workloads=thrash --policies=wbht --refs=2000 \
+        --sample-every=5000 --out="$smoke_dir/faulty.json" --quiet \
+        "fault.plan=l3_retry:0:end:500" "fault.seed=3"
+    grep -q 'fault.forced_l3_retries' "$smoke_dir/faulty.json" \
+        || { echo "faulty sweep sampled no fault probes" >&2; exit 1; }
+    # With faults off the results must be byte-identical across worker
+    # thread counts and carry no fault/error artifacts at all.
+    for t in 1 4; do
+        ./src/cmpcache sweep \
+            --workloads=thrash --policies=baseline,wbht --refs=2000 \
+            --threads="$t" --out="$smoke_dir/clean$t.json" --quiet
+    done
+    cmp "$smoke_dir/clean1.json" "$smoke_dir/clean4.json" \
+        || { echo "faults-off sweep differs across thread counts" >&2; exit 1; }
+    if grep -qE '"status"|fault\.' "$smoke_dir/clean1.json"; then
+        echo "faults-off sweep output carries fault artifacts" >&2
+        exit 1
+    fi
+    echo "faults: suite + injected/clean sweep smoke OK"
     ;;
 all)
     ctest --output-on-failure -j"$(nproc)"

@@ -23,21 +23,33 @@ toString(WbPolicy p)
     return "?";
 }
 
+bool
+tryWbPolicyFromString(const std::string &name, WbPolicy &out)
+{
+    if (name == "baseline")
+        out = WbPolicy::Baseline;
+    else if (name == "wbht")
+        out = WbPolicy::Wbht;
+    else if (name == "wbht-global")
+        out = WbPolicy::WbhtGlobal;
+    else if (name == "snarf")
+        out = WbPolicy::Snarf;
+    else if (name == "combined")
+        out = WbPolicy::Combined;
+    else
+        return false;
+    return true;
+}
+
 WbPolicy
 wbPolicyFromString(const std::string &name)
 {
-    if (name == "baseline")
-        return WbPolicy::Baseline;
-    if (name == "wbht")
-        return WbPolicy::Wbht;
-    if (name == "wbht-global")
-        return WbPolicy::WbhtGlobal;
-    if (name == "snarf")
-        return WbPolicy::Snarf;
-    if (name == "combined")
-        return WbPolicy::Combined;
-    cmp_fatal("unknown write-back policy '", name, "' (expected "
-              "baseline, wbht, wbht-global, snarf or combined)");
+    WbPolicy p;
+    if (!tryWbPolicyFromString(name, p)) {
+        cmp_fatal("unknown write-back policy '", name, "' (expected "
+                  "baseline, wbht, wbht-global, snarf or combined)");
+    }
+    return p;
 }
 
 PolicyConfig

@@ -42,7 +42,11 @@ enum class WbPolicy
 };
 
 const char *toString(WbPolicy p);
+/** fatal() on unknown names (CLI convenience). */
 WbPolicy wbPolicyFromString(const std::string &name);
+/** Non-fatal parse; returns false and leaves @p out alone on
+ * unknown names. */
+bool tryWbPolicyFromString(const std::string &name, WbPolicy &out);
 
 struct PolicyConfig
 {

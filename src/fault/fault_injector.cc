@@ -1,0 +1,76 @@
+#include "fault/fault_injector.hh"
+
+namespace cmpcache
+{
+
+FaultInjector::FaultInjector(stats::Group *parent,
+                             const FaultPlan &plan)
+    : stats::Group(parent, "fault"),
+      plan_(plan),
+      rng_(plan.seed),
+      forcedL3Retries_(this, "forced_l3_retries",
+                       "write backs forced to a Retry response"),
+      nacks_(this, "nacks", "transactions NACKed (forced Retry)"),
+      delayedLaunches_(this, "delayed_launches",
+                       "address-ring launches stretched by a delay "
+                       "window"),
+      delayCycles_(this, "delay_cycles",
+                   "total extra address-phase cycles injected"),
+      snarfSuppressed_(this, "snarf_suppressed",
+                       "write backs whose snarf offers were cleared"),
+      windowsActiveNow_(this, "windows_active_now",
+                        "fault windows covering the current cycle",
+                        [this] {
+                            if (!timeSource_)
+                                return 0.0;
+                            const Tick now = timeSource_();
+                            double n = 0.0;
+                            for (const auto &w : plan_.windows)
+                                n += w.covers(now) ? 1.0 : 0.0;
+                            return n;
+                        })
+{
+}
+
+bool
+FaultInjector::draw(FaultKind kind, Tick now, stats::Scalar &counter)
+{
+    const FaultWindow *w = plan_.active(kind, now);
+    if (!w)
+        return false;
+    if (w->arg < 1000 && rng_.below(1000) >= w->arg)
+        return false;
+    ++counter;
+    return true;
+}
+
+Tick
+FaultInjector::launchDelay(Tick now)
+{
+    const FaultWindow *w = plan_.active(FaultKind::Delay, now);
+    if (!w)
+        return 0;
+    ++delayedLaunches_;
+    delayCycles_ += w->arg;
+    return static_cast<Tick>(w->arg);
+}
+
+bool
+FaultInjector::forceL3Retry(Tick now)
+{
+    return draw(FaultKind::L3Retry, now, forcedL3Retries_);
+}
+
+bool
+FaultInjector::nack(Tick now)
+{
+    return draw(FaultKind::Nack, now, nacks_);
+}
+
+bool
+FaultInjector::suppressSnarf(Tick now)
+{
+    return draw(FaultKind::DropSnarf, now, snarfSuppressed_);
+}
+
+} // namespace cmpcache

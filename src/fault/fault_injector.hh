@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The runtime side of fault injection.
+ *
+ * A FaultInjector owns a parsed FaultPlan plus its private seeded RNG
+ * and answers point queries from the ring and the L2s ("should this
+ * write back be forced to Retry right now?"). Every injected fault is
+ * counted in `fault.*` stats, and an instantaneous gauge exposes the
+ * number of active windows to the obs sampler.
+ *
+ * The injector is only constructed when a plan is configured
+ * (fault.plan non-empty), so fault-free runs carry no stats group, no
+ * probes and no RNG -- their output stays byte-identical to a build
+ * without this subsystem.
+ *
+ * Determinism: all queries happen on the (single-threaded) event loop
+ * in event order, so RNG consumption -- and therefore every injection
+ * decision -- is a pure function of the plan, the seed and the
+ * workload.
+ */
+
+#ifndef CMPCACHE_FAULT_FAULT_INJECTOR_HH
+#define CMPCACHE_FAULT_FAULT_INJECTOR_HH
+
+#include <functional>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "fault/fault_plan.hh"
+#include "stats/stats.hh"
+
+namespace cmpcache
+{
+
+class FaultInjector : public stats::Group
+{
+  public:
+    FaultInjector(stats::Group *parent, const FaultPlan &plan);
+
+    /** Let the windows_active_now gauge read the current tick. */
+    void setTimeSource(std::function<Tick()> now)
+    {
+        timeSource_ = std::move(now);
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // --- ring-side queries (counted when they fire) ---
+
+    /** Extra address-phase cycles for a launch at @p now (0 = none). */
+    Tick launchDelay(Tick now);
+
+    /** Force a Retry combined response for a write back at @p now?
+     * Only call for write-back transactions. */
+    bool forceL3Retry(Tick now);
+
+    /** Force a Retry combined response for any transaction at
+     * @p now? */
+    bool nack(Tick now);
+
+    /** Clear snarf-accept offers from the snoop responses gathered at
+     * @p now? Only call for snarf-flagged write backs. */
+    bool suppressSnarf(Tick now);
+
+    // --- L2-side gates (pure; not counted, sampled via gauges) ---
+
+    /** Are WBHT decisions forced off at @p now? */
+    bool wbhtDisabled(Tick now) const
+    {
+        return plan_.active(FaultKind::DisableWbht, now) != nullptr;
+    }
+
+    /** Are snarf offers / hint flagging forced off at @p now? */
+    bool snarfDisabled(Tick now) const
+    {
+        return plan_.active(FaultKind::DisableSnarf, now) != nullptr;
+    }
+
+  private:
+    /** Window lookup + permille draw; counts into @p counter. */
+    bool draw(FaultKind kind, Tick now, stats::Scalar &counter);
+
+    FaultPlan plan_;
+    Rng rng_;
+    std::function<Tick()> timeSource_;
+
+    stats::Scalar forcedL3Retries_;
+    stats::Scalar nacks_;
+    stats::Scalar delayedLaunches_;
+    stats::Scalar delayCycles_;
+    stats::Scalar snarfSuppressed_;
+    stats::Formula windowsActiveNow_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_FAULT_FAULT_INJECTOR_HH

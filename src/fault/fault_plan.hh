@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A FaultPlan is a schedule of fault windows, each forcing one kind of
+ * abnormal protocol behaviour over a cycle range. Plans are built from
+ * a compact spec string (the `fault.plan` config key):
+ *
+ *     kind:from:until[:arg][;kind:from:until[:arg]]...
+ *
+ * where `until` may be `end` (open-ended) and `arg` depends on the
+ * kind:
+ *
+ *     l3_retry      force Retry combined responses for write backs
+ *                   (arg: permille of write backs affected, def. 1000)
+ *     nack          force Retry for *all* transactions
+ *                   (arg: permille affected, default 1000)
+ *     delay         stretch the address phase of launched requests
+ *                   (arg: extra cycles, default 8)
+ *     drop_snarf    suppress snarf-accept offers, so no peer L2 wins
+ *                   write backs (arg: permille affected, default 1000)
+ *     disable_wbht  gate WBHT decisions off (table keeps learning)
+ *     disable_snarf stop snarf offers *and* snarf-hint flagging
+ *
+ * Example -- a retry storm between cycles 0 and 2M, with snarfing
+ * knocked out for the second half:
+ *
+ *     fault.plan = l3_retry:0:2000000;disable_snarf:1000000:2000000
+ *     fault.seed = 42
+ *
+ * Probabilistic windows (permille < 1000) consume the injector's own
+ * seeded RNG, so a given plan + seed is bit-reproducible regardless of
+ * sweep thread count.
+ */
+
+#ifndef CMPCACHE_FAULT_FAULT_PLAN_HH
+#define CMPCACHE_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace cmpcache
+{
+
+/** The injectable abnormal behaviours. */
+enum class FaultKind
+{
+    L3Retry,      ///< write backs answered with Retry
+    Nack,         ///< any transaction answered with Retry
+    Delay,        ///< address-phase launches stretched
+    DropSnarf,    ///< snarf-accept offers suppressed at combine
+    DisableWbht,  ///< WBHT decisions forced inactive
+    DisableSnarf, ///< snarf offers and hint flagging forced off
+};
+
+const char *toString(FaultKind k);
+
+/** One scheduled injection: @p kind active over [from, until). */
+struct FaultWindow
+{
+    FaultKind kind = FaultKind::L3Retry;
+    Tick from = 0;
+    Tick until = MaxTick;
+    /** Kind-specific argument: permille for the probabilistic kinds,
+     * extra cycles for Delay; unused otherwise. */
+    std::uint64_t arg = 0;
+
+    bool covers(Tick now) const { return now >= from && now < until; }
+};
+
+/** A full injection schedule plus the RNG seed it draws from. */
+struct FaultPlan
+{
+    std::vector<FaultWindow> windows;
+    std::uint64_t seed = 1;
+
+    bool empty() const { return windows.empty(); }
+
+    /** First window of @p kind covering @p now, or null. */
+    const FaultWindow *active(FaultKind kind, Tick now) const;
+};
+
+/**
+ * Parse a plan spec string (see the file comment for the grammar).
+ * An empty spec yields an empty plan. Errors name the offending
+ * window so config-validation messages stay actionable.
+ */
+Expected<FaultPlan> parseFaultPlan(const std::string &spec);
+
+/** Inverse of parseFaultPlan (round-trippable, for saveConfig). */
+std::string formatFaultPlan(const FaultPlan &plan);
+
+/** The `fault.*` slice of SystemConfig. Faults are fully inert --
+ * no stats group, no probes, no RNG -- until a plan is set. */
+struct FaultConfig
+{
+    /** Plan spec string; empty = fault injection disabled. */
+    std::string plan;
+    /** Seed for the injector's private RNG. */
+    std::uint64_t seed = 1;
+
+    bool enabled() const { return !plan.empty(); }
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_FAULT_FAULT_PLAN_HH

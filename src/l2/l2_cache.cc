@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace cmpcache
 {
@@ -107,6 +108,8 @@ bool
 L2Cache::wbhtDecisionsActive() const
 {
     if (!policy_.usesWbht())
+        return false;
+    if (faults_ && faults_->wbhtDisabled(curTick()))
         return false;
     if (!policy_.useRetrySwitch)
         return true;
@@ -257,7 +260,8 @@ L2Cache::drainWriteBacks()
         req.lineAddr = e->lineAddr;
         req.cmd = e->dirty ? BusCmd::WbDirty : BusCmd::WbClean;
         req.requester = id_;
-        if (policy_.usesSnarf())
+        if (policy_.usesSnarf()
+            && !(faults_ && faults_->snarfDisabled(now)))
             req.snarfHint = snarfTable_->shouldFlagSnarf(e->lineAddr);
         e->snarfHint = req.snarfHint;
         e->inFlight = true;
@@ -349,6 +353,7 @@ L2Cache::snoop(const BusRequest &req)
         // Offer to absorb if we have buffers, a victim candidate, and
         // no conflicting activity on the line.
         if (snarfInFlight_ < policy_.snarfBuffers
+            && !(faults_ && faults_->snarfDisabled(curTick()))
             && !mshrs_.find(line) && !wbq_.find(line)
             && !pendingSnarfs_.count(line)
             && snarfVictimAvailable(line)) {

@@ -33,6 +33,8 @@
 namespace cmpcache
 {
 
+class FaultInjector;
+
 /** Structural and timing parameters of one L2 cache. */
 struct L2Params
 {
@@ -93,6 +95,14 @@ class L2Cache : public SimObject, public BusAgent
         l3Peek_ = std::move(fn);
     }
 
+    /**
+     * Install the fault injector (null disables injection). The L2
+     * consults it for the table-disable faults: DisableWbht forces
+     * baseline write-back behaviour, DisableSnarf stops both snarf
+     * flagging and snarf-accept offers while the window is open.
+     */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
     // BusAgent interface
     AgentId agentId() const override { return id_; }
     unsigned ringStop() const override { return stop_; }
@@ -139,6 +149,18 @@ class L2Cache : public SimObject, public BusAgent
         return snarfInterventionUse_.value();
     }
 
+    // Watchdog / diagnostics
+    const WriteBackQueue &writeBackQueue() const { return wbq_; }
+    MshrFile &mshrFile() { return mshrs_; }
+    /** Write backs resolved one way or another (forward-progress
+     * signal: accepted by the L3, squashed, snarfed out, or aborted
+     * by the WBHT). */
+    std::uint64_t wbCompleted() const
+    {
+        return wbAcceptedL3_.value() + wbSquashed_.value()
+               + wbSnarfedOut_.value() + wbAbortedByWbht_.value();
+    }
+
   private:
     void tryIssue(Mshr *mshr);
     void scheduleWbDrain();
@@ -157,6 +179,7 @@ class L2Cache : public SimObject, public BusAgent
     PolicyConfig policy_;
     Ring &ring_;
     RetryMonitor *retryMonitor_;
+    FaultInjector *faults_ = nullptr;
 
     TagArray tags_;
     MshrFile mshrs_;

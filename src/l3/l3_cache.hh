@@ -102,6 +102,16 @@ class L3Cache : public SimObject, public BusAgent
         return cleanWbAlreadyValid_.value();
     }
 
+    /** Occupied incoming-queue entries across slices (watchdog
+     * diagnostics). */
+    unsigned incomingBusy() const
+    {
+        unsigned n = 0;
+        for (const auto b : wbQueueBusy_)
+            n += b;
+        return n;
+    }
+
   private:
     /**
      * Claim incoming-queue resources for a snooped write back.

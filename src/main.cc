@@ -80,7 +80,10 @@ usage()
         "  KEY=VALUE             positional base-config overrides;\n"
         "                        wl.* keys adjust every cell's "
         "workload\n"
-        "  --quiet               suppress progress lines\n";
+        "  --quiet               suppress progress lines\n\n"
+        "exit codes: 0 ok, 1 bad arguments/config or internal error,\n"
+        "2 coherence violations, 3 one or more sweep cells failed\n"
+        "(failed cells appear as status:\"error\" in the results)\n";
 }
 
 StatsFormat
@@ -173,8 +176,12 @@ sweepMain(const CliArgs &args)
         static_cast<std::uint64_t>(args.getInt("seed", 1));
     spec.checkCoherence = args.getBool("check-coherence", false);
 
-    if (args.has("config"))
-        loadConfigFile(spec.base, args.getString("config", ""));
+    if (args.has("config")) {
+        const auto loaded =
+            loadConfigFile(spec.base, args.getString("config", ""));
+        if (!loaded.ok())
+            cmp_fatal(loaded.error().message);
+    }
     for (const auto &pos : args.positional()) {
         const auto eq = pos.find('=');
         if (eq == std::string::npos)
@@ -182,10 +189,14 @@ sweepMain(const CliArgs &args)
                       "' is not a key=value override");
         const std::string key = pos.substr(0, eq);
         const std::string value = pos.substr(eq + 1);
-        if (isWorkloadKey(key))
+        if (isWorkloadKey(key)) {
             spec.workloadOverrides.emplace_back(key, value);
-        else
-            applyConfigOption(spec.base, key, value);
+        } else {
+            const auto applied =
+                applyConfigOption(spec.base, key, value);
+            if (!applied.ok())
+                cmp_fatal(applied.error().message);
+        }
     }
 
     // CLI observability knobs override config-file obs.* keys.
@@ -291,6 +302,16 @@ sweepMain(const CliArgs &args)
             return 2;
         }
     }
+
+    std::size_t failed = 0;
+    for (const auto &r : results)
+        if (!r.ok)
+            ++failed;
+    if (failed) {
+        warn("sweep: ", failed, " of ", results.size(),
+             " cells failed (status \"error\" in the results)");
+        return 3;
+    }
     return 0;
 }
 
@@ -305,8 +326,15 @@ main(int argc, char **argv)
         usage();
         return cmd.empty() && !args.getBool("help", false) ? 1 : 0;
     }
-    if (cmd == "sweep")
-        return sweepMain(args);
+    if (cmd == "sweep") {
+        try {
+            return sweepMain(args);
+        } catch (const SimException &e) {
+            std::cerr << "error (" << toString(e.error().kind)
+                      << "): " << e.error().message << "\n";
+            return 1;
+        }
+    }
     if (cmd == "list")
         return listMain();
     cmp_fatal("unknown subcommand '", cmd,

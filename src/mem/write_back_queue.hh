@@ -65,6 +65,15 @@ class WriteBackQueue
     /** Remove a completed/aborted entry. */
     void remove(const WbEntry *entry);
 
+    /** Iterate over queued entries, oldest first (diagnostics). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &e : q_)
+            fn(e);
+    }
+
   private:
     unsigned capacity_;
     std::deque<WbEntry> q_;

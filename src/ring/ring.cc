@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/retry_monitor.hh"
+#include "fault/fault_injector.hh"
 #include "obs/trace_export.hh"
 
 namespace cmpcache
@@ -114,7 +115,8 @@ Ring::drain()
 
     const BusRequest req = pending.req;
     const Tick enq = pending.enqueued;
-    at(now + params_.snoopLatency,
+    const Tick delay = faults_ ? faults_->launchDelay(now) : 0;
+    at(now + params_.snoopLatency + delay,
        [this, req, enq] { combineNow(req, enq); });
 
     if (!reqQueue_.empty())
@@ -138,8 +140,33 @@ Ring::combineNow(BusRequest req, Tick enqueued)
     cmp_assert(requester != nullptr, "request from unknown agent ",
                unsigned{req.requester});
 
-    const CombinedResult res = collector_.combine(req, responses);
     const Tick now = curTick();
+
+    // Suppressed snarf wins: clear the accept offers before the
+    // collector arbitrates. The offering L2s still release their
+    // tentative buffer reservations in observeCombined, exactly as
+    // when they lose the round-robin.
+    if (faults_ && isWriteBack(req.cmd)) {
+        bool offered = false;
+        for (const auto &r : responses)
+            offered = offered || r.snarfAccept;
+        if (offered && faults_->suppressSnarf(now)) {
+            for (auto &r : responses)
+                r.snarfAccept = false;
+        }
+    }
+
+    CombinedResult res = collector_.combine(req, responses);
+
+    // Forced retries and NACKs override the combined response. Every
+    // agent treats a Retry by releasing its tentative reservations
+    // (L3 queue slot, snarf buffer), so the override is protocol-safe
+    // and exercises the same recovery path as a real conflict.
+    if (faults_ && res.resp != CombinedResp::Retry
+        && ((isWriteBack(req.cmd) && faults_->forceL3Retry(now))
+            || faults_->nack(now))) {
+        res = CombinedResult{};
+    }
 
     if (res.resp == CombinedResp::Retry) {
         ++retryResponses_;

@@ -41,6 +41,7 @@
 namespace cmpcache
 {
 
+class FaultInjector;
 class RetryMonitor;
 class TraceRecorder;
 
@@ -126,6 +127,32 @@ class Ring : public SimObject
     /** The system's retry monitor observes ring retries. */
     void setRetryMonitor(RetryMonitor *mon) { retryMonitor_ = mon; }
 
+    /**
+     * Install the fault injector (null disables injection). The ring
+     * is where the FaultPlan's message faults land: launch delays,
+     * forced L3-retry responses for write backs, blanket NACKs and
+     * suppressed snarf wins -- all applied at combine time, where the
+     * protocol already handles Retry outcomes, so no new recovery
+     * paths are needed (see docs/robustness.md).
+     */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /** Requests waiting for an address slot (watchdog diagnostics). */
+    std::size_t pendingRequests() const { return reqQueue_.size(); }
+
+    /**
+     * Line address and enqueue tick of the oldest queued request;
+     * false if the queue is empty.
+     */
+    bool oldestPending(Addr &line, Tick &enqueued) const
+    {
+        if (reqQueue_.empty())
+            return false;
+        line = reqQueue_.front().req.lineAddr;
+        enqueued = reqQueue_.front().enqueued;
+        return true;
+    }
+
     /** Record a duration event per completed transaction (issue to
      * data delivery) into @p t; null disables tracing. */
     void setTracer(TraceRecorder *t) { tracer_ = t; }
@@ -173,6 +200,7 @@ class Ring : public SimObject
 
     RingParams params_;
     SnoopCollector collector_;
+    FaultInjector *faults_ = nullptr;
     RetryMonitor *retryMonitor_ = nullptr;
     TraceRecorder *tracer_ = nullptr;
     Observer observer_;

@@ -59,8 +59,20 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
         std::make_unique<RetryMonitor>(this, cfg_.policy.retry);
     retryMonitor_->setTimeSource([this] { return eq_.curTick(); });
 
+    // Only built when a plan is configured: fault-free runs carry no
+    // "fault" stats group, keeping their output byte-identical.
+    if (cfg_.fault.enabled()) {
+        auto plan = parseFaultPlan(cfg_.fault.plan);
+        cmp_assert(plan.ok(), "fault plan passed validate() but "
+                   "failed to parse");
+        plan->seed = cfg_.fault.seed;
+        faults_ = std::make_unique<FaultInjector>(this, *plan);
+        faults_->setTimeSource([this] { return eq_.curTick(); });
+    }
+
     ring_ = std::make_unique<Ring>(this, eq_, cfg_.ring, cfg_.numL2s);
     ring_->setRetryMonitor(retryMonitor_.get());
+    ring_->setFaultInjector(faults_.get());
 
     // Agent ids / ring stops: L2s take 0..n-1, L3 = n, memory = n+1.
     const AgentId l3_id = static_cast<AgentId>(cfg_.numL2s);
@@ -81,6 +93,7 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
         l2->setCompletionCallback([this](ThreadId tid) {
             cpus_.at(tid)->onMissComplete();
         });
+        l2->setFaultInjector(faults_.get());
         ring_->attach(l2.get(), Ring::Role::L2);
         l2s_.push_back(std::move(l2));
     }
@@ -196,10 +209,12 @@ CmpSystem::run()
     eq_.run(cfg_.maxTicks);
 
     if (!finished()) {
-        cmp_fatal("simulation hit the ", cfg_.maxTicks,
-                  "-tick safety limit before the traces drained (",
-                  eq_.numPending(), " events pending); likely a "
-                  "deadlock or an undersized maxTicks");
+        throw SimException(SimError(
+            SimErrorKind::Budget,
+            cstr("simulation hit the ", cfg_.maxTicks,
+                 "-tick safety limit before the traces drained (",
+                 eq_.numPending(), " events pending); likely a "
+                 "deadlock or an undersized maxTicks")));
     }
 
     Tick finish = 0;
@@ -243,6 +258,13 @@ CmpSystem::defaultProbePaths() const
         paths.push_back(l2 + "wb_snarfed_out");
         paths.push_back(l2 + "snarfed_received");
         paths.push_back(l2 + "snarfed_dropped");
+    }
+    if (faults_) {
+        paths.push_back("fault.windows_active_now");
+        paths.push_back("fault.forced_l3_retries");
+        paths.push_back("fault.nacks");
+        paths.push_back("fault.delayed_launches");
+        paths.push_back("fault.snarf_suppressed");
     }
     return paths;
 }

@@ -17,6 +17,7 @@
 
 #include "core/retry_monitor.hh"
 #include "cpu/trace_cpu.hh"
+#include "fault/fault_injector.hh"
 #include "l2/l2_cache.hh"
 #include "l3/l3_cache.hh"
 #include "memctrl/mem_ctrl.hh"
@@ -64,6 +65,8 @@ class CmpSystem : public stats::Group
     /**
      * Replay every trace to completion.
      * @return the finish tick (max over threads)
+     * @throws SimException (kind Budget) if the maxTicks safety limit
+     *         is hit before the traces drain
      */
     Tick run();
 
@@ -98,6 +101,8 @@ class CmpSystem : public stats::Group
     {
         return reuseTracker_.get();
     }
+    /** Non-null only when cfg.fault.plan is non-empty. */
+    FaultInjector *faultInjector() { return faults_.get(); }
 
     /**
      * The stat paths (relative to this group) the periodic sampler
@@ -125,6 +130,7 @@ class CmpSystem : public stats::Group
     EventQueue eq_;
 
     std::unique_ptr<RetryMonitor> retryMonitor_;
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Ring> ring_;
     std::unique_ptr<L3Cache> l3_;
     std::unique_ptr<MemCtrl> mem_;

@@ -24,32 +24,47 @@ trim(const std::string &s)
     return s.substr(b, e - b + 1);
 }
 
-std::uint64_t
-toU64(const std::string &key, const std::string &v)
+SimError
+configError(const std::string &what)
 {
-    try {
-        return std::stoull(v);
-    } catch (...) {
-        cmp_fatal("config key '", key, "' expects an integer, got '",
-                  v, "'");
-    }
+    return SimError(SimErrorKind::Config, what);
 }
 
-bool
+Expected<std::uint64_t>
+toU64(const std::string &key, const std::string &v)
+{
+    // Reject anything but plain digits up front: std::stoull would
+    // happily accept "-1" (wrapping) or "12abc" (trailing garbage).
+    bool digits = !v.empty();
+    for (const char c : v)
+        digits = digits && c >= '0' && c <= '9';
+    if (digits) {
+        try {
+            return std::stoull(v);
+        } catch (const std::exception &) {
+            // fall through: out of range
+        }
+    }
+    return configError(cstr("config key '", key,
+                            "' expects an unsigned integer, got '", v,
+                            "'"));
+}
+
+Expected<bool>
 toBool(const std::string &key, const std::string &v)
 {
     if (v == "true" || v == "1" || v == "yes" || v == "on")
         return true;
     if (v == "false" || v == "0" || v == "no" || v == "off")
         return false;
-    cmp_fatal("config key '", key, "' expects a boolean, got '", v,
-              "'");
+    return configError(cstr("config key '", key,
+                            "' expects a boolean, got '", v, "'"));
 }
 
 struct KeyHandler
 {
-    std::function<void(SystemConfig &, const std::string &,
-                       const std::string &)>
+    std::function<Expected<void>(SystemConfig &, const std::string &,
+                                 const std::string &)>
         set;
     std::function<std::string(const SystemConfig &)> get;
 };
@@ -58,8 +73,12 @@ struct KeyHandler
     KeyHandler                                                          \
     {                                                                   \
         [](SystemConfig &c, const std::string &k,                       \
-           const std::string &v) {                                      \
-            c.field = static_cast<decltype(c.field)>(toU64(k, v));      \
+           const std::string &v) -> Expected<void> {                    \
+            const auto r = toU64(k, v);                                 \
+            if (!r)                                                     \
+                return r.error();                                       \
+            c.field = static_cast<decltype(c.field)>(*r);               \
+            return {};                                                  \
         },                                                              \
             [](const SystemConfig &c) { return cstr(c.field); }         \
     }
@@ -68,10 +87,27 @@ struct KeyHandler
     KeyHandler                                                          \
     {                                                                   \
         [](SystemConfig &c, const std::string &k,                       \
-           const std::string &v) { c.field = toBool(k, v); },           \
+           const std::string &v) -> Expected<void> {                    \
+            const auto r = toBool(k, v);                                \
+            if (!r)                                                     \
+                return r.error();                                       \
+            c.field = *r;                                               \
+            return {};                                                  \
+        },                                                              \
             [](const SystemConfig &c) {                                 \
                 return std::string(c.field ? "true" : "false");         \
             }                                                           \
+    }
+
+#define STR_KEY(field)                                                  \
+    KeyHandler                                                          \
+    {                                                                   \
+        [](SystemConfig &c, const std::string &,                        \
+           const std::string &v) -> Expected<void> {                    \
+            c.field = v;                                                \
+            return {};                                                  \
+        },                                                              \
+            [](const SystemConfig &c) { return c.field; }               \
     }
 
 const std::map<std::string, KeyHandler> &
@@ -128,27 +164,40 @@ handlers()
          BOOL_KEY(policy.wbhtInformedReplacement)},
         {"warmup", BOOL_KEY(warmupPass)},
         {"reuse_tracker", BOOL_KEY(enableWbReuseTracker)},
+        {"fault.plan", STR_KEY(fault.plan)},
+        {"fault.seed", U64_KEY(fault.seed)},
+        {"watchdog.every", U64_KEY(watchdog.every)},
+        {"watchdog.stall_checks", U64_KEY(watchdog.stallChecks)},
+        {"watchdog.max_txn_age", U64_KEY(watchdog.maxTxnAge)},
+        {"watchdog.wall_secs", U64_KEY(watchdog.wallSecs)},
         {"policy",
-         KeyHandler{[](SystemConfig &c, const std::string &,
-                       const std::string &v) {
-                        const auto keep = c.policy;
-                        c.policy.policy = wbPolicyFromString(v);
-                        (void)keep;
+         KeyHandler{[](SystemConfig &c, const std::string &k,
+                       const std::string &v) -> Expected<void> {
+                        WbPolicy p;
+                        if (!tryWbPolicyFromString(v, p)) {
+                            return configError(cstr(
+                                "config key '", k,
+                                "' expects baseline|wbht|wbht-global|"
+                                "snarf|combined, got '", v, "'"));
+                        }
+                        c.policy.policy = p;
+                        return {};
                     },
                     [](const SystemConfig &c) {
                         return std::string(toString(c.policy.policy));
                     }}},
         {"snarf_insert",
          KeyHandler{[](SystemConfig &c, const std::string &k,
-                       const std::string &v) {
+                       const std::string &v) -> Expected<void> {
                         if (v == "mru")
                             c.policy.snarfInsert = InsertPos::Mru;
                         else if (v == "lru")
                             c.policy.snarfInsert = InsertPos::Lru;
                         else
-                            cmp_fatal("config key '", k,
-                                      "' expects mru|lru, got '", v,
-                                      "'");
+                            return configError(cstr(
+                                "config key '", k,
+                                "' expects mru|lru, got '", v, "'"));
+                        return {};
                     },
                     [](const SystemConfig &c) {
                         return std::string(
@@ -158,13 +207,19 @@ handlers()
                     }}},
         {"l2.repl",
          KeyHandler{[](SystemConfig &c, const std::string &,
-                       const std::string &v) { c.l2.replPolicy = v; },
+                       const std::string &v) -> Expected<void> {
+                        c.l2.replPolicy = v;
+                        return {};
+                    },
                     [](const SystemConfig &c) {
                         return c.l2.replPolicy;
                     }}},
         {"l3.repl",
          KeyHandler{[](SystemConfig &c, const std::string &,
-                       const std::string &v) { c.l3.replPolicy = v; },
+                       const std::string &v) -> Expected<void> {
+                        c.l3.replPolicy = v;
+                        return {};
+                    },
                     [](const SystemConfig &c) {
                         return c.l3.replPolicy;
                     }}},
@@ -174,20 +229,21 @@ handlers()
 
 #undef U64_KEY
 #undef BOOL_KEY
+#undef STR_KEY
 
 } // namespace
 
-void
+Expected<void>
 applyConfigOption(SystemConfig &cfg, const std::string &key,
                   const std::string &value)
 {
     const auto it = handlers().find(key);
     if (it == handlers().end())
-        cmp_fatal("unknown config key '", key, "'");
-    it->second.set(cfg, key, value);
+        return configError(cstr("unknown config key '", key, "'"));
+    return it->second.set(cfg, key, value);
 }
 
-void
+Expected<void>
 loadConfig(SystemConfig &cfg, std::istream &is)
 {
     std::string line;
@@ -201,21 +257,35 @@ loadConfig(SystemConfig &cfg, std::istream &is)
         if (line.empty())
             continue;
         const auto eq = line.find('=');
-        if (eq == std::string::npos)
-            cmp_fatal("config line ", lineno, " has no '=': '", line,
-                      "'");
-        applyConfigOption(cfg, trim(line.substr(0, eq)),
-                          trim(line.substr(eq + 1)));
+        if (eq == std::string::npos) {
+            return configError(cstr("config line ", lineno,
+                                    " has no '=': '", line, "'"));
+        }
+        const auto r = applyConfigOption(cfg, trim(line.substr(0, eq)),
+                                         trim(line.substr(eq + 1)));
+        if (!r) {
+            return SimError(r.error().kind,
+                            cstr("config line ", lineno, ": ",
+                                 r.error().message));
+        }
     }
+    return {};
 }
 
-void
+Expected<void>
 loadConfigFile(SystemConfig &cfg, const std::string &path)
 {
     std::ifstream is(path);
-    if (!is)
-        cmp_fatal("cannot open config file '", path, "'");
-    loadConfig(cfg, is);
+    if (!is) {
+        return SimError(SimErrorKind::Io,
+                        cstr("cannot open config file '", path, "'"));
+    }
+    const auto r = loadConfig(cfg, is);
+    if (!r) {
+        return SimError(r.error().kind,
+                        cstr(path, ": ", r.error().message));
+    }
+    return {};
 }
 
 void

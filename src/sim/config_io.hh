@@ -14,6 +14,11 @@
  *     retry.window      = 250000
  *     retry.threshold   = 100
  *     l2.size_bytes     = 2097152
+ *
+ * Malformed input (unknown keys, non-numeric values, lines without
+ * '=') surfaces as a structured SimError (kind Config, or Io for an
+ * unreadable file) naming the offending key and line, never a process
+ * exit -- one bad sweep cell must not take the grid down with it.
  */
 
 #ifndef CMPCACHE_SIM_CONFIG_IO_HH
@@ -23,21 +28,25 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/system_config.hh"
 
 namespace cmpcache
 {
 
-/** Apply one "key", "value" pair; fatal() on unknown keys or
- * malformed values. */
-void applyConfigOption(SystemConfig &cfg, const std::string &key,
-                       const std::string &value);
+/** Apply one "key", "value" pair; SimError (Config) on unknown keys
+ * or malformed values. */
+Expected<void> applyConfigOption(SystemConfig &cfg,
+                                 const std::string &key,
+                                 const std::string &value);
 
-/** Parse "key = value" lines from a stream into @p cfg. */
-void loadConfig(SystemConfig &cfg, std::istream &is);
+/** Parse "key = value" lines from a stream into @p cfg; errors name
+ * the line number. */
+Expected<void> loadConfig(SystemConfig &cfg, std::istream &is);
 
-/** Parse a config file; fatal() if unreadable. */
-void loadConfigFile(SystemConfig &cfg, const std::string &path);
+/** Parse a config file; SimError (Io) if unreadable. */
+Expected<void> loadConfigFile(SystemConfig &cfg,
+                              const std::string &path);
 
 /** Write @p cfg out in the same format (round-trippable). */
 void saveConfig(const SystemConfig &cfg, std::ostream &os);

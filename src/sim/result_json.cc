@@ -160,6 +160,77 @@ resultFromValue(const JsonValue &v, ExperimentResult &out,
     return true;
 }
 
+/** Is @p v a writer-emitted {"status": "error", ...} cell? */
+bool
+isErrorCell(const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Object)
+        return false;
+    const JsonValue *st = v.get("status");
+    return st && st->kind == JsonValue::Kind::String
+           && st->string == "error";
+}
+
+bool
+errorCellFromValue(const JsonValue &v, SweepCellOutcome &out,
+                   std::string *error)
+{
+    if (!checkSchemaVersion(v, error))
+        return false;
+    SweepCellOutcome c;
+    c.ok = false;
+    const struct
+    {
+        const char *key;
+        std::string *dst;
+    } strs[] = {
+        {"errorKind", &c.errorKind},
+        {"error", &c.error},
+        {"workload", &c.result.workload},
+        {"policy", &c.result.policy},
+    };
+    for (const auto &s : strs) {
+        const JsonValue *fv = v.get(s.key);
+        if (!fv || fv->kind != JsonValue::Kind::String)
+            return fail(error, std::string("error cell field '")
+                                   + s.key
+                                   + "' missing or not a string");
+        *s.dst = fv->string;
+    }
+    const JsonValue *mo = v.get("maxOutstanding");
+    if (!mo || mo->kind != JsonValue::Kind::Number
+        || mo->number.find_first_of(".eE-") != std::string::npos)
+        return fail(error, "error cell field 'maxOutstanding' missing "
+                           "or not a non-negative integer");
+    c.result.maxOutstanding = static_cast<unsigned>(
+        std::strtoull(mo->number.c_str(), nullptr, 10));
+    out = std::move(c);
+    return true;
+}
+
+/** Schema-check a parsed sweep file and return its results array. */
+const JsonValue *
+sweepResultsArray(const JsonValue &v, std::string *error)
+{
+    if (v.kind != JsonValue::Kind::Object) {
+        fail(error, "results file is not a JSON object");
+        return nullptr;
+    }
+    const JsonValue *schema = v.get("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String
+        || (schema->string != "cmpcache-sweep-results-v2"
+            && schema->string != "cmpcache-sweep-results-v1")) {
+        fail(error, "missing or unknown schema tag");
+        return nullptr;
+    }
+    const JsonValue *results = v.get("results");
+    if (!results || results->kind != JsonValue::Kind::Array) {
+        fail(error, "missing 'results' array");
+        return nullptr;
+    }
+    return results;
+}
+
 } // namespace
 
 void
@@ -216,23 +287,45 @@ parseSweepResultsJson(const std::string &text,
     JsonValue v;
     if (!parseJson(text, v, error))
         return false;
-    if (v.kind != JsonValue::Kind::Object)
-        return fail(error, "results file is not a JSON object");
-    const JsonValue *schema = v.get("schema");
-    if (!schema || schema->kind != JsonValue::Kind::String
-        || (schema->string != "cmpcache-sweep-results-v2"
-            && schema->string != "cmpcache-sweep-results-v1"))
-        return fail(error, "missing or unknown schema tag");
-    const JsonValue *results = v.get("results");
-    if (!results || results->kind != JsonValue::Kind::Array)
-        return fail(error, "missing 'results' array");
+    const JsonValue *results = sweepResultsArray(v, error);
+    if (!results)
+        return false;
     std::vector<ExperimentResult> parsed;
     parsed.reserve(results->array.size());
     for (const auto &rv : results->array) {
+        if (isErrorCell(rv))
+            continue;
         ExperimentResult r;
         if (!resultFromValue(rv, r, error))
             return false;
         parsed.push_back(std::move(r));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+parseSweepResultsJson(const std::string &text,
+                      std::vector<SweepCellOutcome> &out,
+                      std::string *error)
+{
+    JsonValue v;
+    if (!parseJson(text, v, error))
+        return false;
+    const JsonValue *results = sweepResultsArray(v, error);
+    if (!results)
+        return false;
+    std::vector<SweepCellOutcome> parsed;
+    parsed.reserve(results->array.size());
+    for (const auto &rv : results->array) {
+        SweepCellOutcome c;
+        if (isErrorCell(rv)) {
+            if (!errorCellFromValue(rv, c, error))
+                return false;
+        } else if (!resultFromValue(rv, c.result, error)) {
+            return false;
+        }
+        parsed.push_back(std::move(c));
     }
     out = std::move(parsed);
     return true;

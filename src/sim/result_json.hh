@@ -50,12 +50,36 @@ bool parseResultJson(const std::string &text, ExperimentResult &out,
                      std::string *error = nullptr);
 
 /**
+ * One cell read back from a sweep results file. Cells that failed
+ * (the writer's {"status": "error", ...} form) carry ok = false, the
+ * structured error, and identity-only result fields
+ * (workload/policy/maxOutstanding); everything else in result is
+ * default-initialized.
+ */
+struct SweepCellOutcome
+{
+    bool ok = true;
+    std::string errorKind; ///< SimErrorKind name; empty when ok
+    std::string error;     ///< failure message; empty when ok
+    ExperimentResult result;
+};
+
+/**
  * Parse a whole sweep results file ("cmpcache-sweep-results-v2", or
  * the v1 tag of earlier releases): checks the schema tag and extracts
- * the "results" array.
+ * the "results" array. Cells with "status": "error" are skipped --
+ * use the SweepCellOutcome overload to see them.
  */
 bool parseSweepResultsJson(const std::string &text,
                            std::vector<ExperimentResult> &out,
+                           std::string *error = nullptr);
+
+/**
+ * Detailed overload: returns every cell, failed ones included, in
+ * file order.
+ */
+bool parseSweepResultsJson(const std::string &text,
+                           std::vector<SweepCellOutcome> &out,
                            std::string *error = nullptr);
 
 } // namespace cmpcache

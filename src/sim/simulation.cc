@@ -1,5 +1,7 @@
 #include "sim/simulation.hh"
 
+#include <fstream>
+
 #include "common/logging.hh"
 
 namespace cmpcache
@@ -14,9 +16,11 @@ resolveConfig(const SystemConfig &cfg, const WorkloadParams &workload)
 {
     SystemConfig local = cfg;
     if (workload.numThreads != local.numThreads()) {
-        cmp_fatal("workload has ", workload.numThreads,
-                  " threads but the system expects ",
-                  local.numThreads());
+        throw SimException(SimError(
+            SimErrorKind::Config,
+            cstr("workload has ", workload.numThreads,
+                 " threads but the system expects ",
+                 local.numThreads())));
     }
     local.l2.lineSize = workload.lineSize;
     local.l3.lineSize = workload.lineSize;
@@ -67,12 +71,31 @@ Simulation::initObservability()
             std::make_unique<TraceRecorder>(obs.traceCapacity);
         sys_->ring().setTracer(tracer_.get());
     }
+    const WatchdogConfig &wd = sys_->config().watchdog;
+    if (wd.enabled()) {
+        watchdog_ = std::make_unique<Watchdog>(*sys_, wd);
+        watchdog_->setTripHook([this](const SimError &err) {
+            warn("watchdog trip (", toString(err.kind), "): ",
+                 err.message);
+            if (tracer_ && !watchdogFlushPath_.empty()) {
+                std::ofstream os(watchdogFlushPath_);
+                if (os) {
+                    writeChromeTrace(os, tracer_->events(),
+                                     sampled() ? &samples() : nullptr);
+                    inform("watchdog: flushed transaction trace to ",
+                           watchdogFlushPath_);
+                }
+            }
+        });
+    }
 }
 
 const ExperimentResult &
 Simulation::run()
 {
     if (!ran_) {
+        if (watchdog_)
+            watchdog_->start();
         const Tick finish = sys_->run();
         result_ = collectResult(*sys_, finish, inputName_);
         ran_ = true;

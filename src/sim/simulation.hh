@@ -25,6 +25,7 @@
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
 #include "sim/system_config.hh"
+#include "sim/watchdog.hh"
 #include "trace/workload.hh"
 
 namespace cmpcache
@@ -77,14 +78,28 @@ class Simulation
     /** The surviving trace events (empty when not traced). */
     std::vector<TraceEvent> traceEvents() const;
 
+    /** Non-null when cfg.watchdog.every > 0. */
+    Watchdog *watchdog() { return watchdog_.get(); }
+
+    /**
+     * Where the watchdog flushes a Chrome/Perfetto trace on a trip
+     * (only when tracing is enabled); empty disables the flush.
+     */
+    void setWatchdogFlushPath(std::string path)
+    {
+        watchdogFlushPath_ = std::move(path);
+    }
+
   private:
-    /** Attach sampler / tracer per the system's ObsConfig. */
+    /** Attach sampler / tracer / watchdog per the system's config. */
     void initObservability();
 
     std::string inputName_;
     std::unique_ptr<CmpSystem> sys_;
     std::unique_ptr<Sampler> sampler_;
     std::unique_ptr<TraceRecorder> tracer_;
+    std::unique_ptr<Watchdog> watchdog_;
+    std::string watchdogFlushPath_;
     ExperimentResult result_;
     bool ran_ = false;
 };

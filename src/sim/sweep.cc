@@ -154,6 +154,13 @@ SweepProgressPrinter::jobFinished(const SweepJob &job,
                                   unsigned done, unsigned total,
                                   double eta_seconds)
 {
+    if (!r.ok) {
+        os_ << "sweep: [" << done << "/" << total << "] ERROR "
+            << job.label() << ": [" << r.errorKind << "] " << r.error
+            << "\n";
+        os_.flush();
+        return;
+    }
     os_ << "sweep: [" << done << "/" << total << "] done  "
         << job.label() << ": " << r.result.execTime << " cycles in "
         << fmtSeconds(r.wallSeconds) << " ("
@@ -197,7 +204,7 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
 
             SweepJobResult r;
             const auto job_start = Clock::now();
-            {
+            try {
                 Simulation sim(job.config, job.params);
                 r.result = sim.run();
                 r.eventsExecuted =
@@ -226,6 +233,27 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
                     }
                     r.statsDump = dump.str();
                 }
+            } catch (const SimException &e) {
+                r.ok = false;
+                r.errorKind = toString(e.error().kind);
+                r.error = e.error().message;
+            } catch (const std::exception &e) {
+                r.ok = false;
+                r.errorKind = toString(SimErrorKind::Internal);
+                r.error = e.what();
+            }
+            if (!r.ok) {
+                // Keep the grid aligned: error cells still identify
+                // themselves, but carry no measurements.
+                r.result = ExperimentResult{};
+                r.result.workload = job.workload;
+                r.result.policy = toString(job.policy);
+                r.result.maxOutstanding = job.outstanding;
+                r.coherenceViolations = 0;
+                r.eventsExecuted = 0;
+                r.samples = SampleSeries{};
+                r.trace.clear();
+                r.statsDump.clear();
             }
             r.wallSeconds =
                 std::chrono::duration<double>(Clock::now() - job_start)
@@ -344,7 +372,22 @@ writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
     }
     os << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        writeResultJson(os, results[i].result, 4);
+        const SweepJobResult &r = results[i];
+        if (r.ok) {
+            writeResultJson(os, r.result, 4);
+        } else {
+            os << "    {\n"
+               << "      \"schemaVersion\": " << kResultSchemaVersion
+               << ",\n      \"status\": \"error\",\n"
+               << "      \"errorKind\": \"" << jsonEscape(r.errorKind)
+               << "\",\n      \"error\": \"" << jsonEscape(r.error)
+               << "\",\n      \"workload\": \""
+               << jsonEscape(r.result.workload)
+               << "\",\n      \"policy\": \""
+               << jsonEscape(r.result.policy)
+               << "\",\n      \"maxOutstanding\": "
+               << r.result.maxOutstanding << "\n    }";
+        }
         if (i + 1 < results.size())
             os << ",";
         os << "\n";

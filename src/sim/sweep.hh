@@ -113,6 +113,20 @@ struct SweepSpec
 /** Everything measured about one finished cell. */
 struct SweepJobResult
 {
+    /**
+     * Did the cell complete? Workers isolate failures: a cell whose
+     * construction or run throws (bad per-cell config, watchdog trip,
+     * budget overrun) reports ok = false with the structured error
+     * below while every other cell completes normally. Error cells
+     * keep their identity fields (result.workload / policy /
+     * maxOutstanding) so reports stay aligned with the grid.
+     */
+    bool ok = true;
+    /** SimErrorKind name ("config", "watchdog", ...); empty when ok. */
+    std::string errorKind;
+    /** Human-readable failure message; empty when ok. */
+    std::string error;
+
     ExperimentResult result;
     /** Invariant-checker violations (0 unless checkCoherence). */
     std::uint64_t coherenceViolations = 0;
@@ -211,7 +225,11 @@ bool isSweepWorkload(const std::string &name);
  * "timeSeries" block (one sampled-series object per cell, present
  * when base.obs.sampleEvery > 0), and one result object per cell in
  * job order (parseSweepResultsJson reads it back, v1 files included).
- * Byte-identical for equal specs regardless of thread count.
+ * Failed cells appear as {"status": "error", "errorKind": ...,
+ * "error": ..., workload/policy/maxOutstanding} in place of the
+ * result object; all-ok files carry no "status" fields and stay
+ * byte-identical to earlier releases. Byte-identical for equal specs
+ * regardless of thread count.
  */
 void writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
                            const std::vector<SweepJobResult> &results);

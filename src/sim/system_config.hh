@@ -7,14 +7,17 @@
 #define CMPCACHE_SIM_SYSTEM_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "core/policy.hh"
 #include "cpu/trace_cpu.hh"
+#include "fault/fault_plan.hh"
 #include "l2/l2_cache.hh"
 #include "l3/l3_cache.hh"
 #include "memctrl/mem_ctrl.hh"
 #include "obs/obs_config.hh"
 #include "ring/ring.hh"
+#include "sim/watchdog.hh"
 
 namespace cmpcache
 {
@@ -32,6 +35,8 @@ struct SystemConfig
     CpuParams cpu;
     PolicyConfig policy;
     ObsConfig obs;
+    FaultConfig fault;
+    WatchdogConfig watchdog;
 
     /** Track per-line write-back reuse (Table 2); costs memory. */
     bool enableWbReuseTracker = false;
@@ -48,7 +53,15 @@ struct SystemConfig
 
     unsigned numThreads() const { return numL2s * threadsPerL2; }
 
-    /** Sanity-check parameter consistency; fatal() on errors. */
+    /**
+     * Cross-field consistency checks. Each returned string names the
+     * offending config key(s) so the message maps straight back to
+     * the file or --key=value flag that caused it. Empty means valid.
+     */
+    std::vector<std::string> validationErrors() const;
+
+    /** Throw SimException (kind Config) if validationErrors() is
+     * non-empty. */
     void validate() const;
 
     /** One-line summary for logs. */

@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,8 @@ namespace
 
 constexpr char BinaryMagic[4] = {'C', 'M', 'P', 'T'};
 constexpr std::uint32_t BinaryVersion = 1;
+/** Bytes per packed binary record: u64 addr + u32 gap + u32 meta. */
+constexpr std::uint64_t BinaryRecordBytes = 16;
 
 void
 putU64(std::ostream &os, std::uint64_t v)
@@ -40,7 +43,7 @@ putU32(std::ostream &os, std::uint32_t v)
 std::uint64_t
 getU64(std::istream &is)
 {
-    std::array<unsigned char, 8> b;
+    std::array<unsigned char, 8> b{};
     is.read(reinterpret_cast<char *>(b.data()), 8);
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
@@ -51,7 +54,7 @@ getU64(std::istream &is)
 std::uint32_t
 getU32(std::istream &is)
 {
-    std::array<unsigned char, 4> b;
+    std::array<unsigned char, 4> b{};
     is.read(reinterpret_cast<char *>(b.data()), 4);
     std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i)
@@ -59,22 +62,29 @@ getU32(std::istream &is)
     return v;
 }
 
-MemOp
+SimError
+traceError(const std::string &what)
+{
+    return SimError(SimErrorKind::Trace, what);
+}
+
+/** Decode a text op character; -1 for anything unknown. */
+int
 opFromChar(char c)
 {
     switch (c) {
       case 'L':
-        return MemOp::Load;
+        return static_cast<int>(MemOp::Load);
       case 'S':
-        return MemOp::Store;
+        return static_cast<int>(MemOp::Store);
       case 'I':
-        return MemOp::IFetch;
+        return static_cast<int>(MemOp::IFetch);
       default:
-        cmp_fatal("bad trace op character '", c, "'");
+        return -1;
     }
 }
 
-std::vector<TraceRecord>
+Expected<std::vector<TraceRecord>>
 readTextBody(std::istream &is)
 {
     std::vector<TraceRecord> out;
@@ -82,6 +92,7 @@ readTextBody(std::istream &is)
     std::size_t lineno = 0;
     while (std::getline(is, line)) {
         ++lineno;
+        const std::string raw = line;
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line.erase(hash);
@@ -90,40 +101,109 @@ readTextBody(std::istream &is)
         std::string op;
         std::string addr_s;
         std::uint32_t gap;
-        if (!(ls >> tid))
-            continue; // blank line
+        if (!(ls >> tid)) {
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue; // blank (or comment-only) line
+            return traceError(cstr("malformed trace line ", lineno,
+                                   ": '", raw, "'"));
+        }
         if (!(ls >> op >> addr_s >> gap) || op.size() != 1) {
-            cmp_fatal("malformed trace line ", lineno, ": '", line, "'");
+            return traceError(cstr("malformed trace line ", lineno,
+                                   ": '", raw, "'"));
+        }
+        if (tid > std::numeric_limits<ThreadId>::max()) {
+            return traceError(cstr("trace line ", lineno,
+                                   ": thread id ", tid,
+                                   " out of range"));
+        }
+        const int opv = opFromChar(op[0]);
+        if (opv < 0) {
+            return traceError(cstr("trace line ", lineno,
+                                   ": bad op character '", op[0],
+                                   "' (expected L, S or I)"));
         }
         TraceRecord r;
         r.tid = static_cast<ThreadId>(tid);
-        r.op = opFromChar(op[0]);
-        r.addr = std::stoull(addr_s, nullptr, 16);
+        r.op = static_cast<MemOp>(opv);
+        // std::stoull throws on non-hex garbage and on overflow:
+        // report both as a malformed line, like the checks above.
+        std::size_t used = 0;
+        try {
+            r.addr = std::stoull(addr_s, &used, 16);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != addr_s.size()) {
+            return traceError(cstr("trace line ", lineno,
+                                   ": bad hex address '", addr_s,
+                                   "'"));
+        }
         r.gap = gap;
         out.push_back(r);
     }
     return out;
 }
 
-std::vector<TraceRecord>
+Expected<std::vector<TraceRecord>>
 readBinaryBody(std::istream &is)
 {
     const std::uint32_t version = getU32(is);
+    if (!is)
+        return traceError("truncated binary trace header");
     if (version != BinaryVersion)
-        cmp_fatal("unsupported binary trace version ", version);
+        return traceError(cstr("unsupported binary trace version ",
+                               version));
     const std::uint64_t count = getU64(is);
+    if (!is)
+        return traceError("truncated binary trace header");
+
+    // The header's count is attacker-controlled: check it against the
+    // bytes actually present before reserving anything. On seekable
+    // streams the remaining length is exact; otherwise fall back to a
+    // modest reservation and let the per-record checks catch
+    // truncation.
+    std::uint64_t max_records = 1 << 20;
+    const auto pos = is.tellg();
+    if (pos != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const auto end = is.tellg();
+        is.seekg(pos);
+        if (end != std::istream::pos_type(-1) && end >= pos) {
+            const auto remaining =
+                static_cast<std::uint64_t>(end - pos);
+            max_records = remaining / BinaryRecordBytes;
+            if (count > max_records) {
+                return traceError(cstr(
+                    "binary trace header claims ", count,
+                    " records but only ", remaining,
+                    " bytes (", max_records, " records) remain"));
+            }
+        }
+    }
+
     std::vector<TraceRecord> out;
-    out.reserve(count);
+    out.reserve(std::min(count, max_records));
     for (std::uint64_t i = 0; i < count; ++i) {
         TraceRecord r;
         r.addr = getU64(is);
         r.gap = getU32(is);
         const std::uint32_t meta = getU32(is);
+        if (!is) {
+            return traceError(cstr("truncated binary trace (record ",
+                                   i, " of ", count, ")"));
+        }
+        const std::uint32_t op = (meta >> 16) & 0xff;
+        if (op > static_cast<std::uint32_t>(MemOp::IFetch)) {
+            return traceError(cstr("binary trace record ", i,
+                                   ": bad op encoding ", op));
+        }
+        if ((meta >> 24) != 0) {
+            return traceError(cstr("binary trace record ", i,
+                                   ": reserved meta bits set (0x",
+                                   std::hex, meta, std::dec, ")"));
+        }
         r.tid = static_cast<ThreadId>(meta & 0xffff);
-        r.op = static_cast<MemOp>((meta >> 16) & 0xff);
-        if (!is)
-            cmp_fatal("truncated binary trace (record ", i, " of ",
-                      count, ")");
+        r.op = static_cast<MemOp>(op);
         out.push_back(r);
     }
     return out;
@@ -156,19 +236,25 @@ writeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
     }
 }
 
-void
+Expected<void>
 writeTraceFile(const std::string &path,
                const std::vector<TraceRecord> &records, TraceFormat fmt)
 {
     std::ofstream os(path, std::ios::binary);
-    if (!os)
-        cmp_fatal("cannot open trace file '", path, "' for writing");
+    if (!os) {
+        return SimError(SimErrorKind::Io,
+                        cstr("cannot open trace file '", path,
+                             "' for writing"));
+    }
     writeTrace(os, records, fmt);
-    if (!os)
-        cmp_fatal("error writing trace file '", path, "'");
+    if (!os) {
+        return SimError(SimErrorKind::Io,
+                        cstr("error writing trace file '", path, "'"));
+    }
+    return {};
 }
 
-std::vector<TraceRecord>
+Expected<std::vector<TraceRecord>>
 readTrace(std::istream &is)
 {
     char magic[4] = {0, 0, 0, 0};
@@ -181,12 +267,14 @@ readTrace(std::istream &is)
     return readTextBody(is);
 }
 
-std::vector<TraceRecord>
+Expected<std::vector<TraceRecord>>
 readTraceFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
-    if (!is)
-        cmp_fatal("cannot open trace file '", path, "'");
+    if (!is) {
+        return SimError(SimErrorKind::Io,
+                        cstr("cannot open trace file '", path, "'"));
+    }
     return readTrace(is);
 }
 

@@ -8,6 +8,12 @@
  *
  * Files store records interleaved across threads; splitByThread()
  * turns a loaded vector into per-thread sources.
+ *
+ * Readers treat the input as hostile: header counts are checked
+ * against the bytes actually present, every decoded field is
+ * validated, and malformed input surfaces as a structured
+ * SimError (kind Trace or Io) instead of a crash or process exit --
+ * a sweep cell fed a bad trace fails alone (see docs/robustness.md).
  */
 
 #ifndef CMPCACHE_TRACE_TRACE_IO_HH
@@ -17,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "trace/trace.hh"
 
 namespace cmpcache
@@ -33,19 +40,21 @@ enum class TraceFormat
 void writeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
                 TraceFormat fmt);
 
-/** Write records to @p path; fatal() on I/O failure. */
-void writeTraceFile(const std::string &path,
-                    const std::vector<TraceRecord> &records,
-                    TraceFormat fmt);
+/** Write records to @p path; SimError (Io) on I/O failure. */
+Expected<void> writeTraceFile(const std::string &path,
+                              const std::vector<TraceRecord> &records,
+                              TraceFormat fmt);
 
 /**
  * Read a trace from @p is. The format is auto-detected from the
- * leading bytes. Malformed input triggers fatal().
+ * leading bytes. Malformed input yields a SimError naming the
+ * offending record or line.
  */
-std::vector<TraceRecord> readTrace(std::istream &is);
+Expected<std::vector<TraceRecord>> readTrace(std::istream &is);
 
-/** Read a trace from @p path; fatal() on I/O failure. */
-std::vector<TraceRecord> readTraceFile(const std::string &path);
+/** Read a trace from @p path; SimError (Io) if unreadable. */
+Expected<std::vector<TraceRecord>> readTraceFile(
+    const std::string &path);
 
 } // namespace cmpcache
 

@@ -1,0 +1,117 @@
+/** @file Tests for the fault-plan spec grammar and schedule lookup. */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hh"
+
+using namespace cmpcache;
+
+TEST(FaultPlan, EmptySpecYieldsEmptyPlan)
+{
+    const auto plan = parseFaultPlan("");
+    ASSERT_TRUE(plan.ok()) << plan.error().message;
+    EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlan, ParsesSingleWindow)
+{
+    const auto plan = parseFaultPlan("l3_retry:100:200");
+    ASSERT_TRUE(plan.ok()) << plan.error().message;
+    ASSERT_EQ(plan->windows.size(), 1u);
+    const auto &w = plan->windows[0];
+    EXPECT_EQ(w.kind, FaultKind::L3Retry);
+    EXPECT_EQ(w.from, 100u);
+    EXPECT_EQ(w.until, 200u);
+    EXPECT_EQ(w.arg, 1000u); // default permille
+}
+
+TEST(FaultPlan, ParsesEveryKindAndOpenEnd)
+{
+    const auto plan = parseFaultPlan(
+        "l3_retry:0:end;nack:10:20:500;delay:0:end:12;"
+        "drop_snarf:5:15;disable_wbht:0:end;disable_snarf:1:2");
+    ASSERT_TRUE(plan.ok()) << plan.error().message;
+    ASSERT_EQ(plan->windows.size(), 6u);
+    EXPECT_EQ(plan->windows[0].until, MaxTick);
+    EXPECT_EQ(plan->windows[1].kind, FaultKind::Nack);
+    EXPECT_EQ(plan->windows[1].arg, 500u);
+    EXPECT_EQ(plan->windows[2].kind, FaultKind::Delay);
+    EXPECT_EQ(plan->windows[2].arg, 12u);
+    EXPECT_EQ(plan->windows[3].kind, FaultKind::DropSnarf);
+    EXPECT_EQ(plan->windows[4].kind, FaultKind::DisableWbht);
+    EXPECT_EQ(plan->windows[5].kind, FaultKind::DisableSnarf);
+}
+
+TEST(FaultPlan, WindowCoversHalfOpenRange)
+{
+    const auto plan = parseFaultPlan("nack:100:200");
+    ASSERT_TRUE(plan.ok());
+    const auto &w = plan->windows[0];
+    EXPECT_FALSE(w.covers(99));
+    EXPECT_TRUE(w.covers(100));
+    EXPECT_TRUE(w.covers(199));
+    EXPECT_FALSE(w.covers(200));
+}
+
+TEST(FaultPlan, ActiveFindsCoveringWindowOfKind)
+{
+    const auto plan =
+        parseFaultPlan("l3_retry:0:100;disable_wbht:50:150");
+    ASSERT_TRUE(plan.ok());
+    EXPECT_NE(plan->active(FaultKind::L3Retry, 10), nullptr);
+    EXPECT_EQ(plan->active(FaultKind::L3Retry, 100), nullptr);
+    EXPECT_EQ(plan->active(FaultKind::DisableWbht, 10), nullptr);
+    EXPECT_NE(plan->active(FaultKind::DisableWbht, 149), nullptr);
+    EXPECT_EQ(plan->active(FaultKind::Nack, 10), nullptr);
+}
+
+TEST(FaultPlan, FormatRoundTrips)
+{
+    const std::string spec =
+        "l3_retry:0:2000000;nack:10:20:500;disable_snarf:1000:end";
+    const auto plan = parseFaultPlan(spec);
+    ASSERT_TRUE(plan.ok()) << plan.error().message;
+    const auto again = parseFaultPlan(formatFaultPlan(*plan));
+    ASSERT_TRUE(again.ok()) << again.error().message;
+    ASSERT_EQ(again->windows.size(), plan->windows.size());
+    for (std::size_t i = 0; i < plan->windows.size(); ++i) {
+        EXPECT_EQ(again->windows[i].kind, plan->windows[i].kind);
+        EXPECT_EQ(again->windows[i].from, plan->windows[i].from);
+        EXPECT_EQ(again->windows[i].until, plan->windows[i].until);
+        EXPECT_EQ(again->windows[i].arg, plan->windows[i].arg);
+    }
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    for (const auto *bad :
+         {"bogus:0:end",     // unknown kind
+          "l3_retry",        // missing range
+          "l3_retry:0",      // missing until
+          "l3_retry:x:10",   // non-numeric from
+          "l3_retry:10:x",   // non-numeric until
+          "l3_retry:20:10",  // inverted range
+          "nack:0:end:1001", // permille out of range
+          "delay:0:end:0"})  // zero-cycle delay
+    {
+        const auto plan = parseFaultPlan(bad);
+        EXPECT_FALSE(plan.ok()) << "accepted '" << bad << "'";
+        if (!plan.ok())
+            EXPECT_EQ(plan.error().kind, SimErrorKind::Config) << bad;
+    }
+}
+
+TEST(FaultPlan, ToleratesTrailingSeparator)
+{
+    const auto plan = parseFaultPlan("l3_retry:0:end;");
+    ASSERT_TRUE(plan.ok()) << plan.error().message;
+    EXPECT_EQ(plan->windows.size(), 1u);
+}
+
+TEST(FaultPlan, ErrorsNameTheOffendingWindow)
+{
+    const auto plan = parseFaultPlan("l3_retry:0:end;bogus:0:end");
+    ASSERT_FALSE(plan.ok());
+    EXPECT_NE(plan.error().message.find("bogus"), std::string::npos)
+        << plan.error().message;
+}

@@ -426,12 +426,19 @@ TEST(CmpSystemDeath, WrongThreadCountIsFatal)
     EXPECT_DEATH(CmpSystem(cfg, bundleOf({{ld(0x0)}})), "threads");
 }
 
-TEST(CmpSystemDeath, InconsistentRingStopsIsFatal)
+TEST(CmpSystem, InconsistentRingStopsThrowsConfigError)
 {
     auto cfg = microConfig();
     cfg.ring.numStops = 9;
-    EXPECT_EXIT(CmpSystem(cfg, bundleOf({{}, {}})),
-                ::testing::ExitedWithCode(1), "ring stops");
+    try {
+        CmpSystem sys(cfg, bundleOf({{}, {}}));
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().kind, SimErrorKind::Config);
+        EXPECT_NE(e.error().message.find("ring.num_stops"),
+                  std::string::npos)
+            << e.error().message;
+    }
 }
 
 TEST(CmpSystem, StatsDumpIsComprehensive)

@@ -8,12 +8,26 @@
 
 using namespace cmpcache;
 
+namespace
+{
+
+/** Apply and assert success (most tests exercise the happy path). */
+void
+mustApply(SystemConfig &cfg, const std::string &key,
+          const std::string &value)
+{
+    const auto r = applyConfigOption(cfg, key, value);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+}
+
+} // namespace
+
 TEST(ConfigIo, AppliesIntegerKeys)
 {
     SystemConfig cfg;
-    applyConfigOption(cfg, "cpu.outstanding", "3");
-    applyConfigOption(cfg, "l2.size_bytes", "1048576");
-    applyConfigOption(cfg, "wbht.entries", "16384");
+    mustApply(cfg, "cpu.outstanding", "3");
+    mustApply(cfg, "l2.size_bytes", "1048576");
+    mustApply(cfg, "wbht.entries", "16384");
     EXPECT_EQ(cfg.cpu.maxOutstanding, 3u);
     EXPECT_EQ(cfg.l2.sizeBytes, 1048576u);
     EXPECT_EQ(cfg.policy.wbht.entries, 16384u);
@@ -22,10 +36,10 @@ TEST(ConfigIo, AppliesIntegerKeys)
 TEST(ConfigIo, AppliesBooleanAndEnumKeys)
 {
     SystemConfig cfg;
-    applyConfigOption(cfg, "policy", "snarf");
-    applyConfigOption(cfg, "use_retry_switch", "false");
-    applyConfigOption(cfg, "snarf_insert", "lru");
-    applyConfigOption(cfg, "warmup", "off");
+    mustApply(cfg, "policy", "snarf");
+    mustApply(cfg, "use_retry_switch", "false");
+    mustApply(cfg, "snarf_insert", "lru");
+    mustApply(cfg, "warmup", "off");
     EXPECT_EQ(cfg.policy.policy, WbPolicy::Snarf);
     EXPECT_FALSE(cfg.policy.useRetrySwitch);
     EXPECT_EQ(cfg.policy.snarfInsert, InsertPos::Lru);
@@ -41,32 +55,66 @@ TEST(ConfigIo, ParsesStreamWithCommentsAndBlanks)
         "policy = wbht   # the mechanism under test\n"
         "  cpu.outstanding=6\n"
         "retry.threshold = 100\n");
-    loadConfig(cfg, is);
+    const auto r = loadConfig(cfg, is);
+    ASSERT_TRUE(r.ok()) << r.error().message;
     EXPECT_EQ(cfg.policy.policy, WbPolicy::Wbht);
     EXPECT_EQ(cfg.cpu.maxOutstanding, 6u);
     EXPECT_EQ(cfg.policy.retry.threshold, 100u);
 }
 
-TEST(ConfigIoDeath, UnknownKeyIsFatal)
+TEST(ConfigIo, UnknownKeyReportsError)
 {
     SystemConfig cfg;
-    EXPECT_EXIT(applyConfigOption(cfg, "l4.size", "1"),
-                ::testing::ExitedWithCode(1), "unknown config key");
+    const auto r = applyConfigOption(cfg, "l4.size", "1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::Config);
+    EXPECT_NE(r.error().message.find("unknown config key"),
+              std::string::npos)
+        << r.error().message;
 }
 
-TEST(ConfigIoDeath, MalformedValueIsFatal)
+TEST(ConfigIo, MalformedValueReportsError)
 {
     SystemConfig cfg;
-    EXPECT_EXIT(applyConfigOption(cfg, "cpu.outstanding", "six"),
-                ::testing::ExitedWithCode(1), "expects an integer");
+    const auto r = applyConfigOption(cfg, "cpu.outstanding", "six");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::Config);
+    EXPECT_NE(r.error().message.find("expects an unsigned integer"),
+              std::string::npos)
+        << r.error().message;
 }
 
-TEST(ConfigIoDeath, MissingEqualsIsFatal)
+TEST(ConfigIo, RejectsNegativeAndPartialIntegers)
+{
+    SystemConfig cfg;
+    for (const auto *bad : {"-1", "12abc", "0x10", ""}) {
+        const auto r = applyConfigOption(cfg, "cpu.outstanding", bad);
+        EXPECT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    }
+}
+
+TEST(ConfigIo, MissingEqualsReportsLineNumber)
 {
     SystemConfig cfg;
     std::istringstream is("cpu.outstanding 6\n");
-    EXPECT_EXIT(loadConfig(cfg, is), ::testing::ExitedWithCode(1),
-                "no '='");
+    const auto r = loadConfig(cfg, is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("no '='"), std::string::npos)
+        << r.error().message;
+    EXPECT_NE(r.error().message.find("line 1"), std::string::npos)
+        << r.error().message;
+}
+
+TEST(ConfigIo, BadValueInStreamNamesLine)
+{
+    SystemConfig cfg;
+    std::istringstream is(
+        "policy = wbht\n"
+        "cpu.outstanding = six\n");
+    const auto r = loadConfig(cfg, is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("line 2"), std::string::npos)
+        << r.error().message;
 }
 
 TEST(ConfigIo, SaveLoadRoundTrip)
@@ -84,7 +132,8 @@ TEST(ConfigIo, SaveLoadRoundTrip)
     saveConfig(a, ss);
 
     SystemConfig b;
-    loadConfig(b, ss);
+    const auto r = loadConfig(b, ss);
+    ASSERT_TRUE(r.ok()) << r.error().message;
     EXPECT_EQ(b.policy.policy, WbPolicy::Combined);
     EXPECT_EQ(b.policy.wbht.entries, 16384u);
     EXPECT_EQ(b.cpu.maxOutstanding, 4u);
@@ -100,9 +149,32 @@ TEST(ConfigIo, KeyListNonEmptyAndSorted)
     EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
 }
 
-TEST(ConfigIoDeath, MissingFileIsFatal)
+TEST(ConfigIo, FaultAndWatchdogKeysApply)
 {
     SystemConfig cfg;
-    EXPECT_EXIT(loadConfigFile(cfg, "/no/such/file.cfg"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    mustApply(cfg, "fault.plan", "l3_retry:100:200");
+    mustApply(cfg, "fault.seed", "7");
+    mustApply(cfg, "watchdog.every", "5000");
+    mustApply(cfg, "watchdog.stall_checks", "4");
+    mustApply(cfg, "watchdog.max_txn_age", "100000");
+    mustApply(cfg, "watchdog.wall_secs", "60");
+    EXPECT_EQ(cfg.fault.plan, "l3_retry:100:200");
+    EXPECT_EQ(cfg.fault.seed, 7u);
+    EXPECT_TRUE(cfg.fault.enabled());
+    EXPECT_EQ(cfg.watchdog.every, 5000u);
+    EXPECT_EQ(cfg.watchdog.stallChecks, 4u);
+    EXPECT_EQ(cfg.watchdog.maxTxnAge, 100000u);
+    EXPECT_EQ(cfg.watchdog.wallSecs, 60u);
+    EXPECT_TRUE(cfg.watchdog.enabled());
+}
+
+TEST(ConfigIo, MissingFileReportsIoError)
+{
+    SystemConfig cfg;
+    const auto r = loadConfigFile(cfg, "/no/such/file.cfg");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::Io);
+    EXPECT_NE(r.error().message.find("cannot open"),
+              std::string::npos)
+        << r.error().message;
 }

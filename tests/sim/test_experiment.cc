@@ -119,11 +119,17 @@ TEST(Experiment, BenchRecordsEnvOverride)
     ::unsetenv("CMPCACHE_REFS");
 }
 
-TEST(ExperimentDeath, ThreadMismatchIsFatal)
+TEST(Experiment, ThreadMismatchThrowsConfigError)
 {
     SystemConfig cfg;
     auto wl = smallWorkload();
     wl.numThreads = 3;
-    EXPECT_EXIT(runExperiment(cfg, wl), ::testing::ExitedWithCode(1),
-                "threads");
+    try {
+        runExperiment(cfg, wl);
+        FAIL() << "expected SimException";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.error().kind, SimErrorKind::Config);
+        EXPECT_NE(e.error().message.find("threads"), std::string::npos)
+            << e.error().message;
+    }
 }

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Per-cell failure isolation in sweeps: one poisoned grid cell must
+ * report a structured error while every other cell completes, and the
+ * results file must round-trip the error cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/result_json.hh"
+#include "sim/sweep.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+/**
+ * A grid whose Combined cell is poisoned: expand() halves the WBHT
+ * entries for Combined (2 -> 1), which no longer divides into full
+ * 2-way sets, so that cell -- and only that cell -- fails config
+ * validation inside the worker. The baseline cell never touches the
+ * WBHT, so the base config itself stays valid.
+ */
+SweepSpec
+poisonedSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"thrash"};
+    spec.policies = {WbPolicy::Baseline, WbPolicy::Combined};
+    spec.outstanding = {4};
+    spec.recordsPerThread = 500;
+    spec.base.policy.wbht.entries = 2;
+    spec.base.policy.wbht.assoc = 2;
+    return spec;
+}
+
+} // namespace
+
+TEST(SweepErrors, PoisonedCellFailsAloneAndOthersComplete)
+{
+    const auto results = runSweep(poisonedSpec(), 2);
+    ASSERT_EQ(results.size(), 2u);
+
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_GT(results[0].result.execTime, 0u);
+
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_EQ(results[1].errorKind, "config");
+    EXPECT_NE(results[1].error.find("wbht.entries"),
+              std::string::npos)
+        << results[1].error;
+    // Identity survives so reports stay aligned with the grid.
+    EXPECT_EQ(results[1].result.workload, "thrash");
+    EXPECT_EQ(results[1].result.policy, "combined");
+    EXPECT_EQ(results[1].result.maxOutstanding, 4u);
+    EXPECT_EQ(results[1].result.execTime, 0u);
+}
+
+TEST(SweepErrors, ErrorCellsRoundTripThroughResultsJson)
+{
+    const auto spec = poisonedSpec();
+    const auto results = runSweep(spec, 2);
+    std::ostringstream os;
+    writeSweepResultsJson(os, spec, results);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"status\": \"error\""), std::string::npos);
+    EXPECT_NE(text.find("\"errorKind\": \"config\""),
+              std::string::npos);
+
+    // The legacy parser skips error cells...
+    std::vector<ExperimentResult> plain;
+    std::string err;
+    ASSERT_TRUE(parseSweepResultsJson(text, plain, &err)) << err;
+    ASSERT_EQ(plain.size(), 1u);
+    EXPECT_EQ(plain[0].policy, "baseline");
+
+    // ...and the detailed parser returns them with the error intact.
+    std::vector<SweepCellOutcome> cells;
+    ASSERT_TRUE(parseSweepResultsJson(text, cells, &err)) << err;
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_TRUE(cells[0].ok);
+    EXPECT_FALSE(cells[1].ok);
+    EXPECT_EQ(cells[1].errorKind, "config");
+    EXPECT_NE(cells[1].error.find("wbht.entries"), std::string::npos);
+    EXPECT_EQ(cells[1].result.workload, "thrash");
+    EXPECT_EQ(cells[1].result.policy, "combined");
+    EXPECT_EQ(cells[1].result.maxOutstanding, 4u);
+}
+
+TEST(SweepErrors, ErrorCellsAreThreadCountInvariant)
+{
+    const auto spec = poisonedSpec();
+    const auto serialize = [&](unsigned threads) {
+        std::ostringstream os;
+        writeSweepResultsJson(os, spec, runSweep(spec, threads));
+        return os.str();
+    };
+    EXPECT_EQ(serialize(1), serialize(4));
+}
+
+TEST(SweepErrors, WatchdogTripIsIsolatedPerCell)
+{
+    // A NACK-everything plan livelocks every transaction; the
+    // watchdog turns the wedged cell into an error result instead of
+    // hanging the whole sweep.
+    SweepSpec spec;
+    spec.workloads = {"thrash"};
+    spec.policies = {WbPolicy::Baseline};
+    spec.outstanding = {4};
+    spec.recordsPerThread = 500;
+    spec.base.fault.plan = "nack:0:end";
+    // Warmup off so misses reach the ring and actually get NACKed.
+    spec.base.warmupPass = false;
+    spec.base.watchdog.every = 20000;
+    spec.base.watchdog.stallChecks = 3;
+    spec.base.maxTicks = 50ull * 1000 * 1000;
+
+    const auto results = runSweep(spec, 1);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].errorKind, "watchdog");
+    EXPECT_NE(results[0].error.find("no forward progress"),
+              std::string::npos)
+        << results[0].error;
+}
+
+TEST(SweepErrors, AllOkFilesCarryNoStatusFields)
+{
+    SweepSpec spec;
+    spec.workloads = {"thrash"};
+    spec.policies = {WbPolicy::Baseline};
+    spec.outstanding = {4};
+    spec.recordsPerThread = 500;
+    const auto results = runSweep(spec, 1);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok);
+    std::ostringstream os;
+    writeSweepResultsJson(os, spec, results);
+    EXPECT_EQ(os.str().find("\"status\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"error"), std::string::npos);
+}
