@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Hot-path performance regression guard.
+
+Runs the hotpath microbenchmark binary and compares each pair's
+current-implementation throughput (currentOpsPerSec) against the
+committed baseline in bench/BENCH_hotpath.json. Any pair that drops
+more than --max-drop (default 20%) below its baseline fails the guard.
+
+Exit codes: 0 pass, 1 regression (or broken inputs), 77 skipped.
+Set CMPCACHE_SKIP_BENCH=1 to skip (slow or contended CI machines);
+exit code 77 maps to ctest's SKIP_RETURN_CODE.
+
+Usage:
+    bench_guard.py --bench build/bench/hotpath \
+                   --baseline bench/BENCH_hotpath.json [--max-drop=0.2]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="hotpath benchmark binary")
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_hotpath.json")
+    ap.add_argument("--max-drop", type=float, default=0.20,
+                    help="max fractional throughput drop per pair")
+    args = ap.parse_args()
+
+    if os.environ.get("CMPCACHE_SKIP_BENCH"):
+        print("bench guard skipped (CMPCACHE_SKIP_BENCH set)")
+        return 77
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "cmpcache-hotpath-bench-v1":
+        print(f"unexpected baseline schema in {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "hotpath.json")
+        subprocess.run([args.bench, f"--out={out}"],
+                       check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            fresh = json.load(f)
+
+    base_pairs = {p["name"]: p for p in baseline["pairs"]}
+    failed = False
+    for pair in fresh["pairs"]:
+        name = pair["name"]
+        base = base_pairs.get(name)
+        if base is None:
+            print(f"{name}: no baseline entry (refresh "
+                  f"{args.baseline})", file=sys.stderr)
+            failed = True
+            continue
+        now = pair["currentOpsPerSec"]
+        ref = base["currentOpsPerSec"]
+        ratio = now / ref if ref > 0 else 0.0
+        status = "ok"
+        if ratio < 1.0 - args.max_drop:
+            status = "REGRESSION"
+            failed = True
+        print(f"{name}: {now / 1e6:.2f} Mops/s vs baseline "
+              f"{ref / 1e6:.2f} Mops/s ({ratio:.2f}x) {status}")
+
+    if failed:
+        print(f"hot-path throughput regressed more than "
+              f"{args.max_drop:.0%} below {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print("bench guard OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

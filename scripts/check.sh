@@ -11,15 +11,18 @@
 #   scripts/check.sh faults     # fault/watchdog suite, then smoke runs:
 #                               # an injected-fault sweep plus a faults-off
 #                               # thread-count byte-identity check
+#   scripts/check.sh bench      # hot-path perf-regression guard against
+#                               # the committed BENCH_hotpath.json (skip
+#                               # with CMPCACHE_SKIP_BENCH=1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | obs | faults) ;;
+unit | e2e | all | sanitize | obs | faults | bench) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|obs|faults]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|obs|faults|bench]" >&2
     exit 2
     ;;
 esac
@@ -53,6 +56,16 @@ fi
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
+
+if [ "$SELECT" = bench ]; then
+    if [ -n "${CMPCACHE_SKIP_BENCH:-}" ]; then
+        echo "bench: skipped (CMPCACHE_SKIP_BENCH set)"
+        exit 0
+    fi
+    exec python3 scripts/bench_guard.py \
+        --bench build/bench/hotpath \
+        --baseline bench/BENCH_hotpath.json
+fi
 
 cd build
 case "$SELECT" in

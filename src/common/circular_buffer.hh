@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Growable circular FIFO buffer.
+ *
+ * std::deque allocates and frees block nodes as elements churn, which
+ * put the ring request queue on the per-transaction allocation path.
+ * This buffer keeps one power-of-two array that only ever grows, so a
+ * steady-state push/pop cycle touches no allocator.
+ */
+
+#ifndef CMPCACHE_COMMON_CIRCULAR_BUFFER_HH
+#define CMPCACHE_COMMON_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 4;
+        while (cap < initial_capacity)
+            cap *= 2;
+        buf_.resize(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+        ++size_;
+    }
+
+    T &
+    front()
+    {
+        cmp_assert(size_ > 0, "front() on empty circular buffer");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        cmp_assert(size_ > 0, "front() on empty circular buffer");
+        return buf_[head_];
+    }
+
+    void
+    pop_front()
+    {
+        cmp_assert(size_ > 0, "pop_front() on empty circular buffer");
+        buf_[head_] = T{};
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    /** Element @p i positions behind the front (0 = front). */
+    T &
+    operator[](std::size_t i)
+    {
+        cmp_assert(i < size_, "circular buffer index out of range");
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        cmp_assert(i < size_, "circular buffer index out of range");
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            buf_[(head_ + i) & (buf_.size() - 1)] = T{};
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> next(buf_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_COMMON_CIRCULAR_BUFFER_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Open-addressing hash containers keyed by line address.
+ *
+ * std::unordered_map allocates a node per insert, which put the
+ * pending-snarf bookkeeping on the per-transaction allocation path.
+ * These tables store slots in one flat power-of-two array with linear
+ * probing and tombstone deletion, so steady-state insert/erase cycles
+ * touch no allocator at all (the array only grows, like the MSHR and
+ * write-back-queue containers).
+ *
+ * Keys are line addresses: the two top sentinel values (~0 and ~0-1)
+ * are reserved and can never collide with a line-aligned address.
+ */
+
+#ifndef CMPCACHE_COMMON_FLAT_MAP_HH
+#define CMPCACHE_COMMON_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cmpcache
+{
+
+namespace flat_detail
+{
+
+constexpr Addr kEmpty = ~Addr{0};
+constexpr Addr kTombstone = ~Addr{0} - 1;
+
+/** Fibonacci multiply-shift: maps a 64-bit key to the top bits. */
+inline std::size_t
+hashSlot(Addr key, unsigned shift)
+{
+    return static_cast<std::size_t>(
+        (key * 0x9E3779B97F4A7C15ull) >> shift);
+}
+
+} // namespace flat_detail
+
+/** Open-addressing Addr -> V map. V must be default-constructible. */
+template <typename V>
+class FlatMap
+{
+  public:
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap *= 2;
+        rehash(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    bool contains(Addr key) const { return findSlot(key) != nullptr; }
+
+    /** Pointer to the mapped value, or nullptr. */
+    V *
+    find(Addr key)
+    {
+        Slot *s = const_cast<Slot *>(findSlot(key));
+        return s ? &s->value : nullptr;
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        const Slot *s = findSlot(key);
+        return s ? &s->value : nullptr;
+    }
+
+    /** Insert-or-assign. */
+    void
+    insert(Addr key, V value)
+    {
+        (*this)[key] = std::move(value);
+    }
+
+    /** Value for @p key, default-constructed on first touch. */
+    V &
+    operator[](Addr key)
+    {
+        checkKey(key);
+        maybeGrow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = flat_detail::hashSlot(key, shift_);
+        std::size_t first_tomb = slots_.size();
+        while (true) {
+            Slot &s = slots_[i];
+            if (s.key == key)
+                return s.value;
+            if (s.key == flat_detail::kEmpty) {
+                // Reuse the first tombstone crossed, if any.
+                Slot &dst = first_tomb < slots_.size()
+                                ? slots_[first_tomb]
+                                : s;
+                if (&dst == &s)
+                    ++used_;
+                dst.key = key;
+                dst.value = V{};
+                ++size_;
+                return dst.value;
+            }
+            if (s.key == flat_detail::kTombstone
+                && first_tomb == slots_.size()) {
+                first_tomb = i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /** Remove @p key. @return true if it was present. */
+    bool
+    erase(Addr key)
+    {
+        Slot *s = const_cast<Slot *>(findSlot(key));
+        if (!s)
+            return false;
+        s->key = flat_detail::kTombstone;
+        s->value = V{};
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (auto &s : slots_) {
+            s.key = flat_detail::kEmpty;
+            s.value = V{};
+        }
+        size_ = 0;
+        used_ = 0;
+    }
+
+    /** Visit every (key, value) pair; order is unspecified. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &s : slots_) {
+            if (live(s.key))
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Addr key = flat_detail::kEmpty;
+        V value{};
+    };
+
+    static bool
+    live(Addr key)
+    {
+        return key != flat_detail::kEmpty
+               && key != flat_detail::kTombstone;
+    }
+
+    static void
+    checkKey(Addr key)
+    {
+        cmp_assert(live(key),
+                   "flat-map key collides with a reserved sentinel");
+    }
+
+    const Slot *
+    findSlot(Addr key) const
+    {
+        checkKey(key);
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = flat_detail::hashSlot(key, shift_);
+        while (true) {
+            const Slot &s = slots_[i];
+            if (s.key == key)
+                return &s;
+            if (s.key == flat_detail::kEmpty)
+                return nullptr;
+            i = (i + 1) & mask;
+        }
+    }
+
+    void
+    maybeGrow()
+    {
+        // Keep live + tombstone occupancy under ~70% so probes stay
+        // short. Doubling clears tombstones as a side effect; when
+        // tombstones (not live entries) drove the occupancy, rehash
+        // at the same capacity instead.
+        if ((used_ + 1) * 10 < slots_.size() * 7)
+            return;
+        rehash(size_ * 2 < slots_.size() ? slots_.size()
+                                         : slots_.size() * 2);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        unsigned log2 = 0;
+        while ((std::size_t{1} << log2) < new_cap)
+            ++log2;
+        shift_ = 64 - log2;
+        slots_.assign(std::size_t{1} << log2, Slot{});
+        size_ = 0;
+        used_ = 0;
+        const std::size_t mask = slots_.size() - 1;
+        for (auto &s : old) {
+            if (!live(s.key))
+                continue;
+            std::size_t i = flat_detail::hashSlot(s.key, shift_);
+            while (slots_[i].key != flat_detail::kEmpty)
+                i = (i + 1) & mask;
+            slots_[i].key = s.key;
+            slots_[i].value = std::move(s.value);
+            ++size_;
+            ++used_;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0; ///< live entries
+    std::size_t used_ = 0; ///< live entries + tombstones
+    unsigned shift_ = 64;  ///< 64 - log2(capacity)
+};
+
+/** Open-addressing set of line addresses. */
+class FlatSet
+{
+  public:
+    explicit FlatSet(std::size_t initial_capacity = 16)
+        : map_(initial_capacity)
+    {}
+
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    bool contains(Addr key) const { return map_.contains(key); }
+
+    /** @return true if newly inserted. */
+    bool
+    insert(Addr key)
+    {
+        if (map_.contains(key))
+            return false;
+        map_[key] = true;
+        return true;
+    }
+
+    /** @return 1 if erased, 0 if absent (std::set-style). */
+    std::size_t erase(Addr key) { return map_.erase(key) ? 1 : 0; }
+
+    void clear() { map_.clear(); }
+
+  private:
+    FlatMap<bool> map_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_COMMON_FLAT_MAP_HH

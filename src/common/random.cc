@@ -1,7 +1,9 @@
 #include "common/random.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -109,27 +111,86 @@ Rng::geometric(double mean)
     return static_cast<std::uint64_t>(v);
 }
 
+namespace
+{
+
+/**
+ * Recursively place the sorted (padded) CDF into Eytzinger order: an
+ * in-order walk of the implicit tree rooted at slot @p k visits
+ * sorted ranks in ascending order.
+ */
+void
+eytzingerize(const std::vector<double> &sorted, std::size_t &next,
+             std::size_t k, std::vector<double> &eyt)
+{
+    if (k > sorted.size())
+        return;
+    eytzingerize(sorted, next, 2 * k, eyt);
+    eyt[k] = sorted[next];
+    ++next;
+    eytzingerize(sorted, next, 2 * k + 1, eyt);
+}
+
+} // namespace
+
 ZipfSampler::ZipfSampler(std::size_t n, double exponent)
-    : exponent_(exponent)
+    : n_(n), exponent_(exponent)
 {
     cmp_assert(n > 0, "ZipfSampler population must be positive");
-    cdf_.resize(n);
+    // Exact CDF construction, arithmetic unchanged from the original
+    // sorted-table sampler (the values must stay bit-identical).
+    std::vector<double> cdf(n);
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
-        cdf_[i] = acc;
+        cdf[i] = acc;
     }
-    for (auto &c : cdf_)
+    for (auto &c : cdf)
         c /= acc;
+
+    // Pad to a complete tree (2^h - 1 slots) with +infinity
+    // sentinels. Descents then always run to a virtual leaf and the
+    // leaf index *is* the lower-bound rank, so no slot->rank table
+    // (and no extra dependent load per draw) is needed. Sentinel
+    // comparisons always descend left, leaving real results
+    // untouched; draws landing in the padding clamp to the last rank,
+    // matching the old it == end() fallback.
+    const std::size_t slots = std::bit_ceil(n + 1) - 1;
+    cdf.resize(slots, std::numeric_limits<double>::infinity());
+    eyt_.assign(slots + 1, 0.0);
+    std::size_t next = 0;
+    eytzingerize(cdf, next, 1, eyt_);
 }
 
 std::size_t
-ZipfSampler::sample(Rng &rng) const
+ZipfSampler::sampleAt(double u) const
 {
-    const double u = rng.real();
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    return it == cdf_.end() ? cdf_.size() - 1
-                            : static_cast<std::size_t>(it - cdf_.begin());
+    // Branchless lower_bound over the Eytzinger tree: descend right
+    // when the node's CDF value is < u (the same comparison the
+    // sorted-array lower_bound performs, on the same doubles).
+    //
+    // The descent is a chain of data-dependent loads, so without help
+    // it runs at memory latency per level -- slower on big cold
+    // tables than a branchy binary search, whose speculated branches
+    // overlap future loads. Prefetching the great-great-grandchildren
+    // (16 descendants = two cache lines) restores the memory-level
+    // parallelism explicitly; the top levels are shared by every draw
+    // and stay cache-hot, and the last four levels skip the prefetch
+    // via a perfectly predicted branch.
+    const std::size_t slots = eyt_.size() - 1;
+    std::size_t k = 1;
+    while (k <= slots) {
+        const std::size_t pf = k << 4;
+        if (pf <= slots) {
+            __builtin_prefetch(&eyt_[pf]);
+            __builtin_prefetch(&eyt_[std::min(pf + 8, slots)]);
+        }
+        k = 2 * k + (eyt_[k] < u);
+    }
+    // The tree is complete, so the virtual leaf offset is the
+    // lower-bound rank; padding hits clamp to the last real rank.
+    const std::size_t idx = k - (slots + 1);
+    return idx < n_ ? idx : n_ - 1;
 }
 
 } // namespace cmpcache

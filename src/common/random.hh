@@ -52,6 +52,14 @@ class Rng
  *
  * Rank 0 is the hottest item. Used by the commercial-workload
  * generators to shape reuse distributions.
+ *
+ * The CDF is laid out in Eytzinger (BFS heap) order and searched with
+ * a branchless descent: trace generation performs one such search per
+ * reference across three samplers, and the sorted-array binary search
+ * it replaces mispredicted on nearly every probe. The inversion is
+ * exact -- identical double comparisons against identical CDF values
+ * -- so sampled ranks are bit-identical to std::lower_bound on the
+ * sorted table.
  */
 class ZipfSampler
 {
@@ -63,13 +71,26 @@ class ZipfSampler
     ZipfSampler(std::size_t n, double exponent);
 
     /** Draw one rank using randomness from @p rng. */
-    std::size_t sample(Rng &rng) const;
+    std::size_t sample(Rng &rng) const { return sampleAt(rng.real()); }
 
-    std::size_t population() const { return cdf_.size(); }
+    /**
+     * Rank for the uniform draw @p u in [0, 1): the first rank whose
+     * CDF value is >= u (the last rank if u exceeds them all).
+     * Exposed so equivalence tests can drive exact u values.
+     */
+    std::size_t sampleAt(double u) const;
+
+    std::size_t population() const { return n_; }
     double exponent() const { return exponent_; }
 
   private:
-    std::vector<double> cdf_;
+    std::size_t n_;
+    /**
+     * CDF values in Eytzinger order, 1-indexed (slot 0 unused),
+     * padded with +infinity sentinels to a complete tree so a
+     * descent's virtual-leaf offset is directly the sampled rank.
+     */
+    std::vector<double> eyt_;
     double exponent_;
 };
 

@@ -19,7 +19,8 @@ HistoryTable::HistoryTable(std::uint64_t num_entries, unsigned assoc,
     cmp_assert(isPowerOf2(sets), "history table sets must be 2^k (",
                num_entries, " entries / ", assoc, "-way)");
     numSets_ = static_cast<unsigned>(sets);
-    entries_.resize(num_entries);
+    tag_.assign(num_entries, InvalidAddr);
+    stamp_.assign(num_entries, 0);
 }
 
 unsigned
@@ -28,95 +29,96 @@ HistoryTable::setOf(Addr line) const
     return static_cast<unsigned>((line >> lineShift_) & (numSets_ - 1));
 }
 
-HistoryTable::Entry *
-HistoryTable::find(Addr addr)
+std::size_t
+HistoryTable::find(Addr addr) const
 {
     const Addr line = (addr >> lineShift_) << lineShift_;
-    auto *base =
-        &entries_[static_cast<std::size_t>(setOf(line)) * assoc_];
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line)) * assoc_;
+    // Free slots hold InvalidAddr, which no line-aligned address can
+    // equal, so a plain tag compare suffices.
     for (unsigned w = 0; w < assoc_; ++w) {
-        if (base[w].valid() && base[w].tag == line)
-            return &base[w];
+        if (tag_[base + w] == line)
+            return base + w;
     }
-    return nullptr;
+    return npos;
 }
 
 bool
 HistoryTable::contains(Addr addr, bool touch)
 {
-    Entry *e = find(addr);
-    if (!e)
+    const std::size_t i = find(addr);
+    if (i == npos)
         return false;
     if (touch)
-        e->stamp = ++clock_;
+        stamp_[i] = (++clock_ << 1) | (stamp_[i] & 1);
     return true;
 }
 
 bool
 HistoryTable::useBitSet(Addr addr, bool touch)
 {
-    Entry *e = find(addr);
-    if (!e)
+    const std::size_t i = find(addr);
+    if (i == npos)
         return false;
     if (touch)
-        e->stamp = ++clock_;
-    return e->useBit;
+        stamp_[i] = (++clock_ << 1) | (stamp_[i] & 1);
+    return (stamp_[i] & 1) != 0;
 }
 
 bool
 HistoryTable::allocate(Addr addr)
 {
     const Addr line = (addr >> lineShift_) << lineShift_;
-    if (Entry *e = find(line)) {
-        e->stamp = ++clock_;
+    if (const std::size_t i = find(line); i != npos) {
+        stamp_[i] = (++clock_ << 1) | (stamp_[i] & 1);
         return false;
     }
-    auto *base =
-        &entries_[static_cast<std::size_t>(setOf(line)) * assoc_];
-    Entry *victim = nullptr;
-    Entry *unused_victim = nullptr;
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line)) * assoc_;
+    std::size_t victim = npos;
+    std::size_t unused_victim = npos;
     for (unsigned w = 0; w < assoc_; ++w) {
-        if (!base[w].valid()) {
-            victim = &base[w];
-            unused_victim = victim;
+        const std::size_t i = base + w;
+        if (tag_[i] == InvalidAddr) {
+            victim = i;
+            unused_victim = i;
             break;
         }
-        if (!victim || base[w].stamp < victim->stamp)
-            victim = &base[w];
-        if (!base[w].useBit
-            && (!unused_victim
-                || base[w].stamp < unused_victim->stamp)) {
-            unused_victim = &base[w];
+        if (victim == npos || stamp_[i] < stamp_[victim])
+            victim = i;
+        if (!(stamp_[i] & 1)
+            && (unused_victim == npos
+                || stamp_[i] < stamp_[unused_victim])) {
+            unused_victim = i;
         }
     }
-    if (protectUsed_ && unused_victim)
+    if (protectUsed_ && unused_victim != npos)
         victim = unused_victim;
-    const bool evicted = victim->valid();
-    victim->tag = line;
-    victim->stamp = ++clock_;
-    victim->useBit = false;
+    const bool evicted = tag_[victim] != InvalidAddr;
+    tag_[victim] = line;
+    stamp_[victim] = ++clock_ << 1; // use bit clear
     return evicted;
 }
 
 bool
 HistoryTable::markUsed(Addr addr)
 {
-    Entry *e = find(addr);
-    if (!e)
+    const std::size_t i = find(addr);
+    if (i == npos)
         return false;
-    e->useBit = true;
-    e->stamp = ++clock_;
+    stamp_[i] = (++clock_ << 1) | 1;
     return true;
 }
 
 bool
 HistoryTable::erase(Addr addr)
 {
-    Entry *e = find(addr);
-    if (!e)
+    const std::size_t i = find(addr);
+    if (i == npos)
         return false;
-    e->tag = InvalidAddr;
-    e->useBit = false;
+    tag_[i] = InvalidAddr;
+    stamp_[i] &= ~std::uint64_t{1}; // clear the use bit
     return true;
 }
 
@@ -124,8 +126,8 @@ std::uint64_t
 HistoryTable::countValid() const
 {
     std::uint64_t n = 0;
-    for (const auto &e : entries_)
-        if (e.valid())
+    for (const Addr t : tag_)
+        if (t != InvalidAddr)
             ++n;
     return n;
 }
@@ -133,11 +135,8 @@ HistoryTable::countValid() const
 void
 HistoryTable::clear()
 {
-    for (auto &e : entries_) {
-        e.tag = InvalidAddr;
-        e.useBit = false;
-        e.stamp = 0;
-    }
+    tag_.assign(tag_.size(), InvalidAddr);
+    stamp_.assign(stamp_.size(), 0);
 }
 
 } // namespace cmpcache

@@ -75,16 +75,10 @@ class HistoryTable
     void clear();
 
   private:
-    struct Entry
-    {
-        Addr tag = InvalidAddr;
-        std::uint64_t stamp = 0;
-        bool useBit = false;
+    static constexpr std::size_t npos = ~std::size_t{0};
 
-        bool valid() const { return tag != InvalidAddr; }
-    };
-
-    Entry *find(Addr line);
+    /** Entry index of @p addr's line, or npos. */
+    std::size_t find(Addr addr) const;
     unsigned setOf(Addr line) const;
 
     unsigned assoc_;
@@ -92,7 +86,17 @@ class HistoryTable
     unsigned numSets_;
     bool protectUsed_;
     std::uint64_t clock_ = 0;
-    std::vector<Entry> entries_;
+    // Structure-of-arrays: find() is called a couple of times per
+    // simulated reference and only needs the tags, so keeping them
+    // densely packed (a 16-way set spans two cache lines instead of
+    // six) matters more than entry locality. InvalidAddr tags mark
+    // free slots; a line-aligned probe can never equal it.
+    //
+    // stamp_ packs (clock << 1) | useBit: clocks are unique, so
+    // ordering packed stamps orders clocks, and the victim scan
+    // touches one array instead of two.
+    std::vector<Addr> tag_;
+    std::vector<std::uint64_t> stamp_;
 };
 
 } // namespace cmpcache

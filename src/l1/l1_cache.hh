@@ -15,10 +15,10 @@
 #ifndef CMPCACHE_L1_L1_CACHE_HH
 #define CMPCACHE_L1_L1_CACHE_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 
+#include "common/circular_buffer.hh"
 #include "mem/tag_array.hh"
 #include "trace/trace.hh"
 
@@ -92,7 +92,7 @@ class L1FilteredSource : public TraceSource
     L1Cache l1_;
     std::uint32_t hitCycles_;
     /** Dirty victims awaiting emission as store traffic. */
-    std::deque<TraceRecord> pending_;
+    CircularBuffer<TraceRecord> pending_;
     std::uint64_t accumulatedGap_ = 0;
 };
 

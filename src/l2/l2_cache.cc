@@ -171,7 +171,7 @@ L2Cache::access(ThreadId tid, Addr addr, MemOp op)
     }
 
     // Tag miss.
-    if (pendingSnarfs_.count(line)) {
+    if (pendingSnarfs_.contains(line)) {
         // We already won this line's write back on the bus and its
         // data is in flight; issuing a demand fetch now would race it
         // (two installs of the same line). Hold the access off -- the
@@ -333,13 +333,12 @@ L2Cache::snoop(const BusRequest &req)
             resp.hasDirty = queued->dirty;
             return resp;
         }
-        if (const auto ps = pendingSnarfs_.find(line);
-            ps != pendingSnarfs_.end()) {
+        if (const PendingSnarf *ps = pendingSnarfs_.find(line)) {
             // Same story for a snarf we have already won: the copy is
             // in flight to us and will be installed, so a concurrent
             // write back of the line must count us as a sharer.
             resp.hasLine = true;
-            resp.hasDirty = ps->second.dirty;
+            resp.hasDirty = ps->dirty;
             return resp;
         }
         if (const Mshr *m = mshrs_.find(line);
@@ -355,7 +354,7 @@ L2Cache::snoop(const BusRequest &req)
         if (snarfInFlight_ < policy_.snarfBuffers
             && !(faults_ && faults_->snarfDisabled(curTick()))
             && !mshrs_.find(line) && !wbq_.find(line)
-            && !pendingSnarfs_.count(line)
+            && !pendingSnarfs_.contains(line)
             && snarfVictimAvailable(line)) {
             resp.snarfAccept = true;
         }
@@ -372,7 +371,7 @@ L2Cache::snoop(const BusRequest &req)
     // NOT retry -- otherwise two racing requesters would retry each
     // other forever; the one that combines first wins, the other
     // backs off.
-    if (wbq_.find(line) || pendingSnarfs_.count(line)) {
+    if (wbq_.find(line) || pendingSnarfs_.contains(line)) {
         resp.retry = true;
         return resp;
     }
@@ -462,7 +461,7 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
         // A snarf reservation cannot coexist with an effective peer
         // demand: our snoop retries demands while one is pending, and
         // the ring snoops and combines atomically per transaction.
-        cmp_assert(!pendingSnarfs_.count(line),
+        cmp_assert(!pendingSnarfs_.contains(line),
                    "effective peer demand with a snarf reservation");
 
         // Apply our state transition.
@@ -635,7 +634,10 @@ L2Cache::handleFill(const BusRequest &req, const CombinedResult &res)
 
     // Complete waiters. Stores can finish only with write permission;
     // otherwise convert the MSHR into an Upgrade and keep them parked.
-    std::vector<MshrWaiter> stores_pending;
+    // (Member scratch: fills never nest, and the waiters are copied
+    // back into the MSHR below without disturbing its capacity.)
+    std::vector<MshrWaiter> &stores_pending = storesPendingScratch_;
+    stores_pending.clear();
     for (const auto &w : m->waiters) {
         if (w.isStore && !canSilentStore(entry->state)
             && entry->state != LineState::Modified) {
@@ -652,7 +654,8 @@ L2Cache::handleFill(const BusRequest &req, const CombinedResult &res)
         m->cmd = BusCmd::Upgrade;
         m->inService = false;
         m->awaitingData = false;
-        m->waiters = std::move(stores_pending);
+        m->waiters.assign(stores_pending.begin(),
+                          stores_pending.end());
         ++upgradeRequests_;
         tryIssue(m);
     } else {
@@ -665,12 +668,11 @@ L2Cache::receiveWriteBack(const BusRequest &req)
 {
     // Snarfed data arriving from a peer's write back.
     const Addr line = req.lineAddr;
-    const auto it = pendingSnarfs_.find(line);
-    cmp_assert(it != pendingSnarfs_.end(),
-               "snarf data without reservation");
-    const bool dirty = it->second.dirty;
-    const bool sharers = it->second.sharers;
-    pendingSnarfs_.erase(it);
+    const PendingSnarf *ps = pendingSnarfs_.find(line);
+    cmp_assert(ps != nullptr, "snarf data without reservation");
+    const bool dirty = ps->dirty;
+    const bool sharers = ps->sharers;
+    pendingSnarfs_.erase(line);
     cmp_assert(snarfInFlight_ > 0, "snarf buffer underflow");
     --snarfInFlight_;
 

@@ -16,9 +16,11 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "coherence/protocol.hh"
+#include "common/flat_map.hh"
+#include "common/inplace_function.hh"
 #include "core/policy.hh"
 #include "core/retry_monitor.hh"
 #include "core/snarf_table.hh"
@@ -82,15 +84,17 @@ class L2Cache : public SimObject, public BusAgent
     /** CPU-side access from a hardware thread. */
     AccessResult access(ThreadId tid, Addr addr, MemOp op);
 
-    /** Invoked when an outstanding miss of @p tid completes. */
-    using CompletionCallback = std::function<void(ThreadId)>;
+    /** Invoked when an outstanding miss of @p tid completes. Stored
+     * inline (no allocation); captures are limited to a few words. */
+    using CompletionCallback = InplaceFunction<void(ThreadId), 32>;
     void setCompletionCallback(CompletionCallback cb)
     {
         cpuDone_ = std::move(cb);
     }
 
     /** Oracle used to score WBHT decisions (peeks the real L3). */
-    void setL3Peek(std::function<bool(Addr)> fn)
+    using L3PeekFn = InplaceFunction<bool(Addr), 32>;
+    void setL3Peek(L3PeekFn fn)
     {
         l3Peek_ = std::move(fn);
     }
@@ -188,7 +192,7 @@ class L2Cache : public SimObject, public BusAgent
     std::unique_ptr<SnarfTable> snarfTable_;
 
     CompletionCallback cpuDone_;
-    std::function<bool(Addr)> l3Peek_;
+    L3PeekFn l3Peek_;
 
     /** Snarfed lines won on the bus, awaiting their data. */
     struct PendingSnarf
@@ -197,8 +201,11 @@ class L2Cache : public SimObject, public BusAgent
         /** Clean sharers existed at combine time (Tagged install). */
         bool sharers = false;
     };
-    std::unordered_map<Addr, PendingSnarf> pendingSnarfs_;
+    FlatMap<PendingSnarf> pendingSnarfs_;
     unsigned snarfInFlight_ = 0;
+
+    /** Reused fill-time buffer for waiters parked on an upgrade. */
+    std::vector<MshrWaiter> storesPendingScratch_;
 
     /** Per-slice bank availability for sourcing data. */
     std::vector<Tick> sliceFree_;

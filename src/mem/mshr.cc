@@ -6,18 +6,16 @@ namespace cmpcache
 {
 
 MshrFile::MshrFile(unsigned capacity)
-    : capacity_(capacity), slots_(capacity)
+    : capacity_(capacity), slots_(capacity),
+      tags_(capacity, InvalidAddr)
 {
     cmp_assert(capacity > 0, "MSHR file needs at least one slot");
-}
-
-Mshr *
-MshrFile::find(Addr line_addr)
-{
+    // Waiter lists survive deallocate() (clear() keeps capacity), so
+    // they only ever grow to their high-water mark -- but that growth
+    // would land mid-run. Reserve a generous coalescing depth up front
+    // to keep the steady state allocation-free.
     for (auto &m : slots_)
-        if (m.valid() && m.lineAddr == line_addr)
-            return &m;
-    return nullptr;
+        m.waiters.reserve(16);
 }
 
 Mshr *
@@ -38,6 +36,7 @@ MshrFile::allocate(Addr line_addr, BusCmd cmd, ThreadId tid,
         m.allocated = now;
         m.waiters.clear();
         m.waiters.push_back(MshrWaiter{tid, is_store, now});
+        tags_[static_cast<std::size_t>(&m - slots_.data())] = line_addr;
         ++inUse_;
         return &m;
     }
@@ -62,6 +61,7 @@ MshrFile::deallocate(Mshr *mshr)
     cmp_assert(mshr && mshr->valid(), "deallocating invalid MSHR");
     mshr->lineAddr = InvalidAddr;
     mshr->waiters.clear();
+    tags_[static_cast<std::size_t>(mshr - slots_.data())] = InvalidAddr;
     cmp_assert(inUse_ > 0, "MSHR accounting underflow");
     --inUse_;
 }

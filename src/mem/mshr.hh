@@ -54,7 +54,20 @@ class MshrFile
     bool full() const { return inUse_ >= capacity_; }
 
     /** Find the MSHR tracking @p line_addr, or nullptr. */
-    Mshr *find(Addr line_addr);
+    Mshr *
+    find(Addr line_addr)
+    {
+        // Checked once per reference, hit rarely: scan the dense tag
+        // mirror (free slots hold InvalidAddr, which no line address
+        // equals) instead of striding across 64-byte Mshr slots.
+        if (inUse_ == 0)
+            return nullptr;
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] == line_addr)
+                return &slots_[i];
+        }
+        return nullptr;
+    }
 
     /**
      * Allocate an MSHR for @p line_addr (must not already exist, must
@@ -84,6 +97,8 @@ class MshrFile
     unsigned capacity_;
     unsigned inUse_ = 0;
     std::vector<Mshr> slots_;
+    /** slots_[i].lineAddr mirror, maintained by allocate/deallocate. */
+    std::vector<Addr> tags_;
 };
 
 } // namespace cmpcache

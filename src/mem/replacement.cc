@@ -1,6 +1,6 @@
 #include "mem/replacement.hh"
 
-#include <algorithm>
+#include <bit>
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
@@ -8,6 +8,18 @@
 
 namespace cmpcache
 {
+
+namespace
+{
+
+/** Lowest set way of a non-zero mask. */
+inline unsigned
+lowestWay(WayMask m)
+{
+    return static_cast<unsigned>(std::countr_zero(m));
+}
+
+} // namespace
 
 // ---------------------------------------------------------------- LRU
 
@@ -17,41 +29,6 @@ LruPolicy::init(unsigned sets, unsigned ways)
     ways_ = ways;
     stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
     clock_ = 0;
-}
-
-void
-LruPolicy::touch(unsigned set, unsigned way)
-{
-    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
-}
-
-void
-LruPolicy::insert(unsigned set, unsigned way, InsertPos pos)
-{
-    auto &s = stamp_[static_cast<std::size_t>(set) * ways_ + way];
-    if (pos == InsertPos::Mru) {
-        s = ++clock_;
-    } else {
-        // Insert colder than everything currently resident.
-        s = 0;
-    }
-}
-
-unsigned
-LruPolicy::victim(unsigned set,
-                  const std::vector<unsigned> &candidate_ways)
-{
-    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
-    unsigned best = candidate_ways.front();
-    std::uint64_t best_stamp = MaxTick;
-    for (const unsigned w : candidate_ways) {
-        const auto s = stamp_[static_cast<std::size_t>(set) * ways_ + w];
-        if (s < best_stamp) {
-            best_stamp = s;
-            best = w;
-        }
-    }
-    return best;
 }
 
 unsigned
@@ -114,12 +91,11 @@ TreePlruPolicy::insert(unsigned set, unsigned way, InsertPos pos)
 }
 
 unsigned
-TreePlruPolicy::victim(unsigned set,
-                       const std::vector<unsigned> &candidate_ways)
+TreePlruPolicy::victim(unsigned set, WayMask candidates)
 {
-    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
+    cmp_assert(candidates != 0, "no replacement candidates");
     // Follow the tree; if the chosen way is not a candidate, fall back
-    // to the first candidate (approximation consistent with hardware
+    // to the lowest candidate (approximation consistent with hardware
     // way-masking).
     const auto *b = &bits_[static_cast<std::size_t>(set) * (ways_ - 1)];
     unsigned node = 0;
@@ -135,11 +111,9 @@ TreePlruPolicy::victim(unsigned set,
             hi = mid;
     }
     const unsigned chosen = lo;
-    if (std::find(candidate_ways.begin(), candidate_ways.end(), chosen)
-        != candidate_ways.end()) {
+    if (candidates >> chosen & 1)
         return chosen;
-    }
-    return candidate_ways.front();
+    return lowestWay(candidates);
 }
 
 // ------------------------------------------------------------- Random
@@ -162,12 +136,20 @@ RandomPolicy::insert(unsigned set, unsigned way, InsertPos pos)
 }
 
 unsigned
-RandomPolicy::victim(unsigned set,
-                     const std::vector<unsigned> &candidate_ways)
+RandomPolicy::victim(unsigned set, WayMask candidates)
 {
     (void)set;
-    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
-    return candidate_ways[rng_.below(candidate_ways.size())];
+    cmp_assert(candidates != 0, "no replacement candidates");
+    // Consume exactly one below(count) draw, like the old vector API,
+    // so the RNG stream (and thus every simulated figure) is
+    // unchanged.
+    const auto count =
+        static_cast<std::uint64_t>(std::popcount(candidates));
+    std::uint64_t idx = rng_.below(count);
+    WayMask m = candidates;
+    while (idx--)
+        m &= m - 1;
+    return lowestWay(m);
 }
 
 // ---------------------------------------------------------------- NRU
@@ -202,15 +184,15 @@ NruPolicy::insert(unsigned set, unsigned way, InsertPos pos)
 }
 
 unsigned
-NruPolicy::victim(unsigned set,
-                  const std::vector<unsigned> &candidate_ways)
+NruPolicy::victim(unsigned set, WayMask candidates)
 {
-    cmp_assert(!candidate_ways.empty(), "no replacement candidates");
-    for (const unsigned w : candidate_ways) {
+    cmp_assert(candidates != 0, "no replacement candidates");
+    for (WayMask m = candidates; m; m &= m - 1) {
+        const unsigned w = lowestWay(m);
         if (!refBit_[static_cast<std::size_t>(set) * ways_ + w])
             return w;
     }
-    return candidate_ways.front();
+    return lowestWay(candidates);
 }
 
 // -------------------------------------------------------------- factory

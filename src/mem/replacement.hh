@@ -12,12 +12,14 @@
 #ifndef CMPCACHE_MEM_REPLACEMENT_HH
 #define CMPCACHE_MEM_REPLACEMENT_HH
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.hh"
+#include "common/types.hh"
 
 namespace cmpcache
 {
@@ -28,6 +30,20 @@ enum class InsertPos
     Mru, ///< normal fill
     Lru, ///< insert cold (ablation for snarfed lines)
 };
+
+/**
+ * Candidate ways as a bit mask (bit w = way w eligible). Policies
+ * scan candidates in ascending way order, so ties resolve exactly as
+ * they did with the old ascending candidate vectors.
+ */
+using WayMask = std::uint64_t;
+
+/** Mask with the low @p ways bits set (ways <= 64). */
+constexpr WayMask
+allWaysMask(unsigned ways)
+{
+    return ways >= 64 ? ~WayMask{0} : (WayMask{1} << ways) - 1;
+}
 
 class ReplacementPolicy
 {
@@ -44,12 +60,25 @@ class ReplacementPolicy
     virtual void insert(unsigned set, unsigned way, InsertPos pos) = 0;
 
     /**
-     * Choose the replacement victim among @p candidate_ways (indices
-     * into the set; non-empty).
+     * Choose the replacement victim among the ways set in
+     * @p candidates (non-zero).
      */
-    virtual unsigned victim(unsigned set,
-                            const std::vector<unsigned> &candidate_ways)
-        = 0;
+    virtual unsigned victim(unsigned set, WayMask candidates) = 0;
+
+    /**
+     * Convenience overload taking explicit way indices (tests,
+     * analysis tools). The candidates are treated as a *set*: ties
+     * break toward the lowest way index, matching the ascending
+     * vectors every caller historically passed.
+     */
+    unsigned
+    victim(unsigned set, const std::vector<unsigned> &candidate_ways)
+    {
+        WayMask m = 0;
+        for (const unsigned w : candidate_ways)
+            m |= WayMask{1} << w;
+        return victim(set, m);
+    }
 
     /** Policies that can rank ways by recency expose it (0 = LRU). */
     virtual bool hasRanks() const { return false; }
@@ -66,15 +95,66 @@ class ReplacementPolicy
     virtual std::string name() const = 0;
 };
 
-/** True least-recently-used via per-way timestamps. */
-class LruPolicy : public ReplacementPolicy
+/**
+ * True least-recently-used via per-way timestamps.
+ *
+ * The class is final and its per-reference methods are defined inline
+ * so TagArray's concrete-pointer fast path (the default policy is
+ * LRU) devirtualizes and inlines them.
+ */
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     void init(unsigned sets, unsigned ways) override;
-    void touch(unsigned set, unsigned way) override;
-    void insert(unsigned set, unsigned way, InsertPos pos) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidate_ways) override;
+
+    void
+    touch(unsigned set, unsigned way) override
+    {
+        stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+    }
+
+    void
+    insert(unsigned set, unsigned way, InsertPos pos) override
+    {
+        auto &s = stamp_[static_cast<std::size_t>(set) * ways_ + way];
+        // Lru insertion lands colder than everything resident.
+        s = pos == InsertPos::Mru ? ++clock_ : 0;
+    }
+
+    using ReplacementPolicy::victim;
+
+    unsigned
+    victim(unsigned set, WayMask candidates) override
+    {
+        const auto *s = &stamp_[static_cast<std::size_t>(set) * ways_];
+        if (candidates == allWaysMask(ways_)) {
+            // Full-set scan (the common findVictim case): a plain
+            // loop the compiler can unroll, visiting the same ways in
+            // the same order as the mask walk below.
+            unsigned best = 0;
+            std::uint64_t best_stamp = s[0];
+            for (unsigned w = 1; w < ways_; ++w) {
+                if (s[w] < best_stamp) {
+                    best_stamp = s[w];
+                    best = w;
+                }
+            }
+            return best;
+        }
+        unsigned best = static_cast<unsigned>(
+            std::countr_zero(candidates));
+        std::uint64_t best_stamp = MaxTick;
+        for (WayMask m = candidates; m; m &= m - 1) {
+            const auto w =
+                static_cast<unsigned>(std::countr_zero(m));
+            if (s[w] < best_stamp) {
+                best_stamp = s[w];
+                best = w;
+            }
+        }
+        return best;
+    }
+
     std::string name() const override { return "lru"; }
 
     bool hasRanks() const override { return true; }
@@ -95,8 +175,8 @@ class TreePlruPolicy : public ReplacementPolicy
     void init(unsigned sets, unsigned ways) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way, InsertPos pos) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidate_ways) override;
+    using ReplacementPolicy::victim;
+    unsigned victim(unsigned set, WayMask candidates) override;
     std::string name() const override { return "tree-plru"; }
 
   private:
@@ -115,8 +195,8 @@ class RandomPolicy : public ReplacementPolicy
     void init(unsigned sets, unsigned ways) override;
     void touch(unsigned set, unsigned way) override {(void)set;(void)way;}
     void insert(unsigned set, unsigned way, InsertPos pos) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidate_ways) override;
+    using ReplacementPolicy::victim;
+    unsigned victim(unsigned set, WayMask candidates) override;
     std::string name() const override { return "random"; }
 
   private:
@@ -130,8 +210,8 @@ class NruPolicy : public ReplacementPolicy
     void init(unsigned sets, unsigned ways) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way, InsertPos pos) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidate_ways) override;
+    using ReplacementPolicy::victim;
+    unsigned victim(unsigned set, WayMask candidates) override;
     std::string name() const override { return "nru"; }
 
   private:

@@ -17,6 +17,7 @@ TagArray::TagArray(std::uint64_t size_bytes, unsigned assoc,
 {
     cmp_assert(isPowerOf2(line_size), "line size must be a power of 2");
     cmp_assert(assoc > 0, "associativity must be positive");
+    cmp_assert(assoc <= 64, "way masks support at most 64 ways");
     cmp_assert(size_bytes % (static_cast<std::uint64_t>(assoc)
                              * line_size) == 0,
                "capacity must divide evenly into sets");
@@ -26,108 +27,15 @@ TagArray::TagArray(std::uint64_t size_bytes, unsigned assoc,
                "(got ", sets, ")");
     numSets_ = static_cast<unsigned>(sets);
     entries_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    tags_.assign(entries_.size(), InvalidAddr);
     policy_->init(numSets_, assoc_);
+    lru_ = dynamic_cast<LruPolicy *>(policy_.get());
 }
 
 unsigned
 TagArray::wayOf(const TagEntry *e, unsigned set) const
 {
-    const auto base =
-        &entries_[static_cast<std::size_t>(set) * assoc_];
-    return static_cast<unsigned>(e - base);
-}
-
-TagEntry *
-TagArray::lookup(Addr addr, bool touch)
-{
-    const Addr line = lineAlign(addr);
-    const unsigned set = setIndex(addr);
-    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        TagEntry &e = base[w];
-        if (e.valid() && e.lineAddr == line) {
-            if (touch)
-                policy_->touch(set, w);
-            return &e;
-        }
-    }
-    return nullptr;
-}
-
-const TagEntry *
-TagArray::peek(Addr addr) const
-{
-    const Addr line = lineAlign(addr);
-    const unsigned set = setIndex(addr);
-    const auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        const TagEntry &e = base[w];
-        if (e.valid() && e.lineAddr == line)
-            return &e;
-    }
-    return nullptr;
-}
-
-TagEntry *
-TagArray::findVictim(Addr addr)
-{
-    const unsigned set = setIndex(addr);
-    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    // Invalid ways are free fills.
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (!base[w].valid())
-            return &base[w];
-    }
-    std::vector<unsigned> all(assoc_);
-    for (unsigned w = 0; w < assoc_; ++w)
-        all[w] = w;
-    return &base[policy_->victim(set, all)];
-}
-
-TagEntry *
-TagArray::findVictimInformed(
-    Addr addr, const std::function<bool(const TagEntry &)> &cheap)
-{
-    const unsigned set = setIndex(addr);
-    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    // Invalid ways always win.
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (!base[w].valid())
-            return &base[w];
-    }
-    if (!policy_->hasRanks())
-        return findVictim(addr);
-
-    // Cheapest victim: a "cheap" entry in the colder half of the set,
-    // coldest first.
-    TagEntry *best = nullptr;
-    unsigned best_rank = assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        const unsigned r = policy_->rank(set, w);
-        if (r < assoc_ / 2 && cheap(base[w]) && r < best_rank) {
-            best_rank = r;
-            best = &base[w];
-        }
-    }
-    return best ? best : findVictim(addr);
-}
-
-TagEntry *
-TagArray::findVictimAmong(
-    Addr addr, const std::function<bool(const TagEntry &)> &pred)
-{
-    const unsigned set = setIndex(addr);
-    auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    std::vector<unsigned> cands;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (!base[w].valid() && pred(base[w]))
-            return &base[w]; // invalid candidates win outright
-        if (pred(base[w]))
-            cands.push_back(w);
-    }
-    if (cands.empty())
-        return nullptr;
-    return &base[policy_->victim(set, cands)];
+    return static_cast<unsigned>(e - setBase(set));
 }
 
 void
@@ -147,30 +55,28 @@ TagArray::insert(TagEntry *victim, Addr addr, LineState state,
     victim->snarfed = false;
     victim->snarfUsedLocal = false;
     victim->snarfUsedIntervention = false;
-    policy_->insert(set, wayOf(victim, set), pos);
+    tags_[static_cast<std::size_t>(victim - entries_.data())] = line;
+    if (lru_)
+        lru_->insert(set, wayOf(victim, set), pos);
+    else
+        policy_->insert(set, wayOf(victim, set), pos);
 }
 
 void
 TagArray::invalidate(TagEntry *entry)
 {
     cmp_assert(entry != nullptr, "invalidating null entry");
+    // Clearing the address keeps the lookup/peek invariant that a
+    // matching lineAddr implies a valid entry (no line-aligned
+    // address can equal InvalidAddr), so the scans skip the state
+    // check.
+    entry->lineAddr = InvalidAddr;
     entry->state = LineState::Invalid;
     entry->snarfed = false;
     entry->snarfUsedLocal = false;
     entry->snarfUsedIntervention = false;
-}
-
-bool
-TagArray::anyInSet(
-    Addr addr, const std::function<bool(const TagEntry &)> &pred) const
-{
-    const unsigned set = setIndex(addr);
-    const auto *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (pred(base[w]))
-            return true;
-    }
-    return false;
+    tags_[static_cast<std::size_t>(entry - entries_.data())] =
+        InvalidAddr;
 }
 
 std::uint64_t

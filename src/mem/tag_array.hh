@@ -4,6 +4,13 @@
  * the paper's mechanisms need (snarfed / snarf-used tracking).
  *
  * Timing lives in the controllers; the array is purely structural.
+ *
+ * The set-scan methods (lookup, peek, findVictim*, anyInSet) are the
+ * per-reference hot path: they live in the header, take predicates as
+ * template parameters so controller lambdas inline, and hand the
+ * replacement policy a 64-bit candidate way mask instead of a
+ * heap-allocated index vector. Only cold walks (forEach) keep the
+ * type-erased std::function interface.
  */
 
 #ifndef CMPCACHE_MEM_TAG_ARRAY_HH
@@ -41,7 +48,7 @@ class TagArray
   public:
     /**
      * @param size_bytes total capacity
-     * @param assoc      associativity
+     * @param assoc      associativity (<= 64, for way masks)
      * @param line_size  line size in bytes (power of two)
      * @param policy     replacement policy (owned)
      */
@@ -72,23 +79,82 @@ class TagArray
      * @param touch update replacement state on hit
      * @return the entry, or nullptr on miss
      */
-    TagEntry *lookup(Addr addr, bool touch = true);
-    const TagEntry *peek(Addr addr) const;
+    TagEntry *
+    lookup(Addr addr, bool touch = true)
+    {
+        const Addr line = lineAlign(addr);
+        const unsigned set = setIndex(addr);
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        // Scan the dense tag mirror: a 16-way set spans two cache
+        // lines instead of four. Invalid slots hold InvalidAddr
+        // (enforced by invalidate()), which no aligned address
+        // equals, so the tag compare alone decides the hit.
+        const Addr *tags = &tags_[base];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (tags[w] == line) {
+                if (touch)
+                    touchPolicy(set, w);
+                return &entries_[base + w];
+            }
+        }
+        return nullptr;
+    }
+
+    const TagEntry *
+    peek(Addr addr) const
+    {
+        const Addr line = lineAlign(addr);
+        const unsigned set = setIndex(addr);
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        const Addr *tags = &tags_[base]; // see lookup()
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (tags[w] == line)
+                return &entries_[base + w];
+        }
+        return nullptr;
+    }
 
     /**
      * Pick a victim way for filling @p addr using the replacement
      * policy over all ways (invalid ways win automatically).
      * The returned entry still holds the victim's old contents.
      */
-    TagEntry *findVictim(Addr addr);
+    TagEntry *
+    findVictim(Addr addr)
+    {
+        const unsigned set = setIndex(addr);
+        auto *base = setBase(set);
+        // Invalid ways are free fills.
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!base[w].valid())
+                return &base[w];
+        }
+        return &base[victimPolicy(set, allWaysMask(assoc_))];
+    }
 
     /**
      * Pick a victim restricted to entries satisfying @p pred (e.g.
      * "Invalid or Shared only" for snarfs). Returns nullptr if no way
-     * qualifies.
+     * qualifies. @p pred must be stateless with respect to scan order.
      */
-    TagEntry *findVictimAmong(
-        Addr addr, const std::function<bool(const TagEntry &)> &pred);
+    template <typename Pred>
+    TagEntry *
+    findVictimAmong(Addr addr, Pred &&pred)
+    {
+        const unsigned set = setIndex(addr);
+        auto *base = setBase(set);
+        WayMask cands = 0;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (pred(static_cast<const TagEntry &>(base[w]))) {
+                if (!base[w].valid())
+                    return &base[w]; // invalid candidates win outright
+                cands |= WayMask{1} << w;
+            }
+        }
+        if (!cands)
+            return nullptr;
+        return &base[victimPolicy(set, cands)];
+    }
 
     /**
      * Informed victim selection (the paper's future-work replacement
@@ -98,8 +164,35 @@ class TagArray
      * findVictim() when the policy cannot rank ways or nothing cold
      * matches.
      */
-    TagEntry *findVictimInformed(
-        Addr addr, const std::function<bool(const TagEntry &)> &cheap);
+    template <typename Pred>
+    TagEntry *
+    findVictimInformed(Addr addr, Pred &&cheap)
+    {
+        const unsigned set = setIndex(addr);
+        auto *base = setBase(set);
+        // Invalid ways always win.
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!base[w].valid())
+                return &base[w];
+        }
+        if (!policy_->hasRanks())
+            return findVictim(addr);
+
+        // Cheapest victim: a "cheap" entry in the colder half of the
+        // set, coldest first.
+        TagEntry *best = nullptr;
+        unsigned best_rank = assoc_;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const unsigned r = policy_->rank(set, w);
+            if (r < assoc_ / 2
+                && cheap(static_cast<const TagEntry &>(base[w]))
+                && r < best_rank) {
+                best_rank = r;
+                best = &base[w];
+            }
+        }
+        return best ? best : findVictim(addr);
+    }
 
     /**
      * Install @p addr into @p victim (obtained from findVictim*).
@@ -112,18 +205,64 @@ class TagArray
     void invalidate(TagEntry *entry);
 
     /** Does the set of @p addr contain an entry satisfying @p pred?
-     * (Non-mutating; used by snarf-accept snooping.) */
-    bool anyInSet(Addr addr,
-                  const std::function<bool(const TagEntry &)> &pred)
-        const;
+     * (Non-mutating; used by snarf-accept snooping. Entries are
+     * visited in ascending way order with early exit on true, so
+     * stateful accumulator predicates behave deterministically.) */
+    template <typename Pred>
+    bool
+    anyInSet(Addr addr, Pred &&pred) const
+    {
+        const unsigned set = setIndex(addr);
+        const auto *base = setBase(set);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (pred(base[w]))
+                return true;
+        }
+        return false;
+    }
 
     /** Count valid lines (test/analysis helper; O(capacity)). */
     std::uint64_t countValid() const;
 
-    /** Iterate over all entries (analysis hooks). */
+    /** Iterate over all entries (analysis hooks; cold path). */
     void forEach(const std::function<void(const TagEntry &)> &fn) const;
 
   private:
+    /**
+     * Devirtualized policy fast path: the default policy is LRU, so
+     * the constructor caches a concrete pointer (LruPolicy is final)
+     * and the per-reference calls inline; other policies take the
+     * virtual call.
+     */
+    void
+    touchPolicy(unsigned set, unsigned way)
+    {
+        if (lru_)
+            lru_->touch(set, way);
+        else
+            policy_->touch(set, way);
+    }
+
+    unsigned
+    victimPolicy(unsigned set, WayMask candidates)
+    {
+        if (lru_)
+            return lru_->victim(set, candidates);
+        return policy_->victim(set, candidates);
+    }
+
+    TagEntry *
+    setBase(unsigned set)
+    {
+        return &entries_[static_cast<std::size_t>(set) * assoc_];
+    }
+
+    const TagEntry *
+    setBase(unsigned set) const
+    {
+        return &entries_[static_cast<std::size_t>(set) * assoc_];
+    }
+
     unsigned wayOf(const TagEntry *e, unsigned set) const;
 
     unsigned assoc_;
@@ -132,7 +271,14 @@ class TagArray
     Addr lineMask_;
     unsigned numSets_;
     std::unique_ptr<ReplacementPolicy> policy_;
+    LruPolicy *lru_ = nullptr; // set iff policy_ is an LruPolicy
     std::vector<TagEntry> entries_; // numSets x assoc
+    /**
+     * Dense mirror of entries_[i].lineAddr, kept in sync by insert()
+     * and invalidate() (the only writers of lineAddr). lookup()/peek()
+     * scan it instead of the 16-byte entries.
+     */
+    std::vector<Addr> tags_;
 };
 
 } // namespace cmpcache

@@ -15,47 +15,6 @@ WriteBackQueue::push(Addr line_addr, bool dirty, Tick ready_at)
     return q_.back();
 }
 
-WbEntry *
-WriteBackQueue::nextReady(Tick now)
-{
-    for (auto &e : q_) {
-        if (!e.inFlight && e.readyAt <= now)
-            return &e;
-    }
-    return nullptr;
-}
-
-WbEntry *
-WriteBackQueue::findInFlight(Addr line_addr)
-{
-    for (auto &e : q_) {
-        if (e.inFlight && e.lineAddr == line_addr)
-            return &e;
-    }
-    return nullptr;
-}
-
-Tick
-WriteBackQueue::earliestReady() const
-{
-    Tick best = MaxTick;
-    for (const auto &e : q_) {
-        if (!e.inFlight && e.readyAt < best)
-            best = e.readyAt;
-    }
-    return best;
-}
-
-const WbEntry *
-WriteBackQueue::find(Addr line_addr) const
-{
-    for (const auto &e : q_) {
-        if (e.lineAddr == line_addr)
-            return &e;
-    }
-    return nullptr;
-}
-
 void
 WriteBackQueue::remove(const WbEntry *entry)
 {

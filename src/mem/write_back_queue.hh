@@ -12,7 +12,7 @@
 #ifndef CMPCACHE_MEM_WRITE_BACK_QUEUE_HH
 #define CMPCACHE_MEM_WRITE_BACK_QUEUE_HH
 
-#include <deque>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -36,7 +36,13 @@ struct WbEntry
 class WriteBackQueue
 {
   public:
-    explicit WriteBackQueue(unsigned capacity) : capacity_(capacity) {}
+    explicit WriteBackQueue(unsigned capacity) : capacity_(capacity)
+    {
+        // The backing store is bounded by the queue's capacity, so
+        // one up-front reservation keeps the steady-state push/remove
+        // churn allocation-free (a deque would recycle block nodes).
+        q_.reserve(capacity);
+    }
 
     bool full() const { return q_.size() >= capacity_; }
     bool empty() const { return q_.empty(); }
@@ -50,17 +56,52 @@ class WriteBackQueue
      * Oldest entry that is ready at @p now and not already on the
      * bus; nullptr if none.
      */
-    WbEntry *nextReady(Tick now);
+    WbEntry *
+    nextReady(Tick now)
+    {
+        for (auto &e : q_) {
+            if (!e.inFlight && e.readyAt <= now)
+                return &e;
+        }
+        return nullptr;
+    }
 
     /** Find the in-flight entry for @p line_addr (response routing). */
-    WbEntry *findInFlight(Addr line_addr);
+    WbEntry *
+    findInFlight(Addr line_addr)
+    {
+        for (auto &e : q_) {
+            if (e.inFlight && e.lineAddr == line_addr)
+                return &e;
+        }
+        return nullptr;
+    }
 
     /** Earliest readyAt among entries not on the bus; MaxTick if
      * none. */
-    Tick earliestReady() const;
+    Tick
+    earliestReady() const
+    {
+        Tick best = MaxTick;
+        for (const auto &e : q_) {
+            if (!e.inFlight && e.readyAt < best)
+                best = e.readyAt;
+        }
+        return best;
+    }
 
-    /** Does any queued entry (any state) match this line? */
-    const WbEntry *find(Addr line_addr) const;
+    /** Does any queued entry (any state) match this line? (Probed on
+     * every snooped transaction; the queue is tiny and usually empty,
+     * so the scan inlines to a few compares.) */
+    const WbEntry *
+    find(Addr line_addr) const
+    {
+        for (const auto &e : q_) {
+            if (e.lineAddr == line_addr)
+                return &e;
+        }
+        return nullptr;
+    }
 
     /** Remove a completed/aborted entry. */
     void remove(const WbEntry *entry);
@@ -76,7 +117,7 @@ class WriteBackQueue
 
   private:
     unsigned capacity_;
-    std::deque<WbEntry> q_;
+    std::vector<WbEntry> q_;
 };
 
 } // namespace cmpcache

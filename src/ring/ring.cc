@@ -36,6 +36,8 @@ Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
 {
     nextFree_[0].assign(params_.numStops, 0);
     nextFree_[1].assign(params_.numStops, 0);
+    dirScratch_[0].reserve(params_.numStops);
+    dirScratch_[1].reserve(params_.numStops);
 }
 
 void
@@ -67,12 +69,6 @@ Ring::agentById(AgentId id)
         if (a->agentId() == id)
             return a;
     cmp_panic("no agent with id ", unsigned{id});
-}
-
-void
-Ring::at(Tick when, std::function<void()> fn)
-{
-    eventq().at(when, std::move(fn), "ring-oneshot");
 }
 
 std::uint64_t
@@ -127,7 +123,10 @@ void
 Ring::combineNow(BusRequest req, Tick enqueued)
 {
     // Gather snoop responses from everyone except the requester.
-    std::vector<SnoopResponse> responses;
+    // (Member scratch: combineNow only runs from one-shot events and
+    // the buffer is dead once the collector has combined it.)
+    std::vector<SnoopResponse> &responses = snoopScratch_;
+    responses.clear();
     responses.reserve(agents_.size());
     BusAgent *requester = nullptr;
     for (auto *a : agents_) {
@@ -250,18 +249,19 @@ Ring::reserveDataTransfer(unsigned src, unsigned dst, Tick earliest)
                                      (src + n - dst) % n};
 
     // Evaluate both directions without committing; pick the earlier
-    // arrival (ties go to the shorter path).
+    // arrival (ties go to the shorter path). Reservation ticks land
+    // in the per-direction scratch buffers (reserved at construction)
+    // so the evaluation allocates nothing.
     Tick best_arrive = MaxTick;
     int best_dir = -1;
-    std::vector<Tick> best_free;
 
     for (int dir = 0; dir < 2; ++dir) {
         const unsigned hops = hops_by_dir[dir];
         if (hops == 0)
             continue;
         Tick head = earliest;
-        std::vector<Tick> upd;
-        upd.reserve(hops);
+        std::vector<Tick> &upd = dirScratch_[dir];
+        upd.clear();
         unsigned stop = src;
         for (unsigned h = 0; h < hops; ++h) {
             const unsigned seg = dir == 0 ? stop : (stop + n - 1) % n;
@@ -281,13 +281,13 @@ Ring::reserveDataTransfer(unsigned src, unsigned dst, Tick earliest)
         if (better) {
             best_arrive = arrive;
             best_dir = dir;
-            best_free = std::move(upd);
         }
     }
 
     cmp_assert(best_dir >= 0, "no data path found");
 
     // Commit the winning reservation.
+    const std::vector<Tick> &best_free = dirScratch_[best_dir];
     const unsigned hops = hops_by_dir[best_dir];
     unsigned stop = src;
     bool waited = false;

@@ -29,13 +29,13 @@
 #ifndef CMPCACHE_RING_RING_HH
 #define CMPCACHE_RING_RING_HH
 
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "coherence/bus.hh"
 #include "coherence/snoop_collector.hh"
+#include "common/circular_buffer.hh"
 #include "sim/sim_object.hh"
 
 namespace cmpcache
@@ -189,8 +189,13 @@ class Ring : public SimObject
     void combineNow(BusRequest req, Tick enqueued);
     BusAgent *agentById(AgentId id);
 
-    /** Fire-and-forget lambda event (self-deleting). */
-    void at(Tick when, std::function<void()> fn);
+    /** Fire-and-forget lambda event on the pooled one-shot path. */
+    template <typename Fn>
+    void
+    at(Tick when, Fn &&fn)
+    {
+        eventq().at(when, std::forward<Fn>(fn), "ring-oneshot");
+    }
 
     struct PendingReq
     {
@@ -208,7 +213,7 @@ class Ring : public SimObject
     std::vector<BusAgent *> agents_;
     BusAgent *l3Agent_ = nullptr;
     BusAgent *memAgent_ = nullptr;
-    std::deque<PendingReq> reqQueue_;
+    CircularBuffer<PendingReq> reqQueue_;
     Tick nextLaunch_ = 0;
     std::uint64_t nextTxnId_ = 1;
     EventFunctionWrapper drainEvent_;
@@ -216,6 +221,12 @@ class Ring : public SimObject
     /** nextFree_[direction][segment]; segment i joins stop i and
      * stop (i+1) % numStops. Direction 0 = clockwise. */
     std::vector<Tick> nextFree_[2];
+
+    /** Reused per-combine snoop-response buffer (combineNow is never
+     * reentrant: it only runs from one-shot events). */
+    std::vector<SnoopResponse> snoopScratch_;
+    /** Reused per-direction reservation buffers for the data path. */
+    std::vector<Tick> dirScratch_[2];
 
     stats::Scalar requests_;
     stats::Scalar launches_;

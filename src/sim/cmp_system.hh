@@ -12,9 +12,9 @@
 #define CMPCACHE_SIM_CMP_SYSTEM_HH
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "core/retry_monitor.hh"
 #include "cpu/trace_cpu.hh"
 #include "fault/fault_injector.hh"
@@ -48,8 +48,8 @@ class WbReuseTracker
     std::uint64_t acceptedWb_ = 0;
     std::uint64_t reusedTotal_ = 0;
     std::uint64_t reusedAccepted_ = 0;
-    std::unordered_set<Addr> pendingTotal_;
-    std::unordered_set<Addr> pendingAccepted_;
+    FlatSet pendingTotal_;
+    FlatSet pendingAccepted_;
 };
 
 class CmpSystem : public stats::Group

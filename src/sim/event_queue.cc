@@ -16,11 +16,24 @@ Event::~Event()
         queue_->purge(this);
 }
 
+EventQueue::EventQueue()
+{
+    // Give every bucket (and the far heap) its working capacity up
+    // front. Buckets are vectors that never shrink, so without this
+    // each of the 1024 buckets reallocates on its own schedule as it
+    // discovers its high-water mark, sprinkling allocations deep into
+    // otherwise steady-state runs.
+    for (auto &b : wheel_)
+        b.entries.reserve(16);
+    far_.reserve(64);
+    scratch_.reserve(64);
+}
+
 void
 PooledEvent::process()
 {
     EventQueue *home = home_;
-    std::function<void()> fn = std::move(fn_);
+    InplaceFunction<void(), FnCapacity> fn = std::move(fn_);
     // Return to the free list first so the callback can recycle this
     // object for the events it schedules.
     home->releasePooled(this);
@@ -70,16 +83,6 @@ EventQueue::reschedule(Event *ev, Tick when)
 {
     if (ev->scheduled_)
         deschedule(ev);
-    schedule(ev, when);
-}
-
-void
-EventQueue::at(Tick when, std::function<void()> fn, const char *what)
-{
-    PooledEvent *ev = acquirePooled();
-    ev->fn_ = std::move(fn);
-    ev->home_ = this;
-    ev->what_ = what;
     schedule(ev, when);
 }
 

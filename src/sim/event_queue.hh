@@ -38,8 +38,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/inplace_function.hh"
 #include "common/types.hh"
 
 namespace cmpcache
@@ -130,6 +132,14 @@ class EventFunctionWrapper : public Event
 class PooledEvent final : public Event
 {
   public:
+    /**
+     * Inline capture budget for one-shot callbacks. The largest hot
+     * captures are [this, BusRequest, Tick] / [agent, BusRequest,
+     * CombinedResult] at ~40 bytes; anything bigger fails to compile
+     * instead of silently heap-allocating.
+     */
+    static constexpr std::size_t FnCapacity = 48;
+
     PooledEvent() = default;
 
     void process() override;
@@ -142,7 +152,7 @@ class PooledEvent final : public Event
   private:
     friend class EventQueue;
 
-    std::function<void()> fn_;
+    InplaceFunction<void(), FnCapacity> fn_;
     PooledEvent *nextFree_ = nullptr;
     EventQueue *home_ = nullptr;
     /** Static debug label supplied by the at() caller. */
@@ -160,7 +170,7 @@ class EventQueue
     /** Near-future window covered by the wheel, in ticks. */
     static constexpr Tick WheelSpan = 1024;
 
-    EventQueue() = default;
+    EventQueue();
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -181,10 +191,19 @@ class EventQueue
     /**
      * Run @p fn once at absolute tick @p when (>= curTick()) on a
      * pooled one-shot event. @p what must point to storage outliving
-     * the event (string literals).
+     * the event (string literals). The callable is stored inline
+     * (PooledEvent::FnCapacity bytes) -- no allocation per event.
      */
-    void at(Tick when, std::function<void()> fn,
-            const char *what = "one-shot");
+    template <typename Fn>
+    void
+    at(Tick when, Fn &&fn, const char *what = "one-shot")
+    {
+        PooledEvent *ev = acquirePooled();
+        ev->fn_ = std::forward<Fn>(fn);
+        ev->home_ = this;
+        ev->what_ = what;
+        schedule(ev, when);
+    }
 
     bool empty() const { return liveEvents_ == 0; }
     std::size_t numPending() const { return liveEvents_; }

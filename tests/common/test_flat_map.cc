@@ -1,0 +1,186 @@
+/**
+ * @file
+ * FlatMap / FlatSet: the open-addressing line-address tables used on
+ * the transaction hot path (pending snarfs, write-back reuse sets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/random.hh"
+
+using namespace cmpcache;
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(0x40), nullptr);
+    EXPECT_FALSE(m.contains(0x40));
+
+    m.insert(0x40, 7);
+    ASSERT_NE(m.find(0x40), nullptr);
+    EXPECT_EQ(*m.find(0x40), 7);
+    EXPECT_TRUE(m.contains(0x40));
+    EXPECT_EQ(m.size(), 1u);
+
+    m.insert(0x40, 9); // insert-or-assign
+    EXPECT_EQ(*m.find(0x40), 9);
+    EXPECT_EQ(m.size(), 1u);
+
+    EXPECT_TRUE(m.erase(0x40));
+    EXPECT_FALSE(m.erase(0x40));
+    EXPECT_EQ(m.find(0x40), nullptr);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, SubscriptDefaultConstructs)
+{
+    FlatMap<std::uint64_t> m;
+    EXPECT_EQ(m[0x1000], 0u);
+    m[0x1000] += 5;
+    EXPECT_EQ(m[0x1000], 5u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, TombstoneCyclesDoNotGrowCapacity)
+{
+    FlatMap<int> m;
+    const std::size_t cap = m.capacity();
+    // Far more insert/erase cycles than the capacity: tombstone
+    // reclamation (reuse + same-capacity rehash) must keep the table
+    // from growing, since the live count stays tiny.
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const Addr line = (i % 4) * 64;
+        m.insert(line, static_cast<int>(i));
+        EXPECT_TRUE(m.erase(line));
+    }
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMap, GrowthPreservesContents)
+{
+    FlatMap<std::uint64_t> m;
+    constexpr std::uint64_t N = 5000;
+    for (std::uint64_t i = 0; i < N; ++i)
+        m.insert(i * 64, i * i);
+    EXPECT_EQ(m.size(), N);
+    EXPECT_GT(m.capacity(), N); // grew well past the initial 16
+    for (std::uint64_t i = 0; i < N; ++i) {
+        const std::uint64_t *v = m.find(i * 64);
+        ASSERT_NE(v, nullptr) << "key " << i * 64;
+        EXPECT_EQ(*v, i * i);
+    }
+    EXPECT_EQ(m.find(N * 64), nullptr);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomChurn)
+{
+    FlatMap<std::uint64_t> flat;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    Rng rng(2026);
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        const Addr line = rng.below(512) * 64;
+        switch (rng.below(4)) {
+          case 0:
+            flat.insert(line, i);
+            ref[line] = i;
+            break;
+          case 1:
+            EXPECT_EQ(flat.erase(line), ref.erase(line) > 0);
+            break;
+          default: {
+            const std::uint64_t *v = flat.find(line);
+            const auto it = ref.find(line);
+            ASSERT_EQ(v != nullptr, it != ref.end());
+            if (v)
+                EXPECT_EQ(*v, it->second);
+          }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+}
+
+TEST(FlatMap, ForEachVisitsEveryLiveEntryOnce)
+{
+    FlatMap<int> m;
+    for (int i = 0; i < 100; ++i)
+        m.insert(static_cast<Addr>(i) * 64, i);
+    for (int i = 0; i < 100; i += 2)
+        m.erase(static_cast<Addr>(i) * 64);
+
+    std::vector<Addr> seen;
+    m.forEach([&](Addr k, int v) {
+        EXPECT_EQ(static_cast<Addr>(v) * 64, k);
+        seen.push_back(k);
+    });
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), 50u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], (2 * i + 1) * 64);
+}
+
+/**
+ * Aggregates computed through the table must not depend on probe
+ * order: the same key set inserted in different orders (with
+ * interleaved erases creating different tombstone layouts) must yield
+ * the same contents.
+ */
+TEST(FlatMap, ContentsIndependentOfInsertionOrder)
+{
+    std::vector<Addr> keys;
+    for (Addr i = 0; i < 300; ++i)
+        keys.push_back(i * 64);
+
+    FlatMap<std::uint64_t> fwd, rev;
+    for (const Addr k : keys)
+        fwd.insert(k, k + 1);
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it)
+        rev.insert(*it, *it + 1);
+    // Different churn in each: erase/reinsert every third key.
+    for (std::size_t i = 0; i < keys.size(); i += 3) {
+        fwd.erase(keys[i]);
+        fwd.insert(keys[i], keys[i] + 1);
+    }
+
+    EXPECT_EQ(fwd.size(), rev.size());
+    std::vector<std::pair<Addr, std::uint64_t>> a, b;
+    fwd.forEach([&](Addr k, std::uint64_t v) { a.emplace_back(k, v); });
+    rev.forEach([&](Addr k, std::uint64_t v) { b.emplace_back(k, v); });
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(FlatMap, ClearEmptiesButKeepsCapacity)
+{
+    FlatMap<int> m;
+    for (Addr i = 0; i < 1000; ++i)
+        m.insert(i * 64, 1);
+    const std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(0), nullptr);
+    m.insert(0, 2);
+    EXPECT_EQ(*m.find(0), 2);
+}
+
+TEST(FlatSet, InsertEraseContains)
+{
+    FlatSet s;
+    EXPECT_TRUE(s.insert(0x80));
+    EXPECT_FALSE(s.insert(0x80)); // duplicate
+    EXPECT_TRUE(s.contains(0x80));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.erase(0x80), 1u);
+    EXPECT_EQ(s.erase(0x80), 0u);
+    EXPECT_FALSE(s.contains(0x80));
+    EXPECT_TRUE(s.empty());
+}
