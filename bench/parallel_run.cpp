@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Parallel event-kernel throughput: one simulation of the largest
+ * golden configuration (the paper's TP workload on the default
+ * 4xL2 system) run under the serial kernel and under the domain
+ * scheduler at increasing worker counts.
+ *
+ * Every run's result is folded into a checksum and compared against
+ * the serial run, so the benchmark doubles as an end-to-end
+ * equivalence check and neither side can be dead-coded.
+ *
+ * Emits cmpcache-hotpath-bench-v1 JSON so scripts/bench_guard.py can
+ * guard it unchanged: each pair's legacyOpsPerSec is the serial
+ * kernel's events/second and currentOpsPerSec is the domain
+ * scheduler's at that worker count ("speedup" is then the parallel
+ * speedup; the committed baseline lives in bench/BENCH_parallel.json).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/result_json.hh"
+#include "sim/simulation.hh"
+#include "trace/workloads_commercial.hh"
+
+namespace cmpcache
+{
+namespace
+{
+
+struct RunStats
+{
+    unsigned workers = 0; ///< 0 = serial kernel
+    double seconds = 0.0;
+    std::uint64_t events = 0;
+    std::string resultJson;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds
+                             : 0.0;
+    }
+};
+
+RunStats
+runOnce(unsigned workers, std::uint64_t refs)
+{
+    SystemConfig cfg;
+    cfg.runThreads = workers;
+    const WorkloadParams wl = workloads::tp(refs, /*seed=*/1);
+
+    const auto start = std::chrono::steady_clock::now();
+    Simulation sim(cfg, wl);
+    const ExperimentResult &result = sim.run();
+    RunStats s;
+    s.workers = workers;
+    s.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    s.events = sim.system().totalExecuted();
+    std::ostringstream os;
+    writeResultJson(os, result);
+    s.resultJson = os.str();
+    return s;
+}
+
+void
+writeJson(std::ostream &os, std::uint64_t ops, const RunStats &serial,
+          const std::vector<RunStats> &parallel)
+{
+    os << "{\n  \"schema\": \"cmpcache-hotpath-bench-v1\",\n"
+       << "  \"opsPerPair\": " << ops << ",\n  \"pairs\": [\n";
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        const RunStats &p = parallel[i];
+        const double legacy = serial.eventsPerSec();
+        const double current = p.eventsPerSec();
+        os << "    {\"name\": \"parallel-w" << p.workers
+           << "\", \"ops\": " << p.events
+           << ", \"legacySeconds\": " << serial.seconds
+           << ", \"currentSeconds\": " << p.seconds
+           << ", \"legacyOpsPerSec\": " << legacy
+           << ", \"currentOpsPerSec\": " << current
+           << ", \"speedup\": "
+           << (legacy > 0.0 ? current / legacy : 0.0) << "}"
+           << (i + 1 < parallel.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    std::uint64_t refs = 20000;
+    std::string out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--refs=", 0) == 0) {
+            refs = std::stoull(arg.substr(7));
+        } else if (arg.rfind("--ops=", 0) == 0) {
+            refs = std::stoull(arg.substr(6)); // guard compatibility
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out = arg.substr(6);
+        } else {
+            std::cerr << "usage: parallel_run [--refs=N] [--out=FILE]\n";
+            return 2;
+        }
+    }
+
+    const RunStats serial = runOnce(0, refs);
+    std::vector<RunStats> parallel;
+    for (const unsigned w : {1u, 2u, 4u}) {
+        parallel.push_back(runOnce(w, refs));
+        const RunStats &p = parallel.back();
+        if (p.resultJson != serial.resultJson) {
+            std::cerr << "parallel_run: result diverged from the "
+                         "serial kernel at "
+                      << p.workers << " workers\n";
+            return 1;
+        }
+        if (p.events != serial.events) {
+            std::cerr << "parallel_run: event count diverged at "
+                      << p.workers << " workers\n";
+            return 1;
+        }
+        std::cerr << "parallel-w" << p.workers << ": "
+                  << p.eventsPerSec() / 1e6 << " Mev/s vs serial "
+                  << serial.eventsPerSec() / 1e6 << " Mev/s ("
+                  << p.eventsPerSec() / serial.eventsPerSec()
+                  << "x)\n";
+    }
+
+    writeJson(std::cout, serial.events, serial, parallel);
+    if (!out.empty()) {
+        std::ofstream f(out);
+        if (!f) {
+            std::cerr << "cannot write " << out << "\n";
+            return 1;
+        }
+        writeJson(f, serial.events, serial, parallel);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace cmpcache
+
+int
+main(int argc, char **argv)
+{
+    return cmpcache::benchMain(argc, argv);
+}

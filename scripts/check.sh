@@ -6,13 +6,18 @@
 #   scripts/check.sh unit       # unit tests only
 #   scripts/check.sh e2e        # end-to-end (sweep) tests only
 #   scripts/check.sh sanitize   # ASan+UBSan build, sanitize-labelled tests
+#   scripts/check.sh tsan       # TSan build, tsan-labelled (multi-threaded)
+#                               # tests plus a parallel-kernel sweep smoke
 #   scripts/check.sh obs        # ASan+UBSan build, obs-labelled tests,
 #                               # then a sampled sweep smoke run
 #   scripts/check.sh faults     # fault/watchdog suite, then smoke runs:
 #                               # an injected-fault sweep plus a faults-off
 #                               # thread-count byte-identity check
-#   scripts/check.sh bench      # hot-path perf-regression guard against
-#                               # the committed BENCH_hotpath.json (skip
+#   scripts/check.sh fuzz       # the >= 50-config parallel-vs-serial
+#                               # differential sweep (CMPCACHE_FUZZ gated)
+#   scripts/check.sh bench      # perf-regression guards against the
+#                               # committed BENCH_hotpath.json and
+#                               # BENCH_parallel.json baselines (skip
 #                               # with CMPCACHE_SKIP_BENCH=1)
 set -euo pipefail
 
@@ -20,24 +25,43 @@ cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | obs | faults | bench) ;;
+unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|obs|faults|bench]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench]" >&2
     exit 2
     ;;
 esac
 
+# Every phase asserts its own exit status: `ctest -j` (and anything
+# piped) must never have a failure swallowed by later phases; the
+# first failing phase stops the script with a named diagnostic.
+run_phase() {
+    local phase="$1"
+    shift
+    local status=0
+    "$@" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "check.sh: phase '$phase' failed (exit $status): $*" >&2
+        exit "$status"
+    fi
+    echo "check.sh: phase '$phase' OK"
+}
+
 if [ "$SELECT" = sanitize ] || [ "$SELECT" = obs ]; then
     # Separate build tree: sanitizer flags poison the object cache.
-    cmake -B build-sanitize -S . -DCMPCACHE_SANITIZE=ON >/dev/null
-    cmake --build build-sanitize -j"$(nproc)"
+    run_phase configure \
+        cmake -B build-sanitize -S . -DCMPCACHE_SANITIZE=ON
+    run_phase build cmake --build build-sanitize -j"$(nproc)"
     if [ "$SELECT" = obs ]; then
         # The observability suite under the sanitizers, then a sampled
         # + traced sweep smoke run through the sanitized binary.
-        (cd build-sanitize && ctest --output-on-failure -j"$(nproc)" -L obs)
+        run_phase obs-suite \
+            ctest --test-dir build-sanitize --output-on-failure \
+            -j"$(nproc)" -L obs
         smoke_dir="$(mktemp -d)"
         trap 'rm -rf "$smoke_dir"' EXIT
-        ./build-sanitize/src/cmpcache sweep \
+        run_phase obs-smoke \
+            ./build-sanitize/src/cmpcache sweep \
             --workloads=thrash --policies=wbht --refs=2000 \
             --sample-every=5000 --trace-out="$smoke_dir/trace.json" \
             --out="$smoke_dir/results.json" --quiet
@@ -50,52 +74,103 @@ if [ "$SELECT" = sanitize ] || [ "$SELECT" = obs ]; then
         echo "obs: sanitized suite + sampled sweep smoke OK"
         exit 0
     fi
-    cd build-sanitize
-    exec ctest --output-on-failure -j"$(nproc)" -L sanitize
+    run_phase sanitize-suite \
+        ctest --test-dir build-sanitize --output-on-failure \
+        -j"$(nproc)" -L sanitize
+    exit 0
 fi
 
-cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)"
+if [ "$SELECT" = tsan ]; then
+    # ThreadSanitizer is incompatible with ASan, so it gets its own
+    # mode and build tree; the tsan label selects exactly the suites
+    # that exercise the worker pool (domain scheduler properties plus
+    # the parallel differential harness).
+    run_phase configure \
+        cmake -B build-tsan -S . -DCMPCACHE_SANITIZE=thread
+    run_phase build cmake --build build-tsan -j"$(nproc)"
+    run_phase tsan-suite \
+        ctest --test-dir build-tsan --output-on-failure \
+        -j"$(nproc)" -L tsan
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    # CMPCACHE_FANOUT=1 overrides the single-core fan-out gate so the
+    # smoke exercises the real worker threads wherever it runs.
+    run_phase tsan-smoke \
+        env CMPCACHE_FANOUT=1 \
+        ./build-tsan/src/cmpcache sweep \
+        --workloads=thrash --policies=baseline,combined --refs=2000 \
+        --run-threads=4 --sample-every=5000 \
+        --out="$smoke_dir/parallel.json" --quiet
+    echo "tsan: suite + parallel sweep smoke OK"
+    exit 0
+fi
+
+run_phase configure cmake -B build -S .
+run_phase build cmake --build build -j"$(nproc)"
 
 if [ "$SELECT" = bench ]; then
     if [ -n "${CMPCACHE_SKIP_BENCH:-}" ]; then
         echo "bench: skipped (CMPCACHE_SKIP_BENCH set)"
         exit 0
     fi
-    exec python3 scripts/bench_guard.py \
+    run_phase bench-hotpath python3 scripts/bench_guard.py \
         --bench build/bench/hotpath \
         --baseline bench/BENCH_hotpath.json
+    run_phase bench-parallel python3 scripts/bench_guard.py \
+        --bench build/bench/parallel_run \
+        --baseline bench/BENCH_parallel.json
+    exit 0
+fi
+
+if [ "$SELECT" = fuzz ]; then
+    run_phase fuzz-suite \
+        env CMPCACHE_FUZZ=1 \
+        ctest --test-dir build --output-on-failure -j"$(nproc)" -L fuzz
+    exit 0
 fi
 
 cd build
 case "$SELECT" in
 unit)
-    ctest --output-on-failure -j"$(nproc)" -L unit
+    run_phase unit-suite ctest --output-on-failure -j"$(nproc)" -L unit
     ;;
 e2e)
-    ctest --output-on-failure -j"$(nproc)" -L e2e
+    run_phase e2e-suite ctest --output-on-failure -j"$(nproc)" -L e2e
     ;;
 faults)
-    ctest --output-on-failure -j"$(nproc)" -L faults
+    run_phase faults-suite \
+        ctest --output-on-failure -j"$(nproc)" -L faults
     smoke_dir="$(mktemp -d)"
     trap 'rm -rf "$smoke_dir"' EXIT
     # An injected-fault sweep must complete and surface fault.* counts
     # in the sampled series.
-    ./src/cmpcache sweep \
+    run_phase faults-smoke \
+        ./src/cmpcache sweep \
         --workloads=thrash --policies=wbht --refs=2000 \
         --sample-every=5000 --out="$smoke_dir/faulty.json" --quiet \
         "fault.plan=l3_retry:0:end:500" "fault.seed=3"
     grep -q 'fault.forced_l3_retries' "$smoke_dir/faulty.json" \
         || { echo "faulty sweep sampled no fault probes" >&2; exit 1; }
-    # With faults off the results must be byte-identical across worker
-    # thread counts and carry no fault/error artifacts at all.
+    # With faults off the results must be byte-identical across sweep
+    # worker counts and per-run kernel worker counts, and carry no
+    # fault/error artifacts at all.
     for t in 1 4; do
-        ./src/cmpcache sweep \
+        run_phase "faults-clean-t$t" \
+            ./src/cmpcache sweep \
             --workloads=thrash --policies=baseline,wbht --refs=2000 \
             --threads="$t" --out="$smoke_dir/clean$t.json" --quiet
     done
     cmp "$smoke_dir/clean1.json" "$smoke_dir/clean4.json" \
         || { echo "faults-off sweep differs across thread counts" >&2; exit 1; }
+    for rt in 1 4; do
+        run_phase "faults-clean-rt$rt" \
+            ./src/cmpcache sweep \
+            --workloads=thrash --policies=baseline,wbht --refs=2000 \
+            --run-threads="$rt" --out="$smoke_dir/cleanrt$rt.json" \
+            --quiet
+        cmp "$smoke_dir/clean1.json" "$smoke_dir/cleanrt$rt.json" \
+            || { echo "sweep differs with run-threads=$rt" >&2; exit 1; }
+    done
     if grep -qE '"status"|fault\.' "$smoke_dir/clean1.json"; then
         echo "faults-off sweep output carries fault artifacts" >&2
         exit 1
@@ -103,6 +178,6 @@ faults)
     echo "faults: suite + injected/clean sweep smoke OK"
     ;;
 all)
-    ctest --output-on-failure -j"$(nproc)"
+    run_phase full-suite ctest --output-on-failure -j"$(nproc)"
     ;;
 esac

@@ -61,6 +61,9 @@ usage()
         "                        or CMPCACHE_REFS)\n"
         "  --seed=N              workload seed (default 1)\n"
         "  --threads=N           worker threads (default: hardware)\n"
+        "  --run-threads=N       per-simulation event-kernel workers\n"
+        "                        (0 = serial kernel, the default; any\n"
+        "                        N gives bit-identical results)\n"
         "  --out=FILE            results JSON (default: stdout)\n"
         "  --bench-out=FILE      timing JSON, e.g. "
         "bench/BENCH_grid.json\n"
@@ -213,6 +216,13 @@ sweepMain(const CliArgs &args)
         spec.statsFormat = statsFormatFromString(
             args.getString("stats-format", ""));
     const std::string stats_out = args.getString("stats-out", "");
+
+    if (args.has("run-threads")) {
+        const auto rt = args.getInt("run-threads", 0);
+        if (rt < 0)
+            cmp_fatal("--run-threads must be >= 0");
+        spec.base.runThreads = static_cast<unsigned>(rt);
+    }
 
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)

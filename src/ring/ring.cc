@@ -10,6 +10,20 @@
 namespace cmpcache
 {
 
+namespace
+{
+
+/** Per-thread issue capture (see Ring::setThreadIssueDeferral). */
+thread_local IssueDeferral *tlsIssueDeferral = nullptr;
+
+} // namespace
+
+void
+Ring::setThreadIssueDeferral(IssueDeferral *d)
+{
+    tlsIssueDeferral = d;
+}
+
 Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
            unsigned num_l2s)
     : SimObject(parent, "ring", eq),
@@ -74,6 +88,14 @@ Ring::agentById(AgentId id)
 std::uint64_t
 Ring::issue(const BusRequest &req)
 {
+    // Parallel domain execution: capture the call for serial-order
+    // replay. The transaction id is assigned at replay time; no
+    // caller consumes the id synchronously (responses are matched by
+    // line address in observeCombined), so returning 0 here is safe.
+    if (IssueDeferral *d = tlsIssueDeferral) {
+        d->deferIssue(req);
+        return 0;
+    }
     BusRequest r = req;
     r.txnId = nextTxnId_++;
     ++requests_;
@@ -112,8 +134,8 @@ Ring::drain()
     const BusRequest req = pending.req;
     const Tick enq = pending.enqueued;
     const Tick delay = faults_ ? faults_->launchDelay(now) : 0;
-    at(now + params_.snoopLatency + delay,
-       [this, req, enq] { combineNow(req, enq); });
+    atGlobal(now + params_.snoopLatency + delay,
+             [this, req, enq] { combineNow(req, enq); });
 
     if (!reqQueue_.empty())
         eventq().schedule(&drainEvent_, nextLaunch_);
@@ -231,9 +253,11 @@ Ring::combineNow(BusRequest req, Tick enqueued)
                          toString(res.resp)});
     }
     if (isWriteBack(req.cmd)) {
-        at(arrive, [sink, req] { sink->receiveWriteBack(req); });
+        atAgent(sink->agentId(), arrive,
+                [sink, req] { sink->receiveWriteBack(req); });
     } else {
-        at(arrive, [sink, req, res] { sink->receiveData(req, res); });
+        atAgent(sink->agentId(), arrive,
+                [sink, req, res] { sink->receiveData(req, res); });
     }
 }
 

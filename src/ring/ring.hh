@@ -96,6 +96,43 @@ class BusAgent
     }
 };
 
+/**
+ * Captures cross-domain issue() calls made from a worker thread. While
+ * a thread's deferral sink is installed (Ring::setThreadIssueDeferral)
+ * every issue() on that thread is recorded instead of executed; the
+ * domain scheduler's coordinator replays the captured requests in
+ * serial order, where the full issue path (transaction id assignment,
+ * queue stats, drain scheduling) runs exactly as a serial run would.
+ */
+class IssueDeferral
+{
+  public:
+    virtual ~IssueDeferral() = default;
+
+    /** Record @p req for deferred, serial-order application. */
+    virtual void deferIssue(const BusRequest &req) = 0;
+};
+
+/**
+ * Per-destination event-queue routing for the domain scheduler. The
+ * ring's one-shot events fall into two classes: globally ordered
+ * protocol steps (snoop combines, and write-back absorbs into the
+ * shared L3) go to the global queue; point-to-point data deliveries
+ * go to the receiving agent's own domain queue. A null router (the
+ * serial default) sends everything to the ring's own queue.
+ */
+class ScheduleRouter
+{
+  public:
+    virtual ~ScheduleRouter() = default;
+
+    /** Queue for deliveries consumed by @p agent alone. */
+    virtual EventQueue &queueForAgent(AgentId agent) = 0;
+
+    /** Queue for globally ordered steps (combines, L3 absorbs). */
+    virtual EventQueue &globalQueue() = 0;
+};
+
 /** Timing and geometry parameters of the ring. */
 struct RingParams
 {
@@ -157,6 +194,17 @@ class Ring : public SimObject
      * data delivery) into @p t; null disables tracing. */
     void setTracer(TraceRecorder *t) { tracer_ = t; }
 
+    /** Install per-destination queue routing (null = serial default:
+     * everything on the ring's own queue). */
+    void setScheduleRouter(ScheduleRouter *r) { router_ = r; }
+
+    /**
+     * Install (or, with null, remove) the calling thread's issue
+     * deferral sink. Purely thread-local: parallel domain workers
+     * install their own sink for the span of a scheduling round.
+     */
+    static void setThreadIssueDeferral(IssueDeferral *d);
+
     /**
      * Analysis hook invoked for every combined response (used by the
      * redundancy/reuse trackers behind Tables 1 and 2, and by tests).
@@ -189,12 +237,24 @@ class Ring : public SimObject
     void combineNow(BusRequest req, Tick enqueued);
     BusAgent *agentById(AgentId id);
 
-    /** Fire-and-forget lambda event on the pooled one-shot path. */
+    /** Fire-and-forget lambda event on the pooled one-shot path,
+     * ordered on the global (combine) queue. */
     template <typename Fn>
     void
-    at(Tick when, Fn &&fn)
+    atGlobal(Tick when, Fn &&fn)
     {
-        eventq().at(when, std::forward<Fn>(fn), "ring-oneshot");
+        EventQueue &q = router_ ? router_->globalQueue() : eventq();
+        q.at(when, std::forward<Fn>(fn), "ring-oneshot");
+    }
+
+    /** Fire-and-forget delivery into @p agent's domain queue. */
+    template <typename Fn>
+    void
+    atAgent(AgentId agent, Tick when, Fn &&fn)
+    {
+        EventQueue &q =
+            router_ ? router_->queueForAgent(agent) : eventq();
+        q.at(when, std::forward<Fn>(fn), "ring-oneshot");
     }
 
     struct PendingReq
@@ -208,6 +268,7 @@ class Ring : public SimObject
     FaultInjector *faults_ = nullptr;
     RetryMonitor *retryMonitor_ = nullptr;
     TraceRecorder *tracer_ = nullptr;
+    ScheduleRouter *router_ = nullptr;
     Observer observer_;
 
     std::vector<BusAgent *> agents_;

@@ -3,9 +3,112 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/domain_scheduler.hh"
 
 namespace cmpcache
 {
+
+/**
+ * Everything the domain scheduler needs to drive this machine: the
+ * queue router for the ring's one-shots, per-domain issue-capture
+ * sinks, per-domain retry-query logs, and the scheduler itself. Built
+ * only when cfg.runThreads > 0.
+ */
+struct CmpSystem::ParallelGlue
+{
+    /** Ring one-shot routing: point-to-point deliveries go to the
+     * receiving L2's core domain; L3/memory-bound steps and combines
+     * are globally ordered. */
+    class Router final : public ScheduleRouter
+    {
+      public:
+        explicit Router(CmpSystem &s) : sys_(s) {}
+
+        EventQueue &
+        queueForAgent(AgentId agent) override
+        {
+            if (agent < sys_.cfg_.numL2s)
+                return *sys_.coreQs_[agent];
+            return sys_.eq_;
+        }
+
+        EventQueue &globalQueue() override { return sys_.eq_; }
+
+      private:
+        CmpSystem &sys_;
+    };
+
+    /** Captures one domain's cross-domain ring issues for serial
+     * replay. Single writer: the worker currently executing the
+     * domain; drained by the coordinator after the phase barrier. */
+    class IssueSink final : public IssueDeferral
+    {
+      public:
+        DomainScheduler *sched = nullptr;
+        std::vector<BusRequest> payloads;
+
+        void
+        deferIssue(const BusRequest &req) override
+        {
+            payloads.push_back(req);
+            sched->noteDeferredIssue(
+                static_cast<std::uint32_t>(payloads.size() - 1));
+        }
+    };
+
+    explicit ParallelGlue(CmpSystem &sys)
+        : router(sys),
+          sinks(sys.cfg_.numL2s),
+          retryQueryLogs(sys.cfg_.numL2s, 0),
+          sched(
+              [&sys] {
+                  std::vector<EventQueue *> qs;
+                  qs.reserve(sys.coreQs_.size());
+                  for (auto &q : sys.coreQs_)
+                      qs.push_back(q.get());
+                  return qs;
+              }(),
+              *sys.uncoreQ_, sys.eq_,
+              DomainScheduler::Params{
+                  sys.cfg_.runThreads,
+                  sys.cfg_.ring.snoopLatency,
+                  sys.cfg_.ring.requesterOverhead})
+    {
+        for (auto &s : sinks)
+            s.sched = &sched;
+        sched.setEnterDomainFn([this](unsigned d) {
+            sinks[d].payloads.clear();
+            Ring::setThreadIssueDeferral(&sinks[d]);
+            RetryMonitor::setThreadQueryLog(&retryQueryLogs[d]);
+        });
+        sched.setLeaveDomainFn([](unsigned) {
+            Ring::setThreadIssueDeferral(nullptr);
+            RetryMonitor::setThreadQueryLog(nullptr);
+        });
+        sched.setApplyIssueFn(
+            [&sys, this](unsigned d, std::uint32_t payload, Tick) {
+                sys.ring_->issue(sinks[d].payloads[payload]);
+            });
+        sched.setPreGlobalFn([&sys, this] {
+            // Commit the window rolls of the retry-gate queries made
+            // during the round, at their serial roll point (the
+            // maximum queried tick; rolls compose, so one roll to the
+            // max equals the serial sequence of rolls).
+            Tick m = 0;
+            for (Tick &t : retryQueryLogs) {
+                m = std::max(m, t);
+                t = 0;
+            }
+            if (m)
+                sys.retryMonitor_->rollTo(m);
+        });
+    }
+
+    Router router;
+    std::vector<IssueSink> sinks;
+    std::vector<Tick> retryQueryLogs;
+    DomainScheduler sched;
+};
 
 void
 WbReuseTracker::observe(const BusRequest &req, const CombinedResult &res)
@@ -55,6 +158,21 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
                "trace bundle has ", traces.numThreads(),
                " threads, system wants ", cfg_.numThreads());
 
+    // Parallel mode: domain queues plus the scheduler glue, built
+    // before any component so every schedule() -- including the
+    // sequential startup ones -- draws its sequence number from the
+    // scheduler's global counter.
+    if (cfg_.runThreads > 0) {
+        for (unsigned i = 0; i < cfg_.numL2s; ++i)
+            coreQs_.push_back(std::make_unique<EventQueue>());
+        uncoreQ_ = std::make_unique<EventQueue>();
+        par_ = std::make_unique<ParallelGlue>(*this);
+    }
+    EventQueue &uncore_eq = uncoreQ_ ? *uncoreQ_ : eq_;
+    const auto core_eq = [this](unsigned l2) -> EventQueue & {
+        return coreQs_.empty() ? eq_ : *coreQs_[l2];
+    };
+
     retryMonitor_ =
         std::make_unique<RetryMonitor>(this, cfg_.policy.retry);
     retryMonitor_->setTimeSource([this] { return eq_.curTick(); });
@@ -70,24 +188,27 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
         faults_->setTimeSource([this] { return eq_.curTick(); });
     }
 
-    ring_ = std::make_unique<Ring>(this, eq_, cfg_.ring, cfg_.numL2s);
+    ring_ = std::make_unique<Ring>(this, uncore_eq, cfg_.ring,
+                                   cfg_.numL2s);
     ring_->setRetryMonitor(retryMonitor_.get());
     ring_->setFaultInjector(faults_.get());
+    if (par_)
+        ring_->setScheduleRouter(&par_->router);
 
     // Agent ids / ring stops: L2s take 0..n-1, L3 = n, memory = n+1.
     const AgentId l3_id = static_cast<AgentId>(cfg_.numL2s);
     const AgentId mem_id = static_cast<AgentId>(cfg_.numL2s + 1);
 
-    l3_ = std::make_unique<L3Cache>(this, eq_, l3_id, cfg_.numL2s,
-                                    cfg_.l3);
-    mem_ = std::make_unique<MemCtrl>(this, eq_, mem_id, cfg_.numL2s + 1,
-                                     cfg_.mem);
+    l3_ = std::make_unique<L3Cache>(this, uncore_eq, l3_id,
+                                    cfg_.numL2s, cfg_.l3);
+    mem_ = std::make_unique<MemCtrl>(this, uncore_eq, mem_id,
+                                     cfg_.numL2s + 1, cfg_.mem);
     l3_->setMemWriteFn([this] { mem_->writeFromL3(); });
 
     for (unsigned i = 0; i < cfg_.numL2s; ++i) {
         auto l2 = std::make_unique<L2Cache>(
-            this, eq_, cstr("l2_", i), static_cast<AgentId>(i), i,
-            cfg_.l2, cfg_.policy, *ring_, retryMonitor_.get());
+            this, core_eq(i), cstr("l2_", i), static_cast<AgentId>(i),
+            i, cfg_.l2, cfg_.policy, *ring_, retryMonitor_.get());
         l2->setL3Peek(
             [this](Addr a) { return l3_->hasLineValid(a); });
         l2->setCompletionCallback([this](ThreadId tid) {
@@ -111,8 +232,9 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
     for (unsigned t = 0; t < cfg_.numThreads(); ++t) {
         L2Cache &l2 = *l2s_[t / cfg_.threadsPerL2];
         cpus_.push_back(std::make_unique<TraceCpu>(
-            this, eq_, cstr("cpu_", t), static_cast<ThreadId>(t),
-            cfg_.cpu, l2, std::move(traces.perThread[t])));
+            this, core_eq(t / cfg_.threadsPerL2), cstr("cpu_", t),
+            static_cast<ThreadId>(t), cfg_.cpu, l2,
+            std::move(traces.perThread[t])));
     }
 }
 
@@ -123,7 +245,7 @@ CmpSystem::functionalWarmup(TraceBundle traces)
 {
     cmp_assert(traces.numThreads() == cfg_.numThreads(),
                "warmup bundle has the wrong thread count");
-    cmp_assert(eq_.curTick() == 0 && eq_.empty(),
+    cmp_assert(eq_.curTick() == 0 && totalPending() == 0,
                "warmup must precede the timed run");
 
     TagArray &l3tags = l3_->tags();
@@ -206,14 +328,17 @@ CmpSystem::run()
 {
     for (auto &cpu : cpus_)
         cpu->startup();
-    eq_.run(cfg_.maxTicks);
+    if (par_)
+        par_->sched.run(cfg_.maxTicks);
+    else
+        eq_.run(cfg_.maxTicks);
 
     if (!finished()) {
         throw SimException(SimError(
             SimErrorKind::Budget,
             cstr("simulation hit the ", cfg_.maxTicks,
                  "-tick safety limit before the traces drained (",
-                 eq_.numPending(), " events pending); likely a "
+                 totalPending(), " events pending); likely a "
                  "deadlock or an undersized maxTicks")));
     }
 
@@ -221,6 +346,34 @@ CmpSystem::run()
     for (const auto &cpu : cpus_)
         finish = std::max(finish, cpu->finishTick());
     return finish;
+}
+
+std::size_t
+CmpSystem::totalPending() const
+{
+    std::size_t n = eq_.numPending();
+    if (uncoreQ_)
+        n += uncoreQ_->numPending();
+    for (const auto &q : coreQs_)
+        n += q->numPending();
+    return n;
+}
+
+std::uint64_t
+CmpSystem::totalExecuted() const
+{
+    std::uint64_t n = eq_.numExecuted();
+    if (uncoreQ_)
+        n += uncoreQ_->numExecuted();
+    for (const auto &q : coreQs_)
+        n += q->numExecuted();
+    return n;
+}
+
+DomainScheduler *
+CmpSystem::domainScheduler()
+{
+    return par_ ? &par_->sched : nullptr;
 }
 
 bool

@@ -28,6 +28,8 @@
 namespace cmpcache
 {
 
+class DomainScheduler;
+
 /**
  * Per-line write-back reuse accounting (paper Table 2): a write back
  * counts as "reused" when the line is demanded again after it left an
@@ -80,8 +82,27 @@ class CmpSystem : public stats::Group
 
     bool finished() const;
 
+    /**
+     * The globally ordered event queue. In serial mode (runThreads ==
+     * 0) it is the only queue; in parallel mode it carries the
+     * globally ordered events (combines, sampler, watchdog) and its
+     * clock tracks global simulation time, so time sources and
+     * observability stay bound to it in both modes.
+     */
     EventQueue &eventq() { return eq_; }
     const SystemConfig &config() const { return cfg_; }
+
+    /**
+     * Live events across every domain queue. Equals
+     * eventq().numPending() in serial mode; use this instead of the
+     * raw queue wherever "is the simulation idle?" is the question.
+     */
+    std::size_t totalPending() const;
+    /** Events executed across every domain queue. */
+    std::uint64_t totalExecuted() const;
+
+    /** The parallel scheduler; null in serial mode. */
+    DomainScheduler *domainScheduler();
 
     Ring &ring() { return *ring_; }
     L3Cache &l3() { return *l3_; }
@@ -126,8 +147,17 @@ class CmpSystem : public stats::Group
     std::uint64_t offChipAccesses() const;
 
   private:
+    struct ParallelGlue;
+
     SystemConfig cfg_;
+    /** Global queue (the only one in serial mode). Queues are
+     * declared before the components bound to them: events deregister
+     * from their queue on destruction. */
     EventQueue eq_;
+    /** Parallel mode only: one queue per core domain (L2 slice). */
+    std::vector<std::unique_ptr<EventQueue>> coreQs_;
+    /** Parallel mode only: ring drains and L3/memory housekeeping. */
+    std::unique_ptr<EventQueue> uncoreQ_;
 
     std::unique_ptr<RetryMonitor> retryMonitor_;
     std::unique_ptr<FaultInjector> faults_;
@@ -137,6 +167,9 @@ class CmpSystem : public stats::Group
     std::vector<std::unique_ptr<L2Cache>> l2s_;
     std::vector<std::unique_ptr<TraceCpu>> cpus_;
     std::unique_ptr<WbReuseTracker> reuseTracker_;
+    /** Parallel-mode glue (scheduler, router, issue sinks); declared
+     * last so it tears down before the queues it hooks. */
+    std::unique_ptr<ParallelGlue> par_;
 };
 
 } // namespace cmpcache

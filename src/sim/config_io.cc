@@ -162,6 +162,7 @@ handlers()
         {"snarf_shared_victims", BOOL_KEY(policy.snarfSharedVictims)},
         {"wbht_informed_replacement",
          BOOL_KEY(policy.wbhtInformedReplacement)},
+        {"run.threads", U64_KEY(runThreads)},
         {"warmup", BOOL_KEY(warmupPass)},
         {"reuse_tracker", BOOL_KEY(enableWbReuseTracker)},
         {"fault.plan", STR_KEY(fault.plan)},

@@ -1,0 +1,721 @@
+#include "sim/domain_scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace cmpcache
+{
+
+namespace
+{
+
+/**
+ * Sequence band for events born inside a round. Bit 55 set keeps the
+ * band inside EventQueue::SeqMask (56 bits) while ordering after every
+ * resolved sequence -- which is exactly where serial order puts a
+ * round-born event relative to any event scheduled before the round.
+ */
+constexpr std::uint64_t ProvisionalBase = std::uint64_t{1} << 55;
+
+Tick
+satAdd(Tick a, Tick b)
+{
+    return a > MaxTick - b ? MaxTick : a + b;
+}
+
+/** Strict (tick, key) order on raw positions. */
+bool
+posLess(Tick at, std::uint64_t ak, Tick bt, std::uint64_t bk)
+{
+    return at != bt ? at < bt : ak < bk;
+}
+
+/** One pause/yield in a busy-wait loop. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Centralized epoch barrier tuned for sub-microsecond rounds. The
+ * round cadence here is ~100k+ barriers per second, where a futex
+ * barrier's wake latency dominates the round itself; late arrivals
+ * therefore spin briefly before falling back to a futex wait, so a
+ * worker parked between back-to-back rounds resumes in nanoseconds
+ * while long idle stretches still sleep instead of burning a core.
+ *
+ * The release store of `epoch_` (after zeroing `arrived_`) paired
+ * with the acquire loads in the wait loops provides the same
+ * happens-before edges std::barrier gave: everything written before
+ * any arrive_and_wait() is visible to every thread after it returns.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned n) : total_(n) {}
+
+    void
+    arrive_and_wait(int spin_limit)
+    {
+        const std::uint32_t e = epoch_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+            == total_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            epoch_.store(e + 1, std::memory_order_release);
+            epoch_.notify_all();
+            return;
+        }
+        for (int spin = 0; spin < spin_limit; ++spin) {
+            if (epoch_.load(std::memory_order_acquire) != e)
+                return;
+            cpuRelax();
+        }
+        while (epoch_.load(std::memory_order_acquire) == e)
+            epoch_.wait(e, std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<std::uint32_t> epoch_{0};
+    const unsigned total_;
+};
+
+} // namespace
+
+/** Execution context of the event running on the current thread. */
+struct DomainScheduler::ExecCtx
+{
+    /** Position of the executing event (the "parent" of its
+     * births). */
+    Pos pos;
+    /**
+     * Birth counter within the parent's execution. schedule() calls
+     * and deferred issues draw from the same counter, so a replayed
+     * issue's internal births sort into the exact call-order slot the
+     * serial kernel would have given them.
+     */
+    std::uint32_t birthCtr = 0;
+    /** Replaying a deferred issue: births nest under fixedIdx. */
+    bool applyMode = false;
+    std::uint32_t fixedIdx = 0;
+    std::uint32_t subCtr = 0;
+    /** Core domain being executed (defer routing); phase 1 only. */
+    unsigned domain = 0;
+};
+
+thread_local DomainScheduler::ExecCtx *DomainScheduler::tlsCtx_ =
+    nullptr;
+
+/** Exception-safe installer for the thread's execution context. */
+class DomainScheduler::TlsCtxScope
+{
+  public:
+    explicit TlsCtxScope(ExecCtx *ctx) : prev_(tlsCtx_)
+    {
+        tlsCtx_ = ctx;
+    }
+    ~TlsCtxScope() { tlsCtx_ = prev_; }
+
+    TlsCtxScope(const TlsCtxScope &) = delete;
+    TlsCtxScope &operator=(const TlsCtxScope &) = delete;
+
+  private:
+    ExecCtx *prev_;
+};
+
+/**
+ * Per-queue sequencing policy. Outside a round (null thread context)
+ * it hands out resolved sequences from the scheduler's global counter
+ * in call order, which is the serial kernel's order for sequential
+ * moments like simulation startup. Inside a round it hands out
+ * provisional sequences and logs a birth record; per-queue provisional
+ * order equals serial order restricted to that queue, because only the
+ * owning domain (phase 1) and the coordinator (phases 3+, in serial
+ * position order) ever bear into a given queue.
+ */
+class DomainScheduler::QueueHook final : public SchedulerHook
+{
+  public:
+    explicit QueueHook(DomainScheduler &s) : sched_(s) {}
+
+    std::uint64_t
+    nextSequence(EventQueue &q, Event *ev, Tick when) override
+    {
+        (void)when;
+        cache_->valid = false;
+        ExecCtx *ctx = tlsCtx_;
+        if (!ctx) {
+            cmp_assert(sched_.nextGlobalSeq_ < ProvisionalBase,
+                       "sequence space exhausted");
+            return sched_.nextGlobalSeq_++;
+        }
+        arena_.emplace_back();
+        BirthRec &rec = arena_.back();
+        rec.parent = ctx->pos;
+        if (ctx->applyMode) {
+            rec.idx = ctx->fixedIdx;
+            rec.subIdx = ctx->subCtr++;
+        } else {
+            rec.idx = ctx->birthCtr++;
+            rec.subIdx = 0;
+        }
+        rec.ev = ev;
+        rec.queue = &q;
+        ev->setHookCookie(&rec);
+        return ProvisionalBase + provCtr_++;
+    }
+
+    void
+    onMutation(EventQueue &q) override
+    {
+        (void)q;
+        cache_->valid = false;
+    }
+
+    /** Stable storage: records are parent-linked by pointer. */
+    std::deque<BirthRec> arena_;
+    /** This queue's slot in the scheduler's head cache. */
+    HeadCache *cache_ = nullptr;
+
+  private:
+    DomainScheduler &sched_;
+    std::uint64_t provCtr_ = 0;
+};
+
+/**
+ * Long-lived worker threads plus the two round barriers. Workers park
+ * on `start` between rounds; the coordinator only wakes them when a
+ * round has more than one active domain. All cut/claim state is
+ * written before `start` and read back after `done`, so the barriers
+ * provide every needed happens-before edge.
+ */
+struct DomainScheduler::WorkerPool
+{
+    WorkerPool(DomainScheduler &s, unsigned workers)
+        : sched(s), start(workers), done(workers)
+    {
+        // Fanning out only pays when the host can actually run a
+        // second thread; on a single hardware thread the coordinator
+        // executes every domain inline instead (bit-identical by
+        // construction -- both paths run the same claim loop). The
+        // override exists so the multi-threaded path stays testable
+        // (TSan, differential suites) on any machine.
+        const unsigned hw = std::thread::hardware_concurrency();
+        if (const char *env = std::getenv("CMPCACHE_FANOUT"))
+            fanOutAllowed = env[0] != '0';
+        else
+            fanOutAllowed = hw == 0 || hw >= 2;
+        // Spinning through the serial phases keeps barrier latency in
+        // nanoseconds, but only when every pool thread has a core to
+        // spin on; oversubscribed pools sleep on the futex instead.
+        spinLimit = hw >= workers ? 4000 : 0;
+        threads.reserve(workers - 1);
+        for (unsigned i = 1; i < workers; ++i)
+            threads.emplace_back([this] { workerMain(); });
+    }
+
+    ~WorkerPool()
+    {
+        stop.store(true, std::memory_order_relaxed);
+        start.arrive_and_wait(spinLimit);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    void
+    workerMain()
+    {
+        for (;;) {
+            start.arrive_and_wait(spinLimit);
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            sched.workerClaimLoop();
+            done.arrive_and_wait(spinLimit);
+        }
+    }
+
+    DomainScheduler &sched;
+    SpinBarrier start;
+    SpinBarrier done;
+    std::vector<std::thread> threads;
+    std::atomic<unsigned> nextClaim{0};
+    Tick cutTick = 0;
+    std::uint64_t cutKey = 0;
+    std::atomic<bool> stop{false};
+    bool fanOutAllowed = true;
+    int spinLimit = 0;
+};
+
+DomainScheduler::DomainScheduler(std::vector<EventQueue *> core,
+                                 EventQueue &uncore,
+                                 EventQueue &global, const Params &p)
+    : params_(p),
+      core_(std::move(core)),
+      uncore_(uncore),
+      global_(global)
+{
+    cmp_assert(params_.workers >= 1, "scheduler needs >= 1 worker");
+    cmp_assert(params_.lookahead >= 1,
+               "zero-latency cross-domain link: the conservative "
+               "lookahead window collapses");
+    cmp_assert(params_.issueToLaunch >= 1,
+               "zero-latency issue path: the conservative lookahead "
+               "window collapses");
+    for (const EventQueue *q : core_)
+        cmp_assert(q != nullptr, "null core domain queue");
+
+    outbox_.resize(core_.size());
+    headCache_.resize(core_.size() + 2);
+    hooks_.reserve(core_.size() + 2);
+    for (EventQueue *q : core_) {
+        hooks_.push_back(std::make_unique<QueueHook>(*this));
+        q->setSchedulerHook(hooks_.back().get());
+    }
+    hooks_.push_back(std::make_unique<QueueHook>(*this));
+    uncore_.setSchedulerHook(hooks_.back().get());
+    hooks_.push_back(std::make_unique<QueueHook>(*this));
+    global_.setSchedulerHook(hooks_.back().get());
+    for (std::size_t i = 0; i < hooks_.size(); ++i)
+        hooks_[i]->cache_ = &headCache_[i];
+
+    pool_ = std::make_unique<WorkerPool>(*this, params_.workers);
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    pool_.reset();
+    for (EventQueue *q : core_)
+        q->setSchedulerHook(nullptr);
+    uncore_.setSchedulerHook(nullptr);
+    global_.setSchedulerHook(nullptr);
+}
+
+int
+DomainScheduler::cmpPos(const Pos &a, const Pos &b)
+{
+    if (a.tick != b.tick)
+        return a.tick < b.tick ? -1 : 1;
+    const std::uint64_t apri = a.key >> 56;
+    const std::uint64_t bpri = b.key >> 56;
+    if (apri != bpri)
+        return apri < bpri ? -1 : 1;
+    if (!a.rec && !b.rec) {
+        if (a.key == b.key)
+            return 0;
+        return a.key < b.key ? -1 : 1;
+    }
+    // A resolved sequence orders before any round-born one at the
+    // same (tick, priority): serial sequences assigned inside the
+    // round exceed every sequence assigned before it started.
+    if (!a.rec)
+        return -1;
+    if (!b.rec)
+        return 1;
+    return cmpRec(a.rec, b.rec);
+}
+
+int
+DomainScheduler::cmpRec(const BirthRec *a, const BirthRec *b)
+{
+    if (a == b)
+        return 0;
+    if (const int c = cmpPos(a->parent, b->parent))
+        return c;
+    if (a->idx != b->idx)
+        return a->idx < b->idx ? -1 : 1;
+    if (a->subIdx != b->subIdx)
+        return a->subIdx < b->subIdx ? -1 : 1;
+    return 0;
+}
+
+DomainScheduler::Pos
+DomainScheduler::posOfPopped(EventQueue &q, const Event *ev)
+{
+    Pos p;
+    p.tick = q.curTick();
+    const std::uint64_t seq = ev->sequence();
+    p.key = EventQueue::makeKey(ev->priority(), seq);
+    if (seq >= ProvisionalBase) {
+        p.rec = static_cast<const BirthRec *>(ev->hookCookie());
+        cmp_assert(p.rec && p.rec->ev == ev,
+                   "provisional event without a birth record");
+    }
+    return p;
+}
+
+void
+DomainScheduler::noteDeferredIssue(std::uint32_t payload)
+{
+    ExecCtx *ctx = tlsCtx_;
+    cmp_assert(ctx && !ctx->applyMode,
+               "deferred issue outside a core domain execution");
+    outbox_[ctx->domain].push_back(
+        OutMsg{ctx->pos, ctx->birthCtr++, payload, ctx->domain});
+}
+
+void
+DomainScheduler::executeDomain(unsigned d, Tick cut_tick,
+                               std::uint64_t cut_key)
+{
+    // Exception-safe glue teardown: a throwing event must not leave
+    // the thread's issue-deferral sink or query log installed (sweep
+    // workers survive a failed cell and run more jobs).
+    struct LeaveScope
+    {
+        DomainScheduler &s;
+        unsigned d;
+        ~LeaveScope()
+        {
+            if (s.leaveFn_)
+                s.leaveFn_(d);
+        }
+    };
+
+    EventQueue &q = *core_[d];
+    if (enterFn_)
+        enterFn_(d);
+    LeaveScope leave{*this, d};
+    ExecCtx ctx;
+    ctx.domain = d;
+    TlsCtxScope scope(&ctx);
+    while (Event *ev = q.popNextBefore(cut_tick, cut_key)) {
+        ctx.pos = posOfPopped(q, ev);
+        ctx.birthCtr = 0;
+        ctx.applyMode = false;
+        ev->process();
+    }
+}
+
+void
+DomainScheduler::workerClaimLoop()
+{
+    WorkerPool &p = *pool_;
+    try {
+        for (;;) {
+            const unsigned i =
+                p.nextClaim.fetch_add(1, std::memory_order_relaxed);
+            if (i >= activeDomains_.size())
+                break;
+            executeDomain(activeDomains_[i], p.cutTick, p.cutKey);
+        }
+    } catch (...) {
+        const std::lock_guard<std::mutex> g(errorMutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+}
+
+void
+DomainScheduler::drainUncoreAndIssues(Tick cut_tick,
+                                      std::uint64_t cut_key)
+{
+    mergedMsgs_.clear();
+    for (auto &ob : outbox_) {
+        mergedMsgs_.insert(mergedMsgs_.end(), ob.begin(), ob.end());
+        ob.clear();
+    }
+    std::sort(mergedMsgs_.begin(), mergedMsgs_.end(),
+              [](const OutMsg &a, const OutMsg &b) {
+                  if (const int c = cmpPos(a.parent, b.parent))
+                      return c < 0;
+                  return a.idx < b.idx;
+              });
+
+    // Interleave deferred issues (positioned at their parent) with
+    // the uncore queue's own events, in serial position order. The
+    // uncore clock tracks each step so curTick() reads inside the
+    // replayed issue path see exactly the serial time.
+    std::size_t mi = 0;
+    ExecCtx ctx;
+    TlsCtxScope scope(nullptr);
+    for (;;) {
+        EventQueue::PeekResult u;
+        bool have_u = uncore_.peekNext(u);
+        if (have_u && !posLess(u.when, u.key, cut_tick, cut_key))
+            have_u = false;
+        const bool have_m = mi < mergedMsgs_.size();
+        if (!have_u && !have_m)
+            break;
+        bool take_msg = have_m;
+        if (have_u && have_m) {
+            Pos up;
+            up.tick = u.when;
+            up.key = u.key;
+            if ((u.key & EventQueue::SeqMask) >= ProvisionalBase)
+                up.rec = static_cast<const BirthRec *>(
+                    u.ev->hookCookie());
+            take_msg = cmpPos(mergedMsgs_[mi].parent, up) < 0;
+        }
+        if (take_msg) {
+            const OutMsg &m = mergedMsgs_[mi++];
+            uncore_.syncTo(m.parent.tick);
+            ctx.pos = m.parent;
+            ctx.applyMode = true;
+            ctx.fixedIdx = m.idx;
+            ctx.subCtr = 0;
+            tlsCtx_ = &ctx;
+            applyFn_(m.domain, m.payload, m.parent.tick);
+            tlsCtx_ = nullptr;
+        } else {
+            Event *ev = uncore_.popNextBefore(cut_tick, cut_key);
+            cmp_assert(ev == u.ev, "uncore head changed under peek");
+            ctx.pos = posOfPopped(uncore_, ev);
+            ctx.applyMode = false;
+            ctx.birthCtr = 0;
+            tlsCtx_ = &ctx;
+            ev->process();
+            tlsCtx_ = nullptr;
+        }
+    }
+}
+
+void
+DomainScheduler::renumberRound()
+{
+    renumberBuf_.clear();
+    for (auto &hook : hooks_)
+        for (BirthRec &r : hook->arena_)
+            renumberBuf_.push_back(&r);
+    if (renumberBuf_.empty())
+        return;
+
+    // Serial birth order: parent position, then call order within the
+    // parent. Every record consumes one dense sequence (mirroring the
+    // serial counter), but only the latest still-pending schedule of
+    // an event is rekeyed -- a record whose event has since fired,
+    // been descheduled, or been rescheduled keeps its slot without
+    // touching the queue.
+    std::sort(renumberBuf_.begin(), renumberBuf_.end(),
+              [](BirthRec *a, BirthRec *b) { return cmpRec(a, b) < 0; });
+    for (BirthRec *r : renumberBuf_) {
+        cmp_assert(nextGlobalSeq_ < ProvisionalBase,
+                   "sequence space exhausted");
+        const std::uint64_t seq = nextGlobalSeq_++;
+        Event *ev = r->ev;
+        if (ev && ev->hookCookie() == r) {
+            if (ev->scheduled() && ev->sequence() >= ProvisionalBase) {
+                r->queue->rekey(ev, seq);
+                // Rekeying happens in place: keep a cached head valid
+                // by patching its key rather than forcing a re-peek.
+                auto *hook = static_cast<QueueHook *>(
+                    r->queue->schedulerHook());
+                HeadCache *c = hook->cache_;
+                if (c->valid && c->have && c->r.ev == ev)
+                    c->r.key = EventQueue::makeKey(ev->priority(), seq);
+            }
+            ev->setHookCookie(nullptr);
+        }
+    }
+    for (auto &hook : hooks_)
+        hook->arena_.clear();
+}
+
+void
+DomainScheduler::syncAllTo(Tick t)
+{
+    for (EventQueue *q : core_)
+        q->syncTo(t);
+    uncore_.syncTo(t);
+    global_.syncTo(t);
+}
+
+std::size_t
+DomainScheduler::totalPending() const
+{
+    std::size_t n = global_.numPending() + uncore_.numPending();
+    for (const EventQueue *q : core_)
+        n += q->numPending();
+    return n;
+}
+
+std::uint64_t
+DomainScheduler::totalExecuted() const
+{
+    std::uint64_t n = global_.numExecuted() + uncore_.numExecuted();
+    for (const EventQueue *q : core_)
+        n += q->numExecuted();
+    return n;
+}
+
+void
+DomainScheduler::run(Tick max_tick)
+{
+    for (;;) {
+        // Round start: locate every domain's head through the head
+        // cache (peeks only where a schedule, removal, or pop touched
+        // the queue since the last round).
+        HeadCache &uc = headCache_[core_.size()];
+        HeadCache &gc = headCache_[core_.size() + 1];
+        if (!gc.valid) {
+            gc.have = global_.peekNext(gc.r);
+            gc.valid = true;
+        }
+        if (!uc.valid) {
+            uc.have = uncore_.peekNext(uc.r);
+            uc.valid = true;
+        }
+        const bool have_g = gc.have;
+        const bool have_u = uc.have;
+        const EventQueue::PeekResult g = gc.r;
+        const EventQueue::PeekResult u = uc.r;
+        coreHeads_.clear();
+        Tick core_min = MaxTick;
+        for (unsigned d = 0; d < core_.size(); ++d) {
+            HeadCache &cc = headCache_[d];
+            if (!cc.valid) {
+                cc.have = core_[d]->peekNext(cc.r);
+                cc.valid = true;
+            }
+            if (cc.have) {
+                coreHeads_.push_back(CoreHead{d, cc.r.when, cc.r.key});
+                core_min = std::min(core_min, cc.r.when);
+            }
+        }
+
+        if (!have_g && !have_u && coreHeads_.empty()) {
+            // Drained: align every clock with the serial kernel's
+            // final tick (that of the last executed event overall).
+            Tick last = std::max(global_.curTick(), uncore_.curTick());
+            for (const EventQueue *q : core_)
+                last = std::max(last, q->curTick());
+            if (preGlobalFn_)
+                preGlobalFn_();
+            syncAllTo(last);
+            return;
+        }
+
+        Tick min_head = MaxTick;
+        if (have_g)
+            min_head = std::min(min_head, g.when);
+        if (have_u)
+            min_head = std::min(min_head, u.when);
+        min_head = std::min(min_head, core_min);
+        if (min_head > max_tick) {
+            // Budget: everything pending lies beyond the bound.
+            // EventQueue::run parks the clock at max_tick here.
+            if (preGlobalFn_)
+                preGlobalFn_();
+            syncAllTo(max_tick);
+            return;
+        }
+
+        // The cut: earliest position a global event could occupy.
+        Tick cut_tick = MaxTick;
+        std::uint64_t cut_key = ~std::uint64_t{0};
+        if (have_g) {
+            cut_tick = g.when;
+            cut_key = g.key;
+        }
+        if (have_u) {
+            const Tick t = satAdd(u.when, params_.lookahead);
+            if (posLess(t, 0, cut_tick, cut_key)) {
+                cut_tick = t;
+                cut_key = 0;
+            }
+        }
+        if (core_min < MaxTick) {
+            const Tick t = satAdd(
+                satAdd(core_min, params_.issueToLaunch),
+                params_.lookahead);
+            if (posLess(t, 0, cut_tick, cut_key)) {
+                cut_tick = t;
+                cut_key = 0;
+            }
+        }
+
+        // Execution bound: the cut, clamped by the tick budget.
+        Tick bound_tick = cut_tick;
+        std::uint64_t bound_key = cut_key;
+        if (max_tick < MaxTick
+            && posLess(max_tick + 1, 0, bound_tick, bound_key)) {
+            bound_tick = max_tick + 1;
+            bound_key = 0;
+        }
+        const bool boundary = have_g && cut_tick == g.when
+                              && cut_key == g.key
+                              && g.when <= max_tick;
+
+        // Phase 1: core domains execute strictly below the bound, in
+        // parallel when more than one has work.
+        activeDomains_.clear();
+        for (const CoreHead &h : coreHeads_)
+            if (posLess(h.when, h.key, bound_tick, bound_key))
+                activeDomains_.push_back(h.d);
+        if (!activeDomains_.empty()) {
+            pool_->cutTick = bound_tick;
+            pool_->cutKey = bound_key;
+            pool_->nextClaim.store(0, std::memory_order_relaxed);
+            const bool fan_out = pool_->fanOutAllowed
+                                 && !pool_->threads.empty()
+                                 && activeDomains_.size() > 1;
+            if (fan_out)
+                pool_->start.arrive_and_wait(pool_->spinLimit);
+            workerClaimLoop();
+            if (fan_out)
+                pool_->done.arrive_and_wait(pool_->spinLimit);
+            // Pops bypass the hooks: drop the executed domains' heads.
+            for (unsigned d : activeDomains_)
+                headCache_[d].valid = false;
+            if (firstError_) {
+                std::exception_ptr e;
+                std::swap(e, firstError_);
+                std::rethrow_exception(e);
+            }
+        }
+
+        // Phase 2+3: the coordinator replays deferred issues and the
+        // uncore queue in serial position order. Skippable when phase
+        // 1 deferred nothing and the uncore head (unreachable from
+        // core domains, so the round-start peek still holds) is at or
+        // beyond the bound.
+        bool any_msgs = false;
+        for (const auto &ob : outbox_)
+            any_msgs = any_msgs || !ob.empty();
+        if (any_msgs
+            || (have_u && posLess(u.when, u.key, bound_tick, bound_key))) {
+            drainUncoreAndIssues(bound_tick, bound_key);
+            headCache_[core_.size()].valid = false;
+        }
+
+        // Phase 4: the single boundary global event, with every clock
+        // synchronized to its tick and deferred retry-window rolls
+        // committed first (at their serial roll points).
+        if (boundary) {
+            // The pop can come back empty: a replayed cross-domain
+            // issue may legally have descheduled the head (the
+            // lookahead contract guarantees nothing else can occupy a
+            // position at or before it, so a null pop means exactly
+            // "cancelled" -- skip the phase and leave the clocks to
+            // the next round).
+            Event *gev = global_.popNextBefore(g.when, g.key + 1);
+            if (gev) {
+                headCache_[core_.size() + 1].valid = false;
+                cmp_assert(gev == g.ev,
+                           "global head changed mid-round");
+                if (preGlobalFn_)
+                    preGlobalFn_();
+                syncAllTo(g.when);
+                ExecCtx ctx;
+                ctx.pos = posOfPopped(global_, gev);
+                TlsCtxScope scope(&ctx);
+                gev->process();
+            }
+        }
+
+        renumberRound();
+        ++rounds_;
+    }
+}
+
+} // namespace cmpcache

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Conservative-lookahead parallel event scheduler (docs/parallel.md).
+ *
+ * One simulation is sharded across worker threads by partitioning its
+ * SimObjects into *domains*, each driven by its own bucketed-wheel
+ * EventQueue (src/sim/event_queue.hh):
+ *
+ *  - one core domain per L2 slice (the L2 plus the trace CPUs that
+ *    feed it), whose events touch only that slice's state;
+ *  - an uncore domain (ring drains, L3/memory housekeeping);
+ *  - a global domain (snoop combines, L3 absorbs, sampler, watchdog)
+ *    whose events read and write state across every domain.
+ *
+ * Execution proceeds in rounds. Each round the coordinator computes a
+ * conservative *cut*: the earliest (tick, key) position a globally
+ * ordered event could possibly occupy, bounded by the pending global
+ * head, by pending uncore work plus the ring's snoop latency (the
+ * lookahead window), and by the earliest core event plus requester
+ * overhead and snoop latency. Core domains then execute every event
+ * strictly before the cut in parallel; cross-domain ring issues are
+ * captured per domain (Ring::setThreadIssueDeferral) and replayed by
+ * the coordinator in serial position order, interleaved with the
+ * uncore queue; finally the single boundary global event executes with
+ * every queue's clock synchronized to its tick.
+ *
+ * Determinism contract: the result is *bit-identical* to the serial
+ * kernel for any worker count, including one. Same-tick ties are
+ * broken by schedule sequence numbers, so events born inside a round
+ * get provisional per-queue sequences plus a *birth record* capturing
+ * (parent position, birth index); at the end of the round all birth
+ * records are sorted into the exact serial birth order and the still
+ * pending events are renumbered with dense global sequences. Raw key
+ * comparisons stay valid throughout because every round-born sequence
+ * (provisional band, bit 55 set) orders after every resolved sequence
+ * of the same tick and priority -- exactly where serial order puts it.
+ */
+
+#ifndef CMPCACHE_SIM_DOMAIN_SCHEDULER_HH
+#define CMPCACHE_SIM_DOMAIN_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace cmpcache
+{
+
+class DomainScheduler
+{
+  public:
+    struct Params
+    {
+        /** Worker threads, including the coordinator (>= 1). */
+        unsigned workers = 1;
+        /**
+         * Minimum distance, in ticks, from an uncore event to any
+         * global event it can cause (the ring snoop latency). Must be
+         * >= 1: a zero-latency link collapses the lookahead window.
+         */
+        Tick lookahead = 1;
+        /**
+         * Minimum distance from a core event to any *uncore* event it
+         * can cause (the ring requester overhead); core events are
+         * then >= issueToLaunch + lookahead from any global they can
+         * cause. Must be >= 1.
+         */
+        Tick issueToLaunch = 1;
+    };
+
+    /** Install the glue hook replaying deferred ring issue #payload
+     * of @p domain with the uncore clock at @p parentTick. */
+    using ApplyIssueFn = std::function<void(
+        unsigned domain, std::uint32_t payload, Tick parentTick)>;
+    /** Per-thread context installers around a domain's execution
+     * (issue-deferral sinks, retry-query logs). */
+    using DomainCtxFn = std::function<void(unsigned domain)>;
+    /** Runs right before each boundary global event and once at the
+     * end of the run (commit deferred retry-window rolls). */
+    using PreGlobalFn = std::function<void()>;
+
+    /**
+     * @param core   one queue per core domain (non-null, unowned)
+     * @param uncore the uncore domain queue
+     * @param global the globally ordered queue
+     */
+    DomainScheduler(std::vector<EventQueue *> core, EventQueue &uncore,
+                    EventQueue &global, const Params &p);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    void setApplyIssueFn(ApplyIssueFn fn) { applyFn_ = std::move(fn); }
+    void setEnterDomainFn(DomainCtxFn fn) { enterFn_ = std::move(fn); }
+    void setLeaveDomainFn(DomainCtxFn fn) { leaveFn_ = std::move(fn); }
+    void setPreGlobalFn(PreGlobalFn fn) { preGlobalFn_ = std::move(fn); }
+
+    /**
+     * Record a deferred cross-domain issue made by the event
+     * currently executing on this thread (called, via the glue's
+     * IssueDeferral sink, from inside a core domain's execution).
+     * @p payload identifies the captured request in the glue's
+     * per-domain buffer.
+     */
+    void noteDeferredIssue(std::uint32_t payload);
+
+    /**
+     * Run rounds until every queue drains or all pending events lie
+     * beyond @p max_tick (every queue is then synchronized to
+     * @p max_tick, mirroring EventQueue::run's budget semantics).
+     */
+    void run(Tick max_tick = MaxTick);
+
+    /** Live events across all domains (serial numPending parity). */
+    std::size_t totalPending() const;
+    /** Events executed across all domains (serial numExecuted
+     * parity). */
+    std::uint64_t totalExecuted() const;
+
+    /** Barrier rounds completed (diagnostics/tests). */
+    std::uint64_t rounds() const { return rounds_; }
+
+    const Params &params() const { return params_; }
+
+  private:
+    struct BirthRec;
+
+    /** Execution-order position of an event: (tick, packed key) plus
+     * the birth record when the sequence is still provisional. */
+    struct Pos
+    {
+        Tick tick = 0;
+        std::uint64_t key = 0;
+        const BirthRec *rec = nullptr;
+    };
+
+    /** One schedule() performed inside a round: enough to replay the
+     * serial birth order at renumber time. */
+    struct BirthRec
+    {
+        Pos parent;
+        std::uint32_t idx = 0;
+        std::uint32_t subIdx = 0;
+        Event *ev = nullptr;
+        EventQueue *queue = nullptr;
+    };
+
+    /** A captured cross-domain issue, ordered by its parent. */
+    struct OutMsg
+    {
+        Pos parent;
+        std::uint32_t idx = 0;
+        std::uint32_t payload = 0;
+        unsigned domain = 0;
+    };
+
+    /** Pending head of a core domain's queue (round-start scan). */
+    struct CoreHead
+    {
+        unsigned d = 0;
+        Tick when = 0;
+        std::uint64_t key = 0;
+    };
+
+    /**
+     * Cached head of one queue, maintained across rounds so a round
+     * start costs six flag checks instead of six peeks. Invalidated
+     * by the queue's hook on any schedule or removal, and by the
+     * coordinator after it pops; renumbering patches the cached key
+     * in place when it rekeys the cached head event.
+     */
+    struct HeadCache
+    {
+        bool valid = false;
+        bool have = false;
+        EventQueue::PeekResult r;
+    };
+
+    class QueueHook;
+    struct WorkerPool;
+    struct ExecCtx;
+    class TlsCtxScope;
+
+    static int cmpPos(const Pos &a, const Pos &b);
+    static int cmpRec(const BirthRec *a, const BirthRec *b);
+    static Pos posOfPopped(EventQueue &q, const Event *ev);
+
+    void executeDomain(unsigned d, Tick cut_tick, std::uint64_t cut_key);
+    void workerClaimLoop();
+    void drainUncoreAndIssues(Tick cut_tick, std::uint64_t cut_key);
+    void renumberRound();
+    void syncAllTo(Tick t);
+
+    /** Execution context of the event running on this thread; null
+     * outside rounds (sequential moments draw resolved sequences). */
+    static thread_local ExecCtx *tlsCtx_;
+
+    Params params_;
+    std::vector<EventQueue *> core_;
+    EventQueue &uncore_;
+    EventQueue &global_;
+
+    std::vector<std::unique_ptr<QueueHook>> hooks_;
+    std::vector<std::vector<OutMsg>> outbox_;
+    std::vector<OutMsg> mergedMsgs_;
+    std::vector<BirthRec *> renumberBuf_;
+
+    ApplyIssueFn applyFn_;
+    DomainCtxFn enterFn_;
+    DomainCtxFn leaveFn_;
+    PreGlobalFn preGlobalFn_;
+
+    std::uint64_t nextGlobalSeq_ = 0;
+    std::uint64_t rounds_ = 0;
+
+    /** Domains with work below the current cut (worker claim list). */
+    std::vector<unsigned> activeDomains_;
+    std::vector<CoreHead> coreHeads_;
+    /** Cached heads: one per core domain, then uncore, then global
+     * (same order as hooks_). */
+    std::vector<HeadCache> headCache_;
+    std::unique_ptr<WorkerPool> pool_;
+    std::mutex errorMutex_;
+    std::exception_ptr firstError_;
+};
+
+} // namespace cmpcache
+
+#endif // CMPCACHE_SIM_DOMAIN_SCHEDULER_HH

@@ -60,6 +60,8 @@ Simulation::initObservability()
     if (obs.sampleEvery > 0) {
         sampler_ = std::make_unique<Sampler>(
             sys_->eventq(), *sys_, obs.sampleEvery);
+        sampler_->setPendingProbe(
+            [this] { return sys_->totalPending(); });
         for (const auto &path : sys_->defaultProbePaths()) {
             const bool ok = sampler_->watch(path);
             cmp_assert(ok, "unresolvable probe path '", path, "'");

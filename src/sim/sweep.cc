@@ -184,7 +184,13 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
         return results;
 
     const auto total = static_cast<unsigned>(jobs.size());
-    const unsigned pool = std::clamp(num_threads, 1u, total);
+    unsigned pool = std::clamp(num_threads, 1u, total);
+    // Nested parallelism budget: when each job runs its own parallel
+    // event kernel (run.threads >= 1), shrink the job pool so the
+    // product of pools stays within the requested thread count
+    // instead of oversubscribing the machine.
+    if (spec.base.runThreads > 1)
+        pool = std::max(1u, num_threads / spec.base.runThreads);
 
     std::atomic<std::size_t> next{0};
     std::atomic<unsigned> done{0};
@@ -207,8 +213,7 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
             try {
                 Simulation sim(job.config, job.params);
                 r.result = sim.run();
-                r.eventsExecuted =
-                    sim.system().eventq().numExecuted();
+                r.eventsExecuted = sim.system().totalExecuted();
                 if (spec.checkCoherence)
                     r.coherenceViolations =
                         checkCoherence(sim.system()).violations;

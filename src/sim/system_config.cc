@@ -121,6 +121,31 @@ SystemConfig::validationErrors() const
     if (watchdog.enabled() && watchdog.stallChecks == 0)
         errs.push_back("watchdog.stall_checks must be positive");
 
+    if (runThreads > 0) {
+        // The parallel scheduler's conservative window is built from
+        // the ring's cross-domain latencies; a zero-latency link
+        // collapses it and no safe cut exists.
+        if (ring.snoopLatency == 0) {
+            errs.push_back(cstr(
+                "ring.snoop_latency must be >= 1 when run.threads (",
+                runThreads, ") enables the parallel kernel: a "
+                "zero-latency link leaves no conservative lookahead "
+                "window"));
+        }
+        if (ring.requesterOverhead == 0) {
+            errs.push_back(cstr(
+                "ring.requester_overhead must be >= 1 when "
+                "run.threads (", runThreads, ") enables the parallel "
+                "kernel: a zero-latency issue path leaves no "
+                "conservative lookahead window"));
+        }
+        if (ring.addrSlotCycles == 0) {
+            errs.push_back(cstr(
+                "ring.addr_slot_cycles must be >= 1 when run.threads "
+                "(", runThreads, ") enables the parallel kernel"));
+        }
+    }
+
     return errs;
 }
 

@@ -51,6 +51,16 @@ struct SystemConfig
     /** Hard stop for runaway simulations. */
     Tick maxTicks = 40ull * 1000 * 1000 * 1000;
 
+    /**
+     * Event-kernel worker threads for ONE simulation (config key
+     * run.threads). 0 = the serial kernel (the default); N >= 1
+     * shards the machine across per-L2 domain queues driven by the
+     * conservative-lookahead scheduler with N workers. Results are
+     * bit-identical to serial for every value, including 1 (see
+     * docs/parallel.md).
+     */
+    unsigned runThreads = 0;
+
     unsigned numThreads() const { return numL2s * threadsPerL2; }
 
     /**

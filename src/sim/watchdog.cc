@@ -61,8 +61,10 @@ Watchdog::check()
         return; // drained; never keep the queue alive
 
     // Deadlock: we are the last event standing, yet CPUs still hold
-    // unfinished traces. Nothing can ever run again.
-    if (eq.numPending() == 0) {
+    // unfinished traces. Nothing can ever run again. (Pending and
+    // executed counts aggregate across every domain queue; in serial
+    // mode they are the plain single-queue counters.)
+    if (sys_.totalPending() == 0) {
         trip(SimErrorKind::Watchdog,
              cstr("deadlock: event queue drained at tick ", now,
                   " with unfinished traces"));
@@ -108,8 +110,9 @@ Watchdog::check()
     // only) are not livelock; require real event churn to count a
     // check as stalled.
     const std::uint64_t progress = progressCount();
-    const bool churning = eq.numExecuted() > lastExecuted_ + 1;
-    lastExecuted_ = eq.numExecuted();
+    const std::uint64_t executed = sys_.totalExecuted();
+    const bool churning = executed > lastExecuted_ + 1;
+    lastExecuted_ = executed;
     if (churning && progress == lastProgress_) {
         if (++stalled_ >= cfg_.stallChecks) {
             trip(SimErrorKind::Watchdog,
@@ -132,8 +135,8 @@ Watchdog::snapshot()
     const Tick now = eq.curTick();
     std::ostringstream os;
     os << "watchdog snapshot @ tick " << now << " (check " << checks_
-       << ", " << eq.numExecuted() << " events executed, "
-       << eq.numPending() << " pending)\n";
+       << ", " << sys_.totalExecuted() << " events executed, "
+       << sys_.totalPending() << " pending)\n";
 
     unsigned cpus_done = 0;
     std::uint64_t issued = 0;

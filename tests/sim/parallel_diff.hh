@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared machinery for the parallel-vs-serial differential tests:
+ * a seeded config sampler over {workload, policy, outstanding, seed,
+ * cache geometry, sampling interval, fault plan} and the byte-level
+ * comparison of a sweep run under the serial kernel against the same
+ * spec under the domain scheduler.
+ *
+ * tests/sim/test_parallel_differential.cc runs a fixed subset on
+ * every ctest invocation; tests/sim/test_parallel_fuzz.cc runs the
+ * >= 50-config sweep behind the `fuzz` label.
+ */
+
+#ifndef CMPCACHE_TESTS_SIM_PARALLEL_DIFF_HH
+#define CMPCACHE_TESTS_SIM_PARALLEL_DIFF_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace cmpcache::paralleldiff
+{
+
+/**
+ * Fan-out is gated off on hosts the runtime detects as single-core;
+ * the differential suites must exercise the real multi-threaded path
+ * regardless of the machine they run on (results are identical
+ * either way, so forcing it only changes which code path is tested).
+ */
+inline const bool forceFanOut = [] {
+    ::setenv("CMPCACHE_FANOUT", "1", 1);
+    return true;
+}();
+
+/** Deterministic 64-bit mixer (splitmix64) for config sampling. */
+inline std::uint64_t
+mix(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Sample one single-cell sweep spec from the mixed config space. */
+inline SweepSpec
+sampleSpec(std::uint64_t index)
+{
+    static const char *const kWorkloads[] = {"thrash", "pingpong",
+                                             "TP", "CPW2"};
+    static const WbPolicy kPolicies[] = {
+        WbPolicy::Baseline, WbPolicy::Wbht, WbPolicy::Snarf,
+        WbPolicy::Combined};
+    static const unsigned kOutstanding[] = {2, 4, 6};
+    // Probabilistic kinds stay below 1000 permille: a full-strength
+    // open-ended nack/l3_retry plan is a genuine livelock (see
+    // tests/fault/test_fault_injection.cc).
+    static const char *const kFaultPlans[] = {
+        "", "nack:0:end:400", "l3_retry:0:end:500", "delay:0:end",
+        "disable_wbht:200:4000"};
+    static const Tick kSampleEvery[] = {0, 256, 1024};
+
+    std::uint64_t s = 0x5eedull * 2654435761ull + index;
+    SweepSpec spec;
+    spec.workloads = {kWorkloads[mix(s) % 4]};
+    spec.policies = {kPolicies[mix(s) % 4]};
+    spec.outstanding = {kOutstanding[mix(s) % 3]};
+    spec.recordsPerThread = 300 + mix(s) % 400;
+    spec.seed = 1 + mix(s) % 1000;
+    spec.base.l2.sizeBytes = (mix(s) % 2 ? 16 : 32) * 1024;
+    spec.base.l2.assoc = 4;
+    spec.base.l3.sizeBytes = (mix(s) % 2 ? 128 : 256) * 1024;
+    spec.base.l3.assoc = 8;
+    spec.base.policy.wbht.entries = 1024;
+    spec.base.policy.snarf.entries = 1024;
+    spec.base.warmupPass = mix(s) % 4 == 0;
+    spec.base.obs.sampleEvery = kSampleEvery[mix(s) % 3];
+    spec.base.fault.plan = kFaultPlans[mix(s) % 5];
+    spec.base.fault.seed = 1 + mix(s) % 64;
+    spec.checkCoherence = mix(s) % 2 == 0;
+    spec.statsFormat = StatsFormat::Json;
+    return spec;
+}
+
+inline std::string
+resultsJson(const SweepSpec &spec,
+            const std::vector<SweepJobResult> &results)
+{
+    std::ostringstream os;
+    writeSweepResultsJson(os, spec, results);
+    return os.str();
+}
+
+/**
+ * The acceptance bar: the spec run under the serial kernel
+ * (run.threads = 0) and under the domain scheduler with 1 and 4
+ * workers must produce byte-identical result JSON (which embeds the
+ * sampled time series) and byte-identical per-cell stats dumps.
+ */
+inline void
+expectParallelMatchesSerial(SweepSpec spec, const std::string &label)
+{
+    spec.base.runThreads = 0;
+    const auto serial = runSweep(spec, 1);
+    const std::string serial_json = resultsJson(spec, serial);
+
+    for (const unsigned workers : {1u, 4u}) {
+        SweepSpec par = spec;
+        par.base.runThreads = workers;
+        const auto results = runSweep(par, 1);
+        ASSERT_EQ(results.size(), serial.size()) << label;
+        EXPECT_EQ(resultsJson(par, results), serial_json)
+            << label << ": result JSON differs with run.threads="
+            << workers;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].statsDump, serial[i].statsDump)
+                << label << " cell " << i
+                << ": stats dump differs with run.threads="
+                << workers;
+            EXPECT_EQ(results[i].coherenceViolations,
+                      serial[i].coherenceViolations)
+                << label << " cell " << i;
+            EXPECT_EQ(results[i].eventsExecuted,
+                      serial[i].eventsExecuted)
+                << label << " cell " << i;
+        }
+    }
+}
+
+} // namespace cmpcache::paralleldiff
+
+#endif // CMPCACHE_TESTS_SIM_PARALLEL_DIFF_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Differential harness for the parallel event kernel: the serial
+ * kernel is the oracle, and the domain scheduler must reproduce its
+ * output bit-for-bit -- result JSON (including the sampled time
+ * series), per-cell stats dumps and invariant-checker counts -- for
+ * any worker count, on plain runs, sampled runs and injected-fault
+ * runs. This file is the always-on subset; the >= 50-config sampled
+ * sweep lives in test_parallel_fuzz.cc behind the `fuzz` label.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parallel_diff.hh"
+#include "sim/sweep.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::paralleldiff;
+
+namespace
+{
+
+SweepSpec
+stressSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"thrash", "pingpong"};
+    spec.policies = {WbPolicy::Baseline, WbPolicy::Combined};
+    spec.outstanding = {2, 6};
+    spec.recordsPerThread = 700;
+    spec.seed = 7;
+    spec.base.l2.sizeBytes = 16 * 1024;
+    spec.base.l2.assoc = 4;
+    spec.base.l3.sizeBytes = 128 * 1024;
+    spec.base.l3.assoc = 8;
+    spec.base.policy.wbht.entries = 1024;
+    spec.base.policy.snarf.entries = 1024;
+    spec.base.warmupPass = false;
+    spec.statsFormat = StatsFormat::Json;
+    return spec;
+}
+
+} // namespace
+
+TEST(ParallelDifferential, StressGridPlain)
+{
+    expectParallelMatchesSerial(stressSpec(), "stress-plain");
+}
+
+TEST(ParallelDifferential, StressGridSampled)
+{
+    SweepSpec spec = stressSpec();
+    spec.base.obs.sampleEvery = 512;
+    spec.checkCoherence = true;
+    expectParallelMatchesSerial(spec, "stress-sampled");
+}
+
+TEST(ParallelDifferential, CommercialWorkloadSampled)
+{
+    SweepSpec spec;
+    spec.workloads = {"TP"};
+    spec.policies = {WbPolicy::Wbht, WbPolicy::Snarf};
+    spec.outstanding = {6};
+    spec.recordsPerThread = 900;
+    spec.seed = 3;
+    spec.base.obs.sampleEvery = 1024;
+    spec.statsFormat = StatsFormat::Json;
+    expectParallelMatchesSerial(spec, "commercial");
+}
+
+TEST(ParallelDifferential, FaultPlansMatchSerial)
+{
+    // Sub-full-strength probabilistic plans: nack:0:end at 1000
+    // permille is a genuine livelock (every transaction retried
+    // forever), which is the watchdog tests' territory.
+    for (const char *plan :
+         {"nack:0:end:400", "l3_retry:0:end:500", "delay:0:end"}) {
+        SweepSpec spec = stressSpec();
+        spec.workloads = {"thrash"};
+        spec.policies = {WbPolicy::Combined};
+        spec.outstanding = {4};
+        spec.base.fault.plan = plan;
+        spec.base.fault.seed = 11;
+        spec.base.obs.sampleEvery = 512;
+        expectParallelMatchesSerial(spec,
+                                    std::string("fault:") + plan);
+    }
+}
+
+TEST(ParallelDifferential, WarmupPassMatchesSerial)
+{
+    SweepSpec spec = stressSpec();
+    spec.workloads = {"pingpong"};
+    spec.policies = {WbPolicy::Wbht};
+    spec.outstanding = {2};
+    spec.base.warmupPass = true;
+    expectParallelMatchesSerial(spec, "warmup");
+}
+
+TEST(ParallelDifferential, SampledConfigsQuickSubset)
+{
+    // First slice of the fuzz space (test_parallel_fuzz.cc runs the
+    // full >= 50-config sweep behind the `fuzz` label).
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        expectParallelMatchesSerial(
+            sampleSpec(i), "sampled-" + std::to_string(i));
+    }
+}
+
+TEST(ParallelDifferential, TickBudgetMatchesSerial)
+{
+    // A cut-off run (tick budget) must park every clock exactly like
+    // the serial kernel and report identical partial results.
+    SweepSpec spec = stressSpec();
+    spec.workloads = {"thrash"};
+    spec.policies = {WbPolicy::Baseline};
+    spec.outstanding = {6};
+    spec.base.maxTicks = 20000;
+    spec.base.watchdog.every = 0; // no budget trip, just the cut
+    expectParallelMatchesSerial(spec, "tick-budget");
+}

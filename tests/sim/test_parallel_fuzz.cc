@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The long differential sweep behind the `fuzz` ctest label: >= 50
+ * sampled configurations (workload x policy x outstanding x seed x
+ * cache geometry x sampling interval x fault plan), each run under
+ * the serial kernel and under the domain scheduler with 1 and 4
+ * workers, all three byte-identical. The always-on subset lives in
+ * test_parallel_differential.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "parallel_diff.hh"
+
+using namespace cmpcache::paralleldiff;
+
+TEST(ParallelFuzz, FiftySampledConfigsMatchSerial)
+{
+    // ctest labels select but never exclude, so the long sweep also
+    // gates itself on the environment; `scripts/check.sh fuzz` sets
+    // it and runs `ctest -L fuzz`.
+    if (!std::getenv("CMPCACHE_FUZZ"))
+        GTEST_SKIP() << "set CMPCACHE_FUZZ=1 (scripts/check.sh fuzz) "
+                        "to run the long differential sweep";
+
+    // Indices 8.. continue past the quick subset so the two suites
+    // together cover disjoint slices of the sampled space.
+    for (std::uint64_t i = 8; i < 60; ++i) {
+        expectParallelMatchesSerial(
+            sampleSpec(i), "fuzz-" + std::to_string(i));
+        if (::testing::Test::HasFatalFailure())
+            break;
+    }
+}
