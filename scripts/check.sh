@@ -19,15 +19,19 @@
 #                               # committed BENCH_hotpath.json and
 #                               # BENCH_parallel.json baselines (skip
 #                               # with CMPCACHE_SKIP_BENCH=1)
+#   scripts/check.sh serve      # streaming smoke: a 1M-record trace
+#                               # through a FIFO with bounded memory
+#                               # and live ingest gauges, plus open-
+#                               # vs closed-loop arrival runs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench) ;;
+unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | serve) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|serve]" >&2
     exit 2
     ;;
 esac
@@ -126,6 +130,62 @@ if [ "$SELECT" = fuzz ]; then
     run_phase fuzz-suite \
         env CMPCACHE_FUZZ=1 \
         ctest --test-dir build --output-on-failure -j"$(nproc)" -L fuzz
+    exit 0
+fi
+
+if [ "$SELECT" = serve ]; then
+    # End-to-end smoke of the streaming service (docs/serving.md):
+    # a >= 1M-record open-ended binary trace pushed through a FIFO
+    # must simulate with bounded memory and surface live ingest
+    # gauges in the sampled output, and open- vs closed-loop arrival
+    # runs over the same trace must both complete.
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    gen_trace() { # <path> <records> -- streaming-framed binary trace
+        python3 - "$1" "$2" <<'PY'
+import struct, sys
+path, n = sys.argv[1], int(sys.argv[2])
+with open(path, "wb") as f:
+    # Open-ended framing: magic, version 1, sentinel record count.
+    f.write(b"CMPT" + struct.pack("<IQ", 1, 0xFFFFFFFFFFFFFFFF))
+    x, buf = 0x9E3779B97F4A7C15, bytearray()
+    for i in range(n):
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        meta = (i % 16) | ((0 if x % 3 else 1) << 16)
+        buf += struct.pack("<QII", x & ~63, x % 5, meta)
+        if len(buf) >= 1 << 20:
+            f.write(buf)
+            buf = bytearray()
+    f.write(buf)
+PY
+    }
+    run_phase serve-gen-trace gen_trace "$smoke_dir/big.bin" 1000000
+    mkfifo "$smoke_dir/pipe"
+    cat "$smoke_dir/big.bin" >"$smoke_dir/pipe" &
+    writer=$!
+    run_phase serve-fifo \
+        ./build/src/cmpcache serve --trace="$smoke_dir/pipe" \
+        --sample-every=20000 --out="$smoke_dir/fifo.json" --quiet
+    wait "$writer"
+    run_phase serve-json \
+        python3 -m json.tool "$smoke_dir/fifo.json" /dev/null
+    for gauge in ingest.queue_depth_now ingest.rate_per_ktick; do
+        grep -q "\"$gauge\"" "$smoke_dir/fifo.json" \
+            || { echo "serve output sampled no $gauge gauge" >&2; exit 1; }
+    done
+    # Open- vs closed-loop arrival over the same (smaller) stream.
+    run_phase serve-gen-small gen_trace "$smoke_dir/small.bin" 64000
+    for arrival in closed open:0.05; do
+        run_phase "serve-$arrival" \
+            ./build/src/cmpcache serve --trace="$smoke_dir/small.bin" \
+            --arrival="$arrival" --sample-every=5000 \
+            --out="$smoke_dir/$arrival.json" --quiet
+        grep -q '"timeSeries"' "$smoke_dir/$arrival.json" \
+            || { echo "serve ($arrival) emitted no timeSeries" >&2; exit 1; }
+    done
+    echo "serve: FIFO 1M-record stream + arrival-model smoke OK"
     exit 0
 fi
 

@@ -5,6 +5,9 @@
  *   sweep   run a {workloads} x {policies} x {outstanding} grid on a
  *           thread pool and emit deterministic JSON results plus an
  *           optional timing (bench) file
+ *   serve   simulate a trace streamed from a file, FIFO or stdin
+ *           (or a synthetic generator) online with bounded memory,
+ *           under an open- or closed-loop arrival model
  *   list    print the available workloads and policies
  *   help    usage text
  *
@@ -12,6 +15,12 @@
  *
  *   # the paper grid: 4 workloads x 4 policies, deterministic output
  *   cmpcache sweep --out=results.json --threads=4
+ *
+ *   # stream a trace through a FIFO with live ingest gauges
+ *   mkfifo /tmp/t.fifo
+ *   generator > /tmp/t.fifo &
+ *   cmpcache serve --trace=/tmp/t.fifo --sample-every=5000 \
+ *       --arrival=open:0.02 --out=result.json
  *
  *   # a quick stress grid with invariant checking and a bench file
  *   cmpcache sweep --workloads=thrash,pingpong \
@@ -31,8 +40,12 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "obs/time_series.hh"
 #include "sim/config_io.hh"
+#include "sim/result_json.hh"
+#include "sim/simulation.hh"
 #include "sim/sweep.hh"
+#include "trace/trace_source.hh"
 #include "trace/workload_config.hh"
 #include "trace/workloads_commercial.hh"
 #include "trace/workloads_stress.hh"
@@ -50,8 +63,30 @@ usage()
         "usage: cmpcache <subcommand> [options]\n\n"
         "subcommands:\n"
         "  sweep   run a workload x policy x outstanding grid\n"
+        "  serve   simulate a streamed trace (file/FIFO/stdin) or a\n"
+        "          synthetic generator online with bounded memory\n"
         "  list    print available workloads and policies\n"
         "  help    this text\n\n"
+        "serve options:\n"
+        "  --trace=PATH          stream a text or binary trace from a\n"
+        "                        file or FIFO ('-' = stdin); decoded\n"
+        "                        incrementally, never materialized\n"
+        "  --workload=NAME       synthetic generator instead of a\n"
+        "                        stream (--refs/--seed as for sweep)\n"
+        "  --arrival=SPEC        closed (default) or open:<rate>;\n"
+        "                        rate = mean arrivals/tick/thread,\n"
+        "                        e.g. open:0.02 (arrival.* keys tune\n"
+        "                        bursts and the sampler seed)\n"
+        "  --sample-every=N      sample obs probes plus live ingest\n"
+        "                        gauges (queue depth, ingest rate,\n"
+        "                        drops) every N cycles\n"
+        "  --run-threads=N       per-simulation event-kernel workers\n"
+        "  --out=FILE            result JSON (default: stdout);\n"
+        "                        includes a timeSeries block when\n"
+        "                        sampling is on\n"
+        "  --config=FILE, KEY=VALUE  as for sweep; stream.* keys set\n"
+        "                        queue capacity and the block|drop\n"
+        "                        backpressure policy\n\n"
         "sweep options:\n"
         "  --workloads=A,B,...   default: TP,CPW2,NotesBench,Trade2\n"
         "  --policies=a,b,...    default: baseline,wbht,snarf,"
@@ -325,6 +360,143 @@ sweepMain(const CliArgs &args)
     return 0;
 }
 
+int
+serveMain(const CliArgs &args)
+{
+    SystemConfig cfg;
+    // serve is the live mode: ingest gauges default on (an explicit
+    // obs.ingest=false override below still disables them).
+    cfg.obs.ingestGauges = true;
+
+    if (args.has("config")) {
+        const auto loaded =
+            loadConfigFile(cfg, args.getString("config", ""));
+        if (!loaded.ok())
+            cmp_fatal(loaded.error().message);
+    }
+    std::vector<std::pair<std::string, std::string>> wl_overrides;
+    for (const auto &pos : args.positional()) {
+        const auto eq = pos.find('=');
+        if (eq == std::string::npos)
+            cmp_fatal("positional argument '", pos,
+                      "' is not a key=value override");
+        const std::string key = pos.substr(0, eq);
+        const std::string value = pos.substr(eq + 1);
+        if (isWorkloadKey(key)) {
+            wl_overrides.emplace_back(key, value);
+        } else {
+            const auto applied = applyConfigOption(cfg, key, value);
+            if (!applied.ok())
+                cmp_fatal(applied.error().message);
+        }
+    }
+
+    if (args.has("arrival")) {
+        const auto spec =
+            parseArrivalSpec(args.getString("arrival", ""));
+        if (!spec.ok())
+            cmp_fatal(spec.error().message);
+        // The spec sets model and rate; burst shape and the sampler
+        // seed stay whatever arrival.* keys configured.
+        cfg.arrival.model = spec->model;
+        cfg.arrival.rate = spec->rate;
+    }
+    if (args.has("sample-every")) {
+        const auto every = args.getInt("sample-every", 0);
+        if (every < 0)
+            cmp_fatal("--sample-every must be >= 0");
+        cfg.obs.sampleEvery = static_cast<Tick>(every);
+    }
+    if (args.has("run-threads")) {
+        const auto rt = args.getInt("run-threads", 0);
+        if (rt < 0)
+            cmp_fatal("--run-threads must be >= 0");
+        cfg.runThreads = static_cast<unsigned>(rt);
+    }
+
+    const std::string trace = args.getString("trace", "");
+    const std::string workload = args.getString("workload", "");
+    if (trace.empty() == workload.empty()) {
+        cmp_fatal("serve needs exactly one input: --trace=PATH|- or "
+                  "--workload=NAME");
+    }
+    cfg.validate();
+
+    const bool quiet = args.getBool("quiet", false);
+    std::unique_ptr<Simulation> sim;
+    if (!trace.empty()) {
+        std::unique_ptr<std::istream> in;
+        std::string name = trace;
+        if (trace == "-") {
+            in = std::make_unique<std::istream>(std::cin.rdbuf());
+            name = "<stdin>";
+        } else {
+            auto f = std::make_unique<std::ifstream>(
+                trace, std::ios::binary);
+            if (!*f)
+                cmp_fatal("cannot open trace stream '", trace, "'");
+            in = std::move(f);
+        }
+        if (!quiet)
+            inform("serve: streaming ", name, " (queue ",
+                   cfg.stream.queueCapacity, " records, ",
+                   cfg.stream.overflow == OverflowPolicy::Block
+                       ? "block"
+                       : "drop",
+                   " on overflow, arrival ",
+                   toString(cfg.arrival.model), ")");
+        sim = std::make_unique<Simulation>(cfg, std::move(in),
+                                           std::move(name));
+    } else {
+        auto params = sweepWorkloadByName(
+            workload,
+            static_cast<std::uint64_t>(args.getInt(
+                "refs",
+                static_cast<std::int64_t>(
+                    benchRecordsPerThread(20000)))),
+            static_cast<std::uint64_t>(args.getInt("seed", 1)));
+        for (const auto &[key, value] : wl_overrides)
+            applyWorkloadOption(params, key, value);
+        if (!quiet)
+            inform("serve: synthetic ", workload, " generator, ",
+                   params.recordsPerThread, " records/thread, "
+                   "arrival ", toString(cfg.arrival.model));
+        sim = std::make_unique<Simulation>(cfg, params);
+    }
+
+    const auto &result = sim->run();
+
+    const auto out = args.getString("out", "-");
+    std::ofstream file;
+    if (out != "-" && !out.empty()) {
+        file.open(out);
+        if (!file)
+            cmp_fatal("cannot write results file '", out, "'");
+    }
+    std::ostream &os = file.is_open() ? file : std::cout;
+    os << "{\n  \"schema\": \"cmpcache-serve-result-v1\",\n"
+       << "  \"result\":\n";
+    writeResultJson(os, result, 2);
+    if (sim->sampled()) {
+        os << ",\n  \"timeSeries\":\n";
+        writeSampleSeriesJson(os, sim->samples(), 2);
+    }
+    os << "\n}\n";
+
+    if (!quiet) {
+        if (const StreamIngest *ingest = sim->ingest()) {
+            inform("serve: ingested ", ingest->recordsIngested(),
+                   " records (", ingest->recordsDropped(),
+                   " dropped, ", ingest->producerBlockedWaits(),
+                   " producer waits)");
+        }
+        inform("serve: finished at tick ", result.execTime,
+               ", result written to ",
+               file.is_open() ? out : std::string("stdout"));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -345,8 +517,17 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    if (cmd == "serve") {
+        try {
+            return serveMain(args);
+        } catch (const SimException &e) {
+            std::cerr << "error (" << toString(e.error().kind)
+                      << "): " << e.error().message << "\n";
+            return 1;
+        }
+    }
     if (cmd == "list")
         return listMain();
     cmp_fatal("unknown subcommand '", cmd,
-              "' (expected sweep, list or help)");
+              "' (expected sweep, serve, list or help)");
 }

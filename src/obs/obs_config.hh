@@ -31,6 +31,16 @@ struct ObsConfig
     /** Ring-buffer capacity of the trace recorder (newest events are
      * kept once it wraps). */
     std::uint64_t traceCapacity = 65536;
+
+    /**
+     * Register live streaming-ingest gauges (ingest.* stats: queue
+     * depth, ingested/dropped counts, producer waits). Off by
+     * default: the gauges read wall-clock-dependent reader-thread
+     * counters, so they are inherently non-deterministic and must
+     * not appear in outputs that are compared byte-for-byte.
+     * `cmpcache serve` turns them on.
+     */
+    bool ingestGauges = false;
 };
 
 } // namespace cmpcache

@@ -229,12 +229,22 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
             });
     }
 
+    CpuParams cpu_params = cfg_.cpu;
+    cpu_params.arrival = cfg_.arrival.model;
     for (unsigned t = 0; t < cfg_.numThreads(); ++t) {
         L2Cache &l2 = *l2s_[t / cfg_.threadsPerL2];
+        auto src = std::move(traces.perThread[t]);
+        if (cfg_.arrival.model == ArrivalModel::Open) {
+            // Open loop: the generator stamps interarrival times; the
+            // trace's own gaps are replaced by sampled ones.
+            src = std::make_unique<ArrivalStamper>(
+                std::move(src), cfg_.arrival,
+                static_cast<ThreadId>(t));
+        }
         cpus_.push_back(std::make_unique<TraceCpu>(
             this, core_eq(t / cfg_.threadsPerL2), cstr("cpu_", t),
-            static_cast<ThreadId>(t), cfg_.cpu, l2,
-            std::move(traces.perThread[t])));
+            static_cast<ThreadId>(t), cpu_params, l2,
+            std::move(src)));
     }
 }
 

@@ -1,11 +1,71 @@
 #include "sim/simulation.hh"
 
 #include <fstream>
+#include <istream>
 
 #include "common/logging.hh"
 
 namespace cmpcache
 {
+
+/**
+ * Live gauges over the streaming-ingest pipeline. Formulas read the
+ * reader thread's atomic counters, so sampled values depend on
+ * wall-clock producer/consumer interleaving -- which is why they are
+ * only registered when obs.ingest asks for them (deterministic
+ * outputs must not include them; see ObsConfig::ingestGauges).
+ */
+struct Simulation::IngestStats
+{
+    IngestStats(stats::Group *parent, StreamIngest &ingest,
+                EventQueue *eq)
+        : group(parent, "ingest"),
+          queueDepthNow(&group, "queue_depth_now",
+                        "records in the ingest queue right now",
+                        [&ingest] {
+                            return double(ingest.queueDepth());
+                        }),
+          ingested(&group, "ingested",
+                   "records accepted into the ingest queue",
+                   [&ingest] {
+                       return double(ingest.recordsIngested());
+                   }),
+          dropped(&group, "dropped",
+                  "records shed by the drop overflow policy",
+                  [&ingest] {
+                      return double(ingest.recordsDropped());
+                  }),
+          producerWaits(&group, "producer_waits",
+                        "times the producer blocked on a full queue",
+                        [&ingest] {
+                            return double(ingest.producerBlockedWaits());
+                        }),
+          demuxBufferedNow(&group, "demux_buffered_now",
+                           "records buffered in the demux skew window",
+                           [&ingest] {
+                               return double(ingest.demuxBuffered());
+                           }),
+          ratePerKtick(&group, "rate_per_ktick",
+                       "mean ingest rate, records per 1000 ticks",
+                       [&ingest, &eq = *eq] {
+                           const auto t = eq.curTick();
+                           return t ? 1000.0
+                                          * double(
+                                              ingest.recordsIngested())
+                                          / double(t)
+                                    : 0.0;
+                       })
+    {
+    }
+
+    stats::Group group;
+    stats::Formula queueDepthNow;
+    stats::Formula ingested;
+    stats::Formula dropped;
+    stats::Formula producerWaits;
+    stats::Formula demuxBufferedNow;
+    stats::Formula ratePerKtick;
+};
 
 namespace
 {
@@ -51,7 +111,32 @@ Simulation::Simulation(const SystemConfig &cfg, TraceBundle traces,
     initObservability();
 }
 
+Simulation::Simulation(const SystemConfig &cfg,
+                       std::unique_ptr<std::istream> stream,
+                       std::string input_name)
+    : inputName_(std::move(input_name))
+{
+    SystemConfig local = cfg;
+    // A stream is consumed exactly once: there is no second pass to
+    // warm with, so the timed run starts cold.
+    local.warmupPass = false;
+    ingest_ = std::make_unique<StreamIngest>(
+        std::move(stream), local.stream, local.numThreads());
+    sys_ = std::make_unique<CmpSystem>(local, ingest_->makeBundle());
+    initIngestGauges();
+    initObservability();
+}
+
 Simulation::~Simulation() = default;
+
+void
+Simulation::initIngestGauges()
+{
+    if (!ingest_ || !sys_->config().obs.ingestGauges)
+        return;
+    ingestStats_ = std::make_unique<IngestStats>(sys_.get(), *ingest_,
+                                                 &sys_->eventq());
+}
 
 void
 Simulation::initObservability()
@@ -65,6 +150,17 @@ Simulation::initObservability()
         for (const auto &path : sys_->defaultProbePaths()) {
             const bool ok = sampler_->watch(path);
             cmp_assert(ok, "unresolvable probe path '", path, "'");
+        }
+        if (ingestStats_) {
+            for (const char *path :
+                 {"ingest.queue_depth_now", "ingest.ingested",
+                  "ingest.dropped", "ingest.producer_waits",
+                  "ingest.demux_buffered_now",
+                  "ingest.rate_per_ktick"}) {
+                const bool ok = sampler_->watch(path);
+                cmp_assert(ok, "unresolvable probe path '", path,
+                           "'");
+            }
         }
         sampler_->start();
     }

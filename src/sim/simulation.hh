@@ -17,6 +17,7 @@
 #ifndef CMPCACHE_SIM_SIMULATION_HH
 #define CMPCACHE_SIM_SIMULATION_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,7 @@
 #include "sim/experiment.hh"
 #include "sim/system_config.hh"
 #include "sim/watchdog.hh"
+#include "trace/trace_source.hh"
 #include "trace/workload.hh"
 
 namespace cmpcache
@@ -49,6 +51,20 @@ class Simulation
     Simulation(const SystemConfig &cfg, TraceBundle traces,
                std::string input_name,
                TraceBundle *warmup = nullptr);
+
+    /**
+     * Streaming run (`cmpcache serve`): records are decoded from
+     * @p stream by a reader thread and consumed online through a
+     * bounded queue + demux, so resident memory stays bounded no
+     * matter how long the stream is (docs/serving.md). Warmup is
+     * forced off -- a stream can only be consumed once. When
+     * cfg.obs.ingestGauges is set, live ingest.* gauges (queue
+     * depth, ingested/dropped, producer waits) are registered and
+     * sampled alongside the default probes.
+     */
+    Simulation(const SystemConfig &cfg,
+               std::unique_ptr<std::istream> stream,
+               std::string input_name);
 
     ~Simulation();
 
@@ -81,6 +97,9 @@ class Simulation
     /** Non-null when cfg.watchdog.every > 0. */
     Watchdog *watchdog() { return watchdog_.get(); }
 
+    /** Non-null on streaming runs. */
+    StreamIngest *ingest() { return ingest_.get(); }
+
     /**
      * Where the watchdog flushes a Chrome/Perfetto trace on a trip
      * (only when tracing is enabled); empty disables the flush.
@@ -93,9 +112,19 @@ class Simulation
   private:
     /** Attach sampler / tracer / watchdog per the system's config. */
     void initObservability();
+    /** Register live ingest.* gauges (streaming + obs.ingest only). */
+    void initIngestGauges();
 
     std::string inputName_;
+    /**
+     * Declared before sys_: the CPUs hold DemuxSources into the
+     * ingest pipeline, so it must be destroyed after them.
+     */
+    std::unique_ptr<StreamIngest> ingest_;
     std::unique_ptr<CmpSystem> sys_;
+    /** ingest.* gauge stats; child of sys_'s group, reads ingest_. */
+    struct IngestStats;
+    std::unique_ptr<IngestStats> ingestStats_;
     std::unique_ptr<Sampler> sampler_;
     std::unique_ptr<TraceRecorder> tracer_;
     std::unique_ptr<Watchdog> watchdog_;

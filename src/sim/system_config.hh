@@ -18,6 +18,7 @@
 #include "obs/obs_config.hh"
 #include "ring/ring.hh"
 #include "sim/watchdog.hh"
+#include "trace/trace_source.hh"
 
 namespace cmpcache
 {
@@ -37,6 +38,15 @@ struct SystemConfig
     ObsConfig obs;
     FaultConfig fault;
     WatchdogConfig watchdog;
+    /**
+     * Traffic model (arrival.* keys): closed-loop think time (the
+     * default, batch-replay behavior) or open-loop generator-stamped
+     * arrivals. Open mode re-stamps every source's gaps with sampled
+     * interarrival times (see trace/trace_source.hh).
+     */
+    ArrivalConfig arrival;
+    /** Streaming-ingest pipeline knobs (stream.* keys). */
+    StreamParams stream;
 
     /** Track per-line write-back reuse (Table 2); costs memory. */
     bool enableWbReuseTracker = false;

@@ -1,11 +1,11 @@
 #include "trace/trace_io.hh"
 
-#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -84,129 +84,93 @@ opFromChar(char c)
     }
 }
 
-Expected<std::vector<TraceRecord>>
-readTextBody(std::istream &is)
+/**
+ * Parse a decimal token that must fit a u32. Unlike unsigned
+ * operator>>, a leading '-' (or any non-digit) is a hard failure
+ * instead of two's-complement wraparound: "-1" must never become a
+ * ~4-billion-tick gap or thread id.
+ */
+bool
+parseU32Token(const std::string &tok, std::uint32_t &out)
 {
-    std::vector<TraceRecord> out;
-    std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(is, line)) {
-        ++lineno;
-        const std::string raw = line;
-        const auto hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        std::istringstream ls(line);
-        std::uint32_t tid;
-        std::string op;
-        std::string addr_s;
-        std::uint32_t gap;
-        if (!(ls >> tid)) {
-            if (line.find_first_not_of(" \t\r") == std::string::npos)
-                continue; // blank (or comment-only) line
-            return traceError(cstr("malformed trace line ", lineno,
-                                   ": '", raw, "'"));
-        }
-        if (!(ls >> op >> addr_s >> gap) || op.size() != 1) {
-            return traceError(cstr("malformed trace line ", lineno,
-                                   ": '", raw, "'"));
-        }
-        if (tid > std::numeric_limits<ThreadId>::max()) {
-            return traceError(cstr("trace line ", lineno,
-                                   ": thread id ", tid,
-                                   " out of range"));
-        }
-        const int opv = opFromChar(op[0]);
-        if (opv < 0) {
-            return traceError(cstr("trace line ", lineno,
-                                   ": bad op character '", op[0],
-                                   "' (expected L, S or I)"));
-        }
-        TraceRecord r;
-        r.tid = static_cast<ThreadId>(tid);
-        r.op = static_cast<MemOp>(opv);
-        // std::stoull throws on non-hex garbage and on overflow:
-        // report both as a malformed line, like the checks above.
-        std::size_t used = 0;
+    if (tok.empty() || tok.size() > 10)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/**
+ * Parse one text trace line into @p rec.
+ * @return Expected of "line carried a record" (false = blank or
+ *         comment-only line), or the structured parse error.
+ */
+Expected<bool>
+parseTextLine(const std::string &raw, std::size_t lineno,
+              TraceRecord &rec)
+{
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos)
+        line.erase(hash);
+    std::istringstream ls(line);
+    std::string tid_s;
+    std::string op;
+    std::string addr_s;
+    std::string gap_s;
+    if (!(ls >> tid_s))
+        return false; // blank (or comment-only) line
+    std::uint32_t tid;
+    if (!(ls >> op >> addr_s >> gap_s) || op.size() != 1
+        || !parseU32Token(tid_s, tid)) {
+        return traceError(cstr("malformed trace line ", lineno,
+                               ": '", raw, "'"));
+    }
+    if (tid > std::numeric_limits<ThreadId>::max()) {
+        return traceError(cstr("trace line ", lineno,
+                               ": thread id ", tid,
+                               " out of range"));
+    }
+    const int opv = opFromChar(op[0]);
+    if (opv < 0) {
+        return traceError(cstr("trace line ", lineno,
+                               ": bad op character '", op[0],
+                               "' (expected L, S or I)"));
+    }
+    rec.tid = static_cast<ThreadId>(tid);
+    rec.op = static_cast<MemOp>(opv);
+    // std::stoull throws on non-hex garbage and on overflow; it also
+    // accepts a leading '-' by wrapping, so that is rejected up
+    // front. All three report as a bad address.
+    std::size_t used = 0;
+    if (addr_s[0] == '-' || addr_s[0] == '+') {
+        used = 0;
+    } else {
         try {
-            r.addr = std::stoull(addr_s, &used, 16);
+            rec.addr = std::stoull(addr_s, &used, 16);
         } catch (const std::exception &) {
             used = 0;
         }
-        if (used != addr_s.size()) {
-            return traceError(cstr("trace line ", lineno,
-                                   ": bad hex address '", addr_s,
-                                   "'"));
-        }
-        r.gap = gap;
-        out.push_back(r);
     }
-    return out;
-}
-
-Expected<std::vector<TraceRecord>>
-readBinaryBody(std::istream &is)
-{
-    const std::uint32_t version = getU32(is);
-    if (!is)
-        return traceError("truncated binary trace header");
-    if (version != BinaryVersion)
-        return traceError(cstr("unsupported binary trace version ",
-                               version));
-    const std::uint64_t count = getU64(is);
-    if (!is)
-        return traceError("truncated binary trace header");
-
-    // The header's count is attacker-controlled: check it against the
-    // bytes actually present before reserving anything. On seekable
-    // streams the remaining length is exact; otherwise fall back to a
-    // modest reservation and let the per-record checks catch
-    // truncation.
-    std::uint64_t max_records = 1 << 20;
-    const auto pos = is.tellg();
-    if (pos != std::istream::pos_type(-1)) {
-        is.seekg(0, std::ios::end);
-        const auto end = is.tellg();
-        is.seekg(pos);
-        if (end != std::istream::pos_type(-1) && end >= pos) {
-            const auto remaining =
-                static_cast<std::uint64_t>(end - pos);
-            max_records = remaining / BinaryRecordBytes;
-            if (count > max_records) {
-                return traceError(cstr(
-                    "binary trace header claims ", count,
-                    " records but only ", remaining,
-                    " bytes (", max_records, " records) remain"));
-            }
-        }
+    if (used != addr_s.size()) {
+        return traceError(cstr("trace line ", lineno,
+                               ": bad hex address '", addr_s,
+                               "'"));
     }
-
-    std::vector<TraceRecord> out;
-    out.reserve(std::min(count, max_records));
-    for (std::uint64_t i = 0; i < count; ++i) {
-        TraceRecord r;
-        r.addr = getU64(is);
-        r.gap = getU32(is);
-        const std::uint32_t meta = getU32(is);
-        if (!is) {
-            return traceError(cstr("truncated binary trace (record ",
-                                   i, " of ", count, ")"));
-        }
-        const std::uint32_t op = (meta >> 16) & 0xff;
-        if (op > static_cast<std::uint32_t>(MemOp::IFetch)) {
-            return traceError(cstr("binary trace record ", i,
-                                   ": bad op encoding ", op));
-        }
-        if ((meta >> 24) != 0) {
-            return traceError(cstr("binary trace record ", i,
-                                   ": reserved meta bits set (0x",
-                                   std::hex, meta, std::dec, ")"));
-        }
-        r.tid = static_cast<ThreadId>(meta & 0xffff);
-        r.op = static_cast<MemOp>(op);
-        out.push_back(r);
+    std::uint32_t gap;
+    if (!parseU32Token(gap_s, gap)) {
+        return traceError(cstr("malformed trace line ", lineno,
+                               ": '", raw, "'"));
     }
-    return out;
+    rec.gap = gap;
+    return true;
 }
 
 } // namespace
@@ -226,14 +190,27 @@ writeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
     os.write(BinaryMagic, 4);
     putU32(os, BinaryVersion);
     putU64(os, records.size());
-    for (const auto &r : records) {
-        putU64(os, r.addr);
-        putU32(os, r.gap);
-        const std::uint32_t meta =
-            static_cast<std::uint32_t>(r.tid)
-            | (static_cast<std::uint32_t>(r.op) << 16);
-        putU32(os, meta);
-    }
+    for (const auto &r : records)
+        appendTraceRecord(os, r);
+}
+
+void
+writeStreamingTraceHeader(std::ostream &os)
+{
+    os.write(BinaryMagic, 4);
+    putU32(os, BinaryVersion);
+    putU64(os, kStreamingRecordCount);
+}
+
+void
+appendTraceRecord(std::ostream &os, const TraceRecord &r)
+{
+    putU64(os, r.addr);
+    putU32(os, r.gap);
+    const std::uint32_t meta =
+        static_cast<std::uint32_t>(r.tid)
+        | (static_cast<std::uint32_t>(r.op) << 16);
+    putU32(os, meta);
 }
 
 Expected<void>
@@ -254,17 +231,202 @@ writeTraceFile(const std::string &path,
     return {};
 }
 
+TraceStreamParser::Status
+TraceStreamParser::fail(SimError e)
+{
+    err_ = std::move(e);
+    failed_ = true;
+    done_ = true;
+    return Status::Error;
+}
+
+TraceStreamParser::Status
+TraceStreamParser::sniff()
+{
+    if (is_.fail()) {
+        return fail(SimError(
+            SimErrorKind::Io,
+            "trace stream is in a failed state before parsing"));
+    }
+    char magic[4] = {0, 0, 0, 0};
+    is_.read(magic, 4);
+    const auto got = static_cast<std::size_t>(is_.gcount());
+    if (got == 4 && std::memcmp(magic, BinaryMagic, 4) == 0) {
+        mode_ = Mode::Binary;
+        const std::uint32_t version = getU32(is_);
+        if (!is_)
+            return fail(traceError("truncated binary trace header"));
+        if (version != BinaryVersion) {
+            return fail(traceError(cstr(
+                "unsupported binary trace version ", version)));
+        }
+        binCount_ = getU64(is_);
+        if (!is_)
+            return fail(traceError("truncated binary trace header"));
+
+        // The header's count is attacker-controlled: check it against
+        // the bytes actually present when the stream can tell us
+        // (pipes and FIFOs cannot seek; their per-record reads catch
+        // truncation instead). The streaming sentinel declares no
+        // length at all.
+        if (binCount_ != kStreamingRecordCount) {
+            const auto pos = is_.tellg();
+            if (pos != std::istream::pos_type(-1)) {
+                is_.seekg(0, std::ios::end);
+                const auto end = is_.tellg();
+                is_.seekg(pos);
+                if (end != std::istream::pos_type(-1) && end >= pos) {
+                    const auto remaining =
+                        static_cast<std::uint64_t>(end - pos);
+                    const std::uint64_t max_records =
+                        remaining / BinaryRecordBytes;
+                    if (binCount_ > max_records) {
+                        return fail(traceError(cstr(
+                            "binary trace header claims ", binCount_,
+                            " records but only ", remaining,
+                            " bytes (", max_records,
+                            " records) remain")));
+                    }
+                }
+            }
+        }
+        return Status::Record; // caller proceeds to nextBinary
+    }
+    // Not binary: the sniffed bytes are the head of a text trace.
+    // Buffer them for replay instead of seeking, so non-seekable
+    // streams (pipes, FIFOs) parse identically to files.
+    mode_ = Mode::Text;
+    carry_.assign(magic, got);
+    return Status::Record; // caller proceeds to nextText
+}
+
+bool
+TraceStreamParser::nextLine(std::string &line)
+{
+    if (!carry_.empty()) {
+        const auto nl = carry_.find('\n');
+        if (nl != std::string::npos) {
+            line = carry_.substr(0, nl);
+            carry_.erase(0, nl + 1);
+            return true;
+        }
+        // The carry is an unterminated line head: splice it onto
+        // whatever the stream yields next.
+        line = carry_;
+        carry_.clear();
+        std::string rest;
+        if (std::getline(is_, rest))
+            line += rest;
+        return true;
+    }
+    return static_cast<bool>(std::getline(is_, line));
+}
+
+TraceStreamParser::Status
+TraceStreamParser::nextText(TraceRecord &rec)
+{
+    std::string line;
+    while (nextLine(line)) {
+        ++lineno_;
+        TraceRecord r;
+        auto parsed = parseTextLine(line, lineno_, r);
+        if (!parsed)
+            return fail(std::move(parsed.error()));
+        if (!*parsed)
+            continue; // blank or comment-only line
+        rec = r;
+        ++recordsRead_;
+        return Status::Record;
+    }
+    done_ = true;
+    return Status::Eof;
+}
+
+TraceStreamParser::Status
+TraceStreamParser::nextBinary(TraceRecord &rec)
+{
+    const bool open_ended = binCount_ == kStreamingRecordCount;
+    if (!open_ended && binIndex_ >= binCount_) {
+        done_ = true;
+        return Status::Eof;
+    }
+    std::array<unsigned char, BinaryRecordBytes> b{};
+    is_.read(reinterpret_cast<char *>(b.data()), BinaryRecordBytes);
+    const auto got = static_cast<std::uint64_t>(is_.gcount());
+    if (got == 0 && open_ended) {
+        // EOF on a record boundary: a clean end of stream.
+        done_ = true;
+        return Status::Eof;
+    }
+    if (got != BinaryRecordBytes) {
+        if (open_ended) {
+            return fail(traceError(cstr(
+                "truncated binary trace (record ", binIndex_,
+                " of open-ended stream)")));
+        }
+        return fail(traceError(cstr("truncated binary trace (record ",
+                                    binIndex_, " of ", binCount_,
+                                    ")")));
+    }
+    std::uint64_t addr = 0;
+    for (int i = 7; i >= 0; --i)
+        addr = (addr << 8) | b[i];
+    std::uint32_t gap = 0;
+    for (int i = 11; i >= 8; --i)
+        gap = (gap << 8) | b[i];
+    std::uint32_t meta = 0;
+    for (int i = 15; i >= 12; --i)
+        meta = (meta << 8) | b[i];
+
+    const std::uint32_t op = (meta >> 16) & 0xff;
+    if (op > static_cast<std::uint32_t>(MemOp::IFetch)) {
+        return fail(traceError(cstr("binary trace record ", binIndex_,
+                                    ": bad op encoding ", op)));
+    }
+    if ((meta >> 24) != 0) {
+        return fail(traceError(cstr("binary trace record ", binIndex_,
+                                    ": reserved meta bits set (0x",
+                                    std::hex, meta, std::dec, ")")));
+    }
+    rec.addr = addr;
+    rec.gap = gap;
+    rec.tid = static_cast<ThreadId>(meta & 0xffff);
+    rec.op = static_cast<MemOp>(op);
+    ++binIndex_;
+    ++recordsRead_;
+    return Status::Record;
+}
+
+TraceStreamParser::Status
+TraceStreamParser::next(TraceRecord &rec)
+{
+    if (done_)
+        return failed_ ? Status::Error : Status::Eof;
+    if (mode_ == Mode::Unsniffed) {
+        const Status s = sniff();
+        if (s == Status::Error)
+            return s;
+    }
+    return mode_ == Mode::Binary ? nextBinary(rec) : nextText(rec);
+}
+
 Expected<std::vector<TraceRecord>>
 readTrace(std::istream &is)
 {
-    char magic[4] = {0, 0, 0, 0};
-    is.read(magic, 4);
-    if (is.gcount() == 4 && std::memcmp(magic, BinaryMagic, 4) == 0)
-        return readBinaryBody(is);
-    // Not binary: rewind and parse as text.
-    is.clear();
-    is.seekg(0);
-    return readTextBody(is);
+    TraceStreamParser parser(is);
+    std::vector<TraceRecord> out;
+    TraceRecord r;
+    for (;;) {
+        switch (parser.next(r)) {
+          case TraceStreamParser::Status::Record:
+            out.push_back(r);
+            break;
+          case TraceStreamParser::Status::Eof:
+            return out;
+          case TraceStreamParser::Status::Error:
+            return parser.error();
+        }
+    }
 }
 
 Expected<std::vector<TraceRecord>>

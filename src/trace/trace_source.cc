@@ -1,0 +1,299 @@
+#include "trace/trace_source.hh"
+
+#include <istream>
+#include <limits>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace cmpcache
+{
+
+const char *
+toString(ArrivalModel m)
+{
+    switch (m) {
+      case ArrivalModel::Closed:
+        return "closed";
+      case ArrivalModel::Open:
+        return "open";
+    }
+    return "?";
+}
+
+Expected<ArrivalConfig>
+parseArrivalSpec(const std::string &spec)
+{
+    ArrivalConfig cfg;
+    if (spec == "closed")
+        return cfg;
+    const std::string prefix = "open:";
+    if (spec.rfind(prefix, 0) == 0) {
+        const std::string rate_s = spec.substr(prefix.size());
+        double rate = 0.0;
+        std::size_t used = 0;
+        try {
+            rate = std::stod(rate_s, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != rate_s.size() || rate_s.empty() || rate <= 0.0) {
+            return SimError(SimErrorKind::Config,
+                            cstr("bad arrival rate '", rate_s,
+                                 "' (want a positive arrivals-per-tick "
+                                 "value, e.g. open:0.05)"));
+        }
+        cfg.model = ArrivalModel::Open;
+        cfg.rate = rate;
+        return cfg;
+    }
+    return SimError(SimErrorKind::Config,
+                    cstr("bad arrival spec '", spec,
+                         "' (want 'closed' or 'open:<rate>')"));
+}
+
+ArrivalStamper::ArrivalStamper(std::unique_ptr<TraceSource> inner,
+                               const ArrivalConfig &cfg, ThreadId tid)
+    : inner_(std::move(inner)), cfg_(cfg),
+      rng_(cfg.seed
+           + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(tid) + 1)),
+      meanGap_(cfg.rate > 0.0 ? 1.0 / cfg.rate : 0.0)
+{
+}
+
+bool
+ArrivalStamper::next(TraceRecord &rec)
+{
+    if (!inner_->next(rec))
+        return false;
+    double mean = meanGap_;
+    if (cfg_.burstPeriod > 0 && cfg_.burstFactor > 1.0
+        && (clock_ % cfg_.burstPeriod) < cfg_.burstPeriod / 2) {
+        mean = meanGap_ / cfg_.burstFactor;
+    }
+    std::uint64_t gap = rng_.geometric(mean);
+    constexpr std::uint64_t maxGap =
+        std::numeric_limits<std::uint32_t>::max();
+    if (gap > maxGap)
+        gap = maxGap;
+    rec.gap = static_cast<std::uint32_t>(gap);
+    clock_ += gap;
+    return true;
+}
+
+BoundedRecordQueue::BoundedRecordQueue(std::size_t capacity,
+                                       OverflowPolicy policy)
+    : capacity_(capacity ? capacity : 1), policy_(policy)
+{
+}
+
+bool
+BoundedRecordQueue::push(const TraceRecord &rec)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    if (policy_ == OverflowPolicy::Drop) {
+        if (aborted_)
+            return false;
+        if (q_.size() >= capacity_) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    } else {
+        if (q_.size() >= capacity_ && !aborted_) {
+            blockedWaits_.fetch_add(1, std::memory_order_relaxed);
+            notFull_.wait(lk, [&] {
+                return q_.size() < capacity_ || aborted_;
+            });
+        }
+        if (aborted_)
+            return false;
+    }
+    q_.push_back(rec);
+    depth_.store(q_.size(), std::memory_order_relaxed);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    notEmpty_.notify_one();
+    return true;
+}
+
+bool
+BoundedRecordQueue::pop(TraceRecord &rec)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    notEmpty_.wait(lk, [&] {
+        return !q_.empty() || closed_ || aborted_;
+    });
+    if (aborted_ || q_.empty())
+        return false;
+    rec = q_.front();
+    q_.pop_front();
+    depth_.store(q_.size(), std::memory_order_relaxed);
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    notFull_.notify_one();
+    return true;
+}
+
+void
+BoundedRecordQueue::close()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    closed_ = true;
+    notEmpty_.notify_all();
+}
+
+void
+BoundedRecordQueue::fail(SimError e)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    err_ = std::move(e);
+    failed_ = true;
+    closed_ = true;
+    notEmpty_.notify_all();
+}
+
+void
+BoundedRecordQueue::abort()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    aborted_ = true;
+    q_.clear();
+    depth_.store(0, std::memory_order_relaxed);
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+bool
+BoundedRecordQueue::failed() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return failed_;
+}
+
+SimError
+BoundedRecordQueue::error() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return err_;
+}
+
+StreamDemux::StreamDemux(BoundedRecordQueue &q, unsigned numThreads,
+                         std::size_t skewCap)
+    : q_(q), skewCap_(skewCap ? skewCap : 1), perThread_(numThreads)
+{
+}
+
+bool
+StreamDemux::pull(ThreadId tid, TraceRecord &rec)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    auto &mine = perThread_.at(tid);
+    for (;;) {
+        if (!mine.empty()) {
+            rec = mine.front();
+            mine.pop_front();
+            buffered_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (failed_)
+            throw SimException(err_);
+        if (eof_)
+            return false;
+        // Pull the next interleaved record. Holding our lock across
+        // the (possibly blocking) pop is safe: the producer only
+        // touches the queue, never this mutex.
+        TraceRecord r;
+        if (!q_.pop(r)) {
+            eof_ = true;
+            if (q_.failed()) {
+                failed_ = true;
+                err_ = q_.error();
+            }
+            continue;
+        }
+        if (r.tid >= perThread_.size()) {
+            failed_ = true;
+            err_ = SimError(
+                SimErrorKind::Trace,
+                cstr("stream record names thread ", r.tid,
+                     " but the system has ", perThread_.size(),
+                     " threads"));
+            throw SimException(err_);
+        }
+        if (r.tid == tid) {
+            rec = r;
+            return true;
+        }
+        if (buffered_.load(std::memory_order_relaxed) >= skewCap_) {
+            failed_ = true;
+            err_ = SimError(
+                SimErrorKind::Trace,
+                cstr("stream demux skew cap (", skewCap_,
+                     " records) exceeded waiting for thread ", tid,
+                     "; the stream's threads are interleaved too "
+                     "unevenly (raise stream.demux_capacity)"));
+            throw SimException(err_);
+        }
+        perThread_[r.tid].push_back(r);
+        buffered_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+StreamIngest::StreamIngest(std::unique_ptr<std::istream> in,
+                           const StreamParams &params,
+                           unsigned numThreads)
+    : in_(std::move(in)), q_(params.queueCapacity, params.overflow),
+      demux_(q_, numThreads, params.demuxCapacity),
+      numThreads_(numThreads)
+{
+    reader_ = std::thread(&StreamIngest::readerMain, this);
+}
+
+StreamIngest::~StreamIngest()
+{
+    stop();
+}
+
+void
+StreamIngest::readerMain()
+{
+    TraceStreamParser parser(*in_);
+    TraceRecord rec;
+    for (;;) {
+        switch (parser.next(rec)) {
+          case TraceStreamParser::Status::Record:
+            if (!q_.push(rec))
+                return; // aborted: the sim is tearing down
+            break;
+          case TraceStreamParser::Status::Eof:
+            q_.close();
+            return;
+          case TraceStreamParser::Status::Error:
+            q_.fail(parser.error());
+            return;
+        }
+    }
+}
+
+TraceBundle
+StreamIngest::makeBundle()
+{
+    TraceBundle bundle;
+    bundleMade_ = true;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        bundle.perThread.push_back(std::make_unique<DemuxSource>(
+            demux_, static_cast<ThreadId>(t)));
+    }
+    return bundle;
+}
+
+void
+StreamIngest::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    q_.abort();
+    if (reader_.joinable())
+        reader_.join();
+}
+
+} // namespace cmpcache

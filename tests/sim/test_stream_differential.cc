@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Streaming-vs-batch differential: the same trace fed through the
+ * bounded-buffer streaming pipeline (`cmpcache serve` path) and
+ * through the batch readTrace + splitByThread path must produce
+ * byte-identical result JSON, sampled time series, and stats dumps --
+ * under the serial kernel and under the domain scheduler. This is the
+ * determinism contract in docs/serving.md: the demux preserves
+ * per-thread subsequences, so streaming only changes memory behavior,
+ * never results. Also covers the FIFO end-to-end path and the
+ * skew-cap failure mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/time_series.hh"
+#include "sim/result_json.hh"
+#include "sim/simulation.hh"
+#include "stats/sink.hh"
+#include "parallel_diff.hh" // forceFanOut + mix
+#include "trace/trace_io.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+// Pull in the CMPCACHE_FANOUT=1 forcing from the shared header so the
+// run.threads=4 legs exercise the real fan-out path on any host.
+const bool kFanOut = paralleldiff::forceFanOut;
+
+/**
+ * Deterministic interleaved trace: @p per records for each of
+ * @p threads threads, round-robin, with enough address sharing across
+ * threads to put coherence traffic on the ring.
+ */
+std::vector<TraceRecord>
+makeTrace(unsigned threads, std::uint64_t per)
+{
+    std::vector<TraceRecord> recs;
+    recs.reserve(threads * per);
+    std::uint64_t s = 0x5eed;
+    const auto mixNext = [&s] { return paralleldiff::mix(s); };
+    for (std::uint64_t i = 0; i < per; ++i) {
+        for (unsigned t = 0; t < threads; ++t) {
+            TraceRecord r;
+            const auto v = mixNext();
+            // ~1/4 of references hit a small shared region.
+            r.addr = (v % 4 == 0) ? 0x10000 + (v % 32) * 64
+                                  : 0x100000 * (t + 1) + (v % 512) * 64;
+            r.gap = v % 7;
+            r.tid = ThreadId(t);
+            r.op = v % 3 == 0 ? MemOp::Store : MemOp::Load;
+            recs.push_back(r);
+        }
+    }
+    return recs;
+}
+
+std::string
+serialize(const std::vector<TraceRecord> &recs, TraceFormat fmt)
+{
+    std::ostringstream os;
+    writeTrace(os, recs, fmt);
+    return os.str();
+}
+
+SystemConfig
+baseConfig()
+{
+    SystemConfig cfg;
+    cfg.numL2s = 2;
+    cfg.threadsPerL2 = 2;
+    cfg.ring.numStops = cfg.numL2s + 2; // L2s + L3 + memory
+    cfg.l2.sizeBytes = 16 * 1024;
+    cfg.l3.sizeBytes = 128 * 1024;
+    // Streaming forces warmup off (one pass over the stream), so the
+    // batch leg must run cold too for the outputs to be comparable.
+    cfg.warmupPass = false;
+    cfg.obs.sampleEvery = 256;
+    // Ingest gauges are wall-clock dependent; the differential needs
+    // deterministic sampled output.
+    cfg.obs.ingestGauges = false;
+    // A small queue forces real producer/consumer interleaving.
+    cfg.stream.queueCapacity = 64;
+    return cfg;
+}
+
+/** Everything we require to be byte-identical across paths. */
+struct RunSnapshot
+{
+    std::string resultJson;
+    std::string samplesJson;
+    std::string statsJson;
+};
+
+RunSnapshot
+snapshot(Simulation &sim)
+{
+    RunSnapshot snap;
+    snap.resultJson = resultToJson(sim.run());
+    std::ostringstream samples;
+    writeSampleSeriesJson(samples, sim.samples());
+    snap.samplesJson = samples.str();
+    std::ostringstream stats;
+    stats::writeJson(sim.system(), stats);
+    snap.statsJson = stats.str();
+    return snap;
+}
+
+RunSnapshot
+runBatch(const SystemConfig &cfg, const std::string &data)
+{
+    std::istringstream is(data);
+    auto recs = readTrace(is);
+    EXPECT_TRUE(recs.ok()) << recs.error().message;
+    Simulation sim(cfg, splitByThread(*recs, cfg.numThreads()),
+                   "stream-diff");
+    return snapshot(sim);
+}
+
+RunSnapshot
+runStreamed(const SystemConfig &cfg, const std::string &data)
+{
+    Simulation sim(cfg, std::make_unique<std::istringstream>(data),
+                   "stream-diff");
+    return snapshot(sim);
+}
+
+void
+expectStreamMatchesBatch(SystemConfig cfg, const std::string &data,
+                         const std::string &label)
+{
+    for (const unsigned workers : {0u, 4u}) {
+        cfg.runThreads = workers;
+        const RunSnapshot batch = runBatch(cfg, data);
+        const RunSnapshot stream = runStreamed(cfg, data);
+        EXPECT_EQ(stream.resultJson, batch.resultJson)
+            << label << ": result JSON differs with run.threads="
+            << workers;
+        EXPECT_EQ(stream.samplesJson, batch.samplesJson)
+            << label << ": sampled series differs with run.threads="
+            << workers;
+        EXPECT_EQ(stream.statsJson, batch.statsJson)
+            << label << ": stats dump differs with run.threads="
+            << workers;
+    }
+}
+
+} // namespace
+
+TEST(StreamDifferential, BinaryStreamMatchesBatch)
+{
+    const auto recs = makeTrace(4, 400);
+    expectStreamMatchesBatch(baseConfig(),
+                             serialize(recs, TraceFormat::Binary),
+                             "binary");
+}
+
+TEST(StreamDifferential, TextStreamMatchesBatch)
+{
+    const auto recs = makeTrace(4, 400);
+    expectStreamMatchesBatch(baseConfig(),
+                             serialize(recs, TraceFormat::Text),
+                             "text");
+}
+
+TEST(StreamDifferential, OpenLoopStreamMatchesBatch)
+{
+    // The arrival stamper wraps the per-thread sources identically on
+    // both paths, so the open-loop model must stay deterministic and
+    // path-independent too.
+    SystemConfig cfg = baseConfig();
+    cfg.arrival.model = ArrivalModel::Open;
+    cfg.arrival.rate = 0.2;
+    cfg.arrival.seed = 7;
+    const auto recs = makeTrace(4, 300);
+    expectStreamMatchesBatch(cfg, serialize(recs, TraceFormat::Binary),
+                             "open-loop");
+}
+
+TEST(StreamDifferential, SentinelCountStreamMatchesBatch)
+{
+    // The open-ended (record count = sentinel) framing a live
+    // generator writes must replay identically to the counted form.
+    const auto recs = makeTrace(4, 200);
+    std::ostringstream os;
+    writeStreamingTraceHeader(os);
+    for (const auto &r : recs)
+        appendTraceRecord(os, r);
+    SystemConfig cfg = baseConfig();
+    cfg.runThreads = 0;
+    const RunSnapshot counted =
+        runBatch(cfg, serialize(recs, TraceFormat::Binary));
+    const RunSnapshot open = runStreamed(cfg, os.str());
+    EXPECT_EQ(open.resultJson, counted.resultJson);
+    EXPECT_EQ(open.statsJson, counted.statsJson);
+}
+
+TEST(StreamDifferential, FifoEndToEnd)
+{
+    // The real serve transport: a writer process-alike pushes the
+    // trace through a FIFO while the simulation consumes it.
+    const std::string path =
+        testing::TempDir() + "cmpcache_stream_diff_fifo";
+    std::remove(path.c_str());
+    if (mkfifo(path.c_str(), 0600) != 0)
+        GTEST_SKIP() << "mkfifo unavailable here";
+
+    const auto recs = makeTrace(4, 300);
+    const std::string data = serialize(recs, TraceFormat::Binary);
+
+    SystemConfig cfg = baseConfig();
+    cfg.runThreads = 0;
+    const RunSnapshot batch = runBatch(cfg, data);
+
+    // ofstream's open blocks until the reader below opens its end.
+    std::thread writer([&] {
+        std::ofstream os(path, std::ios::binary);
+        os.write(data.data(), std::streamsize(data.size()));
+    });
+    auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    ASSERT_TRUE(in->is_open());
+    Simulation sim(cfg, std::move(in), "stream-diff");
+    const RunSnapshot fifo = snapshot(sim);
+    writer.join();
+    std::remove(path.c_str());
+
+    EXPECT_EQ(fifo.resultJson, batch.resultJson);
+    EXPECT_EQ(fifo.samplesJson, batch.samplesJson);
+    EXPECT_EQ(fifo.statsJson, batch.statsJson);
+}
+
+TEST(StreamDifferential, SkewCapOverflowIsAStructuredError)
+{
+    // All of thread 0's records arrive before any other thread's:
+    // buffering them past stream.demux_capacity must fail with a
+    // structured Trace error, not grow without bound.
+    std::vector<TraceRecord> recs;
+    for (std::uint64_t i = 0; i < 200; ++i)
+        recs.push_back({0x100000 + i * 64, 1, 0, MemOp::Load});
+    for (unsigned t = 1; t < 4; ++t)
+        recs.push_back({0x200000ull * t, 1, ThreadId(t), MemOp::Load});
+
+    SystemConfig cfg = baseConfig();
+    cfg.obs.sampleEvery = 0;
+    cfg.stream.demuxCapacity = 32;
+    try {
+        Simulation sim(cfg,
+                       std::make_unique<std::istringstream>(
+                           serialize(recs, TraceFormat::Binary)),
+                       "skew");
+        sim.run();
+        FAIL() << "skew-cap overflow did not surface";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Trace);
+        EXPECT_NE(e.error().message.find("skew cap"),
+                  std::string::npos)
+            << e.error().message;
+    }
+}

@@ -114,13 +114,42 @@ TEST(TraceIo, HostileHeaderCountRejected)
             data.push_back(static_cast<char>(v >> (8 * i)));
     };
     putU32(1);          // version
-    putU32(0xffffffff); // count, low half
+    putU32(0xfffffffe); // count, low half
     putU32(0xffffffff); // count, high half
     std::stringstream ss(data);
     const auto back = readTrace(ss);
     ASSERT_FALSE(back.ok());
     EXPECT_EQ(back.error().kind, SimErrorKind::Trace);
     EXPECT_NE(back.error().message.find("claims"), std::string::npos)
+        << back.error().message;
+}
+
+TEST(TraceIo, StreamingSentinelCountEndsAtEof)
+{
+    // The all-ones count is not hostile: it declares an open-ended
+    // stream that ends cleanly at EOF on a record boundary.
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeStreamingTraceHeader(ss);
+    for (const auto &r : recs)
+        appendTraceRecord(ss, r);
+    const auto back = readTrace(ss);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(*back, recs);
+}
+
+TEST(TraceIo, StreamingSentinelMidRecordEofIsError)
+{
+    std::stringstream ss;
+    writeStreamingTraceHeader(ss);
+    appendTraceRecord(ss, {0x40, 1, 0, MemOp::Load});
+    std::string data = ss.str();
+    data.resize(data.size() - 7); // cut the last record short
+    std::stringstream cut(data);
+    const auto back = readTrace(cut);
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.error().kind, SimErrorKind::Trace);
+    EXPECT_NE(back.error().message.find("truncated"), std::string::npos)
         << back.error().message;
 }
 

@@ -70,6 +70,14 @@ TEST(TraceRobustness, MalformedTextCorpusAllReportErrors)
         "0 L 100\n",                // missing gap
         "99999 L 100 0\n",          // thread id out of range
         "0 L\n",                    // truncated line
+        // Negative tokens: unsigned operator>> would silently wrap
+        // these ("-1" gap becomes a ~4-billion-tick stall).
+        "0 L 10 -1\n",              // negative gap
+        "-1 L 10 0\n",              // negative thread id
+        "0 L -10 0\n",              // negative address
+        "0 L 10 +1\n",              // explicit sign on gap
+        "0 L 10 4294967296\n",      // gap overflows u32
+        "4294967296 L 10 0\n",      // tid overflows u32
     };
     for (const auto &bad : corpus) {
         const auto r = parse(bad);
@@ -100,8 +108,10 @@ TEST(TraceRobustness, MalformedBinaryCorpusAllReportErrors)
         binHeader(2, 0),
         // Header claims records that are not there.
         binHeader(1, 5),
-        // Hostile count: ~2^64 records in a 28-byte file.
-        binHeader(1, 0xffff'ffff'ffff'ffffull) + binRecord(0, 0, 0),
+        // Hostile count: ~2^64 records in a 28-byte file. (All-ones
+        // is the open-ended streaming sentinel, so one below it is
+        // the largest hostile count.)
+        binHeader(1, 0xffff'ffff'ffff'fffeull) + binRecord(0, 0, 0),
         // Bad op encoding (3 > IFetch).
         binHeader(1, 1) + binRecord(0x40, 0, 3u << 16),
         // Reserved meta bits set.
