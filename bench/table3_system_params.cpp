@@ -23,8 +23,7 @@ Tick
 isolatedMissLatency(const char *level)
 {
     SystemConfig cfg;
-    cfg.numL2s = 4;
-    cfg.threadsPerL2 = 4;
+    cfg.topology = TopologyParams::flat(4, 4);
     cfg.warmupPass = false;
 
     std::vector<std::vector<TraceRecord>> per_thread(16);
@@ -68,9 +67,10 @@ main()
 
     SystemConfig cfg;
     row("parameter", "cmpcache default", "paper");
-    row("processors", cstr(cfg.numL2s * 2, ", 2-way SMT"),
+    row("processors", cstr(cfg.topology.cores, ", ",
+                       cfg.topology.smt, "-way SMT"),
         "8, 2-way SMT");
-    row("L2 caches", cstr(cfg.numL2s), "4");
+    row("L2 caches", cstr(cfg.numL2s()), "4");
     row("L2 size", cstr(cfg.l2.slices, " slices x ",
                         cfg.l2.sizeBytes / cfg.l2.slices / 1024, " KB"),
         "4 slices, 512 KB each");

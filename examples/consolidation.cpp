@@ -42,7 +42,7 @@ mixedBundle(const std::vector<std::string> &names, std::uint64_t refs,
 {
     TraceBundle bundle;
     for (unsigned t = 0; t < cfg.numThreads(); ++t) {
-        const auto &name = names[t / cfg.threadsPerL2];
+        const auto &name = names[t / cfg.threadsPerL2()];
         auto params = workloads::byName(name, refs, seed);
         bundle.perThread.push_back(
             std::make_unique<WorkloadThreadSource>(
@@ -74,9 +74,9 @@ run(const std::vector<std::string> &names, std::uint64_t refs,
     sys.run();
 
     RunOut out;
-    out.groupFinish.assign(cfg.numL2s, 0);
+    out.groupFinish.assign(cfg.numL2s(), 0);
     for (unsigned t = 0; t < sys.numCpus(); ++t) {
-        auto &slot = out.groupFinish[t / cfg.threadsPerL2];
+        auto &slot = out.groupFinish[t / cfg.threadsPerL2()];
         slot = std::max(slot, sys.cpu(t).finishTick());
     }
     out.retries = sys.l3().retriesIssued();

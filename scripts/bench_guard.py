@@ -1,10 +1,15 @@
 #!/usr/bin/env python3
-"""Hot-path performance regression guard.
+"""Benchmark performance regression guard.
 
-Runs the hotpath microbenchmark binary and compares each pair's
+Runs a benchmark binary that emits pair-based JSON (the hotpath /
+parallel microbenchmarks' cmpcache-hotpath-bench-v1 or the scaling
+study's cmpcache-scale-bench-v1) and compares each pair's
 current-implementation throughput (currentOpsPerSec) against the
-committed baseline in bench/BENCH_hotpath.json. Any pair that drops
-more than --max-drop (default 20%) below its baseline fails the guard.
+committed baseline in bench/BENCH_*.json. Any guarded pair that drops
+more than --max-drop (default 20%) below its baseline fails the
+guard; pairs marked "guard": false in the baseline are reported but
+never gate (the scale bench guards only its 8-core cell -- larger
+machines are informational).
 
 Exit codes: 0 pass, 1 regression (or broken inputs), 77 skipped.
 Set CMPCACHE_SKIP_BENCH=1 to skip (slow or contended CI machines);
@@ -39,7 +44,8 @@ def main():
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    if baseline.get("schema") != "cmpcache-hotpath-bench-v1":
+    known = ("cmpcache-hotpath-bench-v1", "cmpcache-scale-bench-v1")
+    if baseline.get("schema") not in known:
         print(f"unexpected baseline schema in {args.baseline}",
               file=sys.stderr)
         return 1
@@ -65,7 +71,9 @@ def main():
         ref = base["currentOpsPerSec"]
         ratio = now / ref if ref > 0 else 0.0
         status = "ok"
-        if ratio < 1.0 - args.max_drop:
+        if not base.get("guard", True):
+            status = "informational (not guarded)"
+        elif ratio < 1.0 - args.max_drop:
             status = "REGRESSION"
             failed = True
         print(f"{name}: {now / 1e6:.2f} Mops/s vs baseline "

@@ -16,22 +16,27 @@
 #   scripts/check.sh fuzz       # the >= 50-config parallel-vs-serial
 #                               # differential sweep (CMPCACHE_FUZZ gated)
 #   scripts/check.sh bench      # perf-regression guards against the
-#                               # committed BENCH_hotpath.json and
-#                               # BENCH_parallel.json baselines (skip
+#                               # committed BENCH_hotpath.json,
+#                               # BENCH_parallel.json and
+#                               # BENCH_scale.json baselines (skip
 #                               # with CMPCACHE_SKIP_BENCH=1)
 #   scripts/check.sh serve      # streaming smoke: a 1M-record trace
 #                               # through a FIFO with bounded memory
 #                               # and live ingest gauges, plus open-
 #                               # vs closed-loop arrival runs
+#   scripts/check.sh scale      # big-machine smoke: a 32-core sweep
+#                               # with invariant checking, a 64-core
+#                               # watchdogged run on every layout, and
+#                               # the BENCH_scale.json events/sec guard
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | serve) ;;
+unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | serve | scale) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|serve]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|serve|scale]" >&2
     exit 2
     ;;
 esac
@@ -123,6 +128,9 @@ if [ "$SELECT" = bench ]; then
     run_phase bench-parallel python3 scripts/bench_guard.py \
         --bench build/bench/parallel_run \
         --baseline bench/BENCH_parallel.json
+    run_phase bench-scale python3 scripts/bench_guard.py \
+        --bench build/bench/scale \
+        --baseline bench/BENCH_scale.json
     exit 0
 fi
 
@@ -130,6 +138,53 @@ if [ "$SELECT" = fuzz ]; then
     run_phase fuzz-suite \
         env CMPCACHE_FUZZ=1 \
         ctest --test-dir build --output-on-failure -j"$(nproc)" -L fuzz
+    exit 0
+fi
+
+if [ "$SELECT" = scale ]; then
+    # The topology API's scaled machines (docs/topology.md): a 32-core
+    # sweep cell must pass the coherence invariant checker, and a
+    # 64-core/16-L2 machine must run to completion under the stall
+    # watchdog on every interconnect layout.
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    run_phase scale-32c-invariants \
+        ./build/src/cmpcache sweep \
+        --workloads=thrash --policies=combined --refs=2000 \
+        --check-coherence --out="$smoke_dir/32c.json" --quiet \
+        topology.cores=32 topology.smt=1 topology.l2s=8 \
+        topology.l3_slices=8
+    grep -q '"coherenceViolations": \[0\]' "$smoke_dir/32c.json" \
+        || { echo "32-core sweep reported violations" >&2; exit 1; }
+    for layout in single_ring dual_ring hier_ring; do
+        run_phase "scale-64c-$layout" \
+            ./build/src/cmpcache sweep \
+            --workloads=thrash --policies=combined --refs=1000 \
+            --out="$smoke_dir/64c-$layout.json" --quiet \
+            topology.cores=64 topology.smt=1 topology.l2s=16 \
+            topology.l3_slices=16 "topology.layout=$layout" \
+            topology.rings=4 watchdog.every=50000 \
+            watchdog.stall_checks=10
+        if grep -q '"status"' "$smoke_dir/64c-$layout.json"; then
+            echo "64-core $layout run failed" >&2
+            exit 1
+        fi
+    done
+    # The legacy machine-shape aliases still describe a runnable
+    # machine (with deprecation warnings).
+    run_phase scale-legacy-keys \
+        ./build/src/cmpcache sweep \
+        --workloads=thrash --policies=baseline --refs=1000 \
+        --out="$smoke_dir/legacy.json" --quiet \
+        num_l2s=2 threads_per_l2=2
+    if [ -z "${CMPCACHE_SKIP_BENCH:-}" ]; then
+        run_phase bench-scale python3 scripts/bench_guard.py \
+            --bench build/bench/scale \
+            --baseline bench/BENCH_scale.json
+    else
+        echo "scale: bench guard skipped (CMPCACHE_SKIP_BENCH set)"
+    fi
+    echo "scale: 32-core invariants + 64-core layout smoke OK"
     exit 0
 fi
 

@@ -5,9 +5,10 @@
 namespace cmpcache
 {
 
-SnoopCollector::SnoopCollector(stats::Group *parent, unsigned num_l2s)
+SnoopCollector::SnoopCollector(stats::Group *parent,
+                               const CmpTopology &topo)
     : stats::Group(parent, "snoop_collector"),
-      numL2s_(num_l2s),
+      topo_(topo),
       combines_(this, "combines", "combined responses produced"),
       retries_(this, "retries", "transactions answered with Retry"),
       interventions_(this, "interventions",
@@ -166,12 +167,12 @@ SnoopCollector::pickSnarfWinner(const std::vector<SnoopResponse> &rs)
 {
     // Fair round-robin over L2 agent ids, starting after the last
     // winner.
-    for (unsigned k = 0; k < numL2s_; ++k) {
-        const AgentId cand =
-            static_cast<AgentId>((rrNext_ + k) % numL2s_);
+    const unsigned n = topo_.numL2s();
+    for (unsigned k = 0; k < n; ++k) {
+        const AgentId cand = topo_.l2Agent((rrNext_ + k) % n);
         for (const auto &r : rs) {
             if (r.snarfAccept && r.responder == cand) {
-                rrNext_ = (cand + 1) % numL2s_;
+                rrNext_ = (cand + 1u) % n;
                 return cand;
             }
         }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "coherence/bus.hh"
+#include "sim/topology.hh"
 #include "stats/stats.hh"
 
 namespace cmpcache
@@ -26,10 +27,11 @@ class SnoopCollector : public stats::Group
 {
   public:
     /**
-     * @param parent      stats parent
-     * @param num_l2s     number of L2 bus agents (ids 0..n-1)
+     * @param parent    stats parent
+     * @param topo      the machine shape; snarf arbitration rotates
+     *                  over its L2 agents
      */
-    SnoopCollector(stats::Group *parent, unsigned num_l2s);
+    SnoopCollector(stats::Group *parent, const CmpTopology &topo);
 
     /**
      * Combine all snoop responses for @p req.
@@ -54,7 +56,7 @@ class SnoopCollector : public stats::Group
     /** Round-robin selection among willing snarfers. */
     AgentId pickSnarfWinner(const std::vector<SnoopResponse> &rs);
 
-    unsigned numL2s_;
+    CmpTopology topo_;
     /** Next round-robin starting position for snarf arbitration. */
     unsigned rrNext_ = 0;
 

@@ -32,6 +32,38 @@ using AgentId = std::uint8_t;
 
 constexpr AgentId InvalidAgent = 0xff;
 
+/**
+ * Physical ring-stop position, strongly typed so stop indices cannot
+ * be silently mixed with AgentId arithmetic. The CmpTopology owns the
+ * agent-to-stop mapping; nothing else computes stop numbers.
+ */
+struct RingStop
+{
+    constexpr RingStop() = default;
+    constexpr explicit RingStop(unsigned v) : v_(v) {}
+
+    constexpr unsigned value() const { return v_; }
+
+    friend constexpr bool
+    operator==(RingStop a, RingStop b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr bool
+    operator!=(RingStop a, RingStop b)
+    {
+        return a.v_ != b.v_;
+    }
+    friend constexpr bool
+    operator<(RingStop a, RingStop b)
+    {
+        return a.v_ < b.v_;
+    }
+
+  private:
+    unsigned v_ = 0;
+};
+
 } // namespace cmpcache
 
 #endif // CMPCACHE_COMMON_TYPES_HH

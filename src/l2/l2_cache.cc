@@ -9,7 +9,7 @@ namespace cmpcache
 {
 
 L2Cache::L2Cache(stats::Group *parent, EventQueue &eq,
-                 const std::string &name, AgentId id, unsigned ring_stop,
+                 const std::string &name, AgentId id, RingStop ring_stop,
                  const L2Params &p, const PolicyConfig &policy,
                  Ring &ring, RetryMonitor *retry_monitor)
     : SimObject(parent, name, eq),

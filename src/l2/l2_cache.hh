@@ -77,7 +77,7 @@ class L2Cache : public SimObject, public BusAgent
     };
 
     L2Cache(stats::Group *parent, EventQueue &eq, const std::string &name,
-            AgentId id, unsigned ring_stop, const L2Params &p,
+            AgentId id, RingStop ring_stop, const L2Params &p,
             const PolicyConfig &policy, Ring &ring,
             RetryMonitor *retry_monitor);
 
@@ -109,7 +109,7 @@ class L2Cache : public SimObject, public BusAgent
 
     // BusAgent interface
     AgentId agentId() const override { return id_; }
-    unsigned ringStop() const override { return stop_; }
+    RingStop ringStop() const override { return stop_; }
     SnoopResponse snoop(const BusRequest &req) override;
     void observeCombined(const BusRequest &req,
                          const CombinedResult &res) override;
@@ -178,7 +178,7 @@ class L2Cache : public SimObject, public BusAgent
     bool wbhtDecisionsActive() const;
 
     AgentId id_;
-    unsigned stop_;
+    RingStop stop_;
     L2Params params_;
     PolicyConfig policy_;
     Ring &ring_;

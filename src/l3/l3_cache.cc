@@ -9,7 +9,7 @@ namespace cmpcache
 {
 
 L3Cache::L3Cache(stats::Group *parent, EventQueue &eq, AgentId id,
-                 unsigned ring_stop, const L3Params &p)
+                 RingStop ring_stop, const L3Params &p)
     : SimObject(parent, "l3", eq),
       id_(id),
       stop_(ring_stop),

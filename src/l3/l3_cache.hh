@@ -55,7 +55,7 @@ class L3Cache : public SimObject, public BusAgent
 {
   public:
     L3Cache(stats::Group *parent, EventQueue &eq, AgentId id,
-            unsigned ring_stop, const L3Params &p);
+            RingStop ring_stop, const L3Params &p);
 
     /** Dirty victims leave through the dedicated memory pathway. */
     void setMemWriteFn(std::function<void()> fn)
@@ -71,7 +71,7 @@ class L3Cache : public SimObject, public BusAgent
 
     // BusAgent interface
     AgentId agentId() const override { return id_; }
-    unsigned ringStop() const override { return stop_; }
+    RingStop ringStop() const override { return stop_; }
     SnoopResponse snoop(const BusRequest &req) override;
     void observeCombined(const BusRequest &req,
                          const CombinedResult &res) override;
@@ -127,7 +127,7 @@ class L3Cache : public SimObject, public BusAgent
     }
 
     AgentId id_;
-    unsigned stop_;
+    RingStop stop_;
     L3Params params_;
     TagArray tags_;
 

@@ -6,7 +6,7 @@ namespace cmpcache
 {
 
 MemCtrl::MemCtrl(stats::Group *parent, EventQueue &eq, AgentId id,
-                 unsigned ring_stop, const MemParams &p)
+                 RingStop ring_stop, const MemParams &p)
     : SimObject(parent, "mem", eq),
       id_(id),
       stop_(ring_stop),

@@ -25,14 +25,14 @@ class MemCtrl : public SimObject, public BusAgent
 {
   public:
     MemCtrl(stats::Group *parent, EventQueue &eq, AgentId id,
-            unsigned ring_stop, const MemParams &p);
+            RingStop ring_stop, const MemParams &p);
 
     /** A dirty L3 victim arrives over the dedicated path. */
     void writeFromL3();
 
     // BusAgent interface
     AgentId agentId() const override { return id_; }
-    unsigned ringStop() const override { return stop_; }
+    RingStop ringStop() const override { return stop_; }
     SnoopResponse snoop(const BusRequest &req) override;
     void observeCombined(const BusRequest &req,
                          const CombinedResult &res) override;
@@ -44,7 +44,7 @@ class MemCtrl : public SimObject, public BusAgent
 
   private:
     AgentId id_;
-    unsigned stop_;
+    RingStop stop_;
     MemParams params_;
     Tick channelFree_ = 0;
     /** Completion tick of each in-flight demand read; pruned lazily

@@ -25,10 +25,11 @@ Ring::setThreadIssueDeferral(IssueDeferral *d)
 }
 
 Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
-           unsigned num_l2s)
+           const CmpTopology &topo)
     : SimObject(parent, "ring", eq),
       params_(p),
-      collector_(this, num_l2s),
+      topo_(topo),
+      collector_(this, topo_),
       drainEvent_([this] { drain(); }, "ring-drain"),
       requests_(this, "requests", "address-ring transactions issued"),
       launches_(this, "launches", "address-ring slots used"),
@@ -48,23 +49,29 @@ Ring::Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
                       return static_cast<double>(reqQueue_.size());
                   })
 {
-    nextFree_[0].assign(params_.numStops, 0);
-    nextFree_[1].assign(params_.numStops, 0);
-    dirScratch_[0].reserve(params_.numStops);
-    dirScratch_[1].reserve(params_.numStops);
+    dataRings_.resize(topo_.numRings());
+    for (unsigned r = 0; r < topo_.numRings(); ++r) {
+        DataRing &ring = dataRings_[r];
+        ring.size = topo_.ringSize(r);
+        for (int dir = 0; dir < 2; ++dir) {
+            ring.nextFree[dir].assign(ring.size, 0);
+            ring.scratch[dir].reserve(ring.size);
+        }
+    }
 }
 
 void
 Ring::attach(BusAgent *agent, Role role)
 {
     cmp_assert(agent != nullptr, "attaching null agent");
-    cmp_assert(agent->ringStop() < params_.numStops,
+    cmp_assert(agent->ringStop().value() < topo_.numStops(),
                "agent stop out of range");
     for (const auto *a : agents_) {
         cmp_assert(a->agentId() != agent->agentId(),
                    "duplicate agent id ", unsigned{agent->agentId()});
         cmp_assert(a->ringStop() != agent->ringStop(),
-                   "duplicate ring stop ", agent->ringStop());
+                   "duplicate ring stop ",
+                   agent->ringStop().value());
     }
     agents_.push_back(agent);
     if (role == Role::L3) {
@@ -262,69 +269,99 @@ Ring::combineNow(BusRequest req, Tick enqueued)
 }
 
 Tick
-Ring::reserveDataTransfer(unsigned src, unsigned dst, Tick earliest)
+Ring::reserveDataTransfer(RingStop src, RingStop dst, Tick earliest)
 {
     ++dataTransfers_;
     if (src == dst)
         return earliest + params_.segmentOccupancy;
 
-    const unsigned n = params_.numStops;
-    const unsigned hops_by_dir[2] = {(dst + n - src) % n,
-                                     (src + n - dst) % n};
+    CmpTopology::DataLeg legs[3];
+    const unsigned nlegs = topo_.route(src, dst, legs);
+    cmp_assert(nlegs > 0, "no data path found");
 
-    // Evaluate both directions without committing; pick the earlier
-    // arrival (ties go to the shorter path). Reservation ticks land
-    // in the per-direction scratch buffers (reserved at construction)
-    // so the evaluation allocates nothing.
+    // Legs chain: each starts no earlier than the previous leg's
+    // arrival. A transfer counts as delayed at most once, however
+    // many legs queued.
+    bool waited = false;
+    Tick at = earliest;
+    for (unsigned i = 0; i < nlegs; ++i)
+        at = reserveLeg(legs[i], at, waited);
+    if (waited)
+        ++dataSegmentWaits_;
+    return at;
+}
+
+Tick
+Ring::reserveLeg(const CmpTopology::DataLeg &leg, Tick earliest,
+                 bool &waited)
+{
+    const unsigned src = leg.srcPos;
+    const unsigned dst = leg.dstPos;
+
+    // Evaluate both directions -- on every interchangeable lane --
+    // without committing; pick the earlier arrival (ties go to the
+    // shorter path, then the lower lane). Reservation ticks land in
+    // the per-ring, per-direction scratch buffers (reserved at
+    // construction) so the evaluation allocates nothing.
+    const unsigned lanes = topo_.numDataLanes();
     Tick best_arrive = MaxTick;
     int best_dir = -1;
+    unsigned best_lane = 0;
+    unsigned best_hops = 0;
 
-    for (int dir = 0; dir < 2; ++dir) {
-        const unsigned hops = hops_by_dir[dir];
-        if (hops == 0)
-            continue;
-        Tick head = earliest;
-        std::vector<Tick> &upd = dirScratch_[dir];
-        upd.clear();
-        unsigned stop = src;
-        for (unsigned h = 0; h < hops; ++h) {
-            const unsigned seg = dir == 0 ? stop : (stop + n - 1) % n;
-            head = std::max(head, nextFree_[dir][seg]);
-            upd.push_back(head + params_.segmentOccupancy);
-            head += params_.hopCycles;
-            stop = dir == 0 ? (stop + 1) % n : (stop + n - 1) % n;
-        }
-        // The tail of the line arrives one occupancy after the head
-        // entered the last segment.
-        const Tick arrive =
-            head - params_.hopCycles + params_.segmentOccupancy;
-        const bool better =
-            arrive < best_arrive
-            || (arrive == best_arrive && best_dir >= 0
-                && hops < hops_by_dir[best_dir]);
-        if (better) {
-            best_arrive = arrive;
-            best_dir = dir;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        DataRing &ring = dataRings_[leg.ring + lane];
+        const unsigned n = ring.size;
+        const unsigned hops_by_dir[2] = {(dst + n - src) % n,
+                                         (src + n - dst) % n};
+        for (int dir = 0; dir < 2; ++dir) {
+            const unsigned hops = hops_by_dir[dir];
+            if (hops == 0)
+                continue;
+            Tick head = earliest;
+            std::vector<Tick> &upd = ring.scratch[dir];
+            upd.clear();
+            unsigned stop = src;
+            for (unsigned h = 0; h < hops; ++h) {
+                const unsigned seg =
+                    dir == 0 ? stop : (stop + n - 1) % n;
+                head = std::max(head, ring.nextFree[dir][seg]);
+                upd.push_back(head + params_.segmentOccupancy);
+                head += params_.hopCycles;
+                stop = dir == 0 ? (stop + 1) % n : (stop + n - 1) % n;
+            }
+            // The tail of the line arrives one occupancy after the
+            // head entered the last segment.
+            const Tick arrive =
+                head - params_.hopCycles + params_.segmentOccupancy;
+            const bool better =
+                arrive < best_arrive
+                || (arrive == best_arrive && best_dir >= 0
+                    && hops < best_hops);
+            if (better) {
+                best_arrive = arrive;
+                best_dir = dir;
+                best_lane = lane;
+                best_hops = hops;
+            }
         }
     }
 
     cmp_assert(best_dir >= 0, "no data path found");
 
     // Commit the winning reservation.
-    const std::vector<Tick> &best_free = dirScratch_[best_dir];
-    const unsigned hops = hops_by_dir[best_dir];
+    DataRing &ring = dataRings_[leg.ring + best_lane];
+    const unsigned n = ring.size;
+    const std::vector<Tick> &best_free = ring.scratch[best_dir];
     unsigned stop = src;
-    bool waited = false;
-    for (unsigned h = 0; h < hops; ++h) {
+    for (unsigned h = 0; h < best_hops; ++h) {
         const unsigned seg =
             best_dir == 0 ? stop : (stop + n - 1) % n;
-        if (nextFree_[best_dir][seg] > earliest)
+        if (ring.nextFree[best_dir][seg] > earliest)
             waited = true;
-        nextFree_[best_dir][seg] = best_free[h];
+        ring.nextFree[best_dir][seg] = best_free[h];
         stop = best_dir == 0 ? (stop + 1) % n : (stop + n - 1) % n;
     }
-    if (waited)
-        ++dataSegmentWaits_;
     return best_arrive;
 }
 

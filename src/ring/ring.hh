@@ -37,6 +37,7 @@
 #include "coherence/snoop_collector.hh"
 #include "common/circular_buffer.hh"
 #include "sim/sim_object.hh"
+#include "sim/topology.hh"
 
 namespace cmpcache
 {
@@ -52,8 +53,8 @@ class BusAgent
     virtual ~BusAgent() = default;
 
     virtual AgentId agentId() const = 0;
-    /** Physical position on the ring (0..numStops-1). */
-    virtual unsigned ringStop() const = 0;
+    /** The stop this agent occupies (CmpTopology::stopOfAgent). */
+    virtual RingStop ringStop() const = 0;
 
     /**
      * Produce a snoop response for a foreign request. Must not mutate
@@ -133,10 +134,13 @@ class ScheduleRouter
     virtual EventQueue &globalQueue() = 0;
 };
 
-/** Timing and geometry parameters of the ring. */
+/**
+ * Timing parameters of the ring. Geometry (stop counts, layout,
+ * segment counts) is no longer a knob here: it derives entirely from
+ * the CmpTopology the ring is built with.
+ */
 struct RingParams
 {
-    unsigned numStops = 6;      ///< 4 L2s + L3 + memory controller
     unsigned addrSlotCycles = 2;///< one request launch per slot
     Tick snoopLatency = 33;     ///< launch -> combined response
     Tick hopCycles = 4;         ///< data head latency per segment
@@ -148,7 +152,7 @@ class Ring : public SimObject
 {
   public:
     Ring(stats::Group *parent, EventQueue &eq, const RingParams &p,
-         unsigned num_l2s);
+         const CmpTopology &topo);
 
     /** Roles an agent can play for data-phase routing. */
     enum class Role
@@ -223,15 +227,36 @@ class Ring : public SimObject
 
     SnoopCollector &collector() { return collector_; }
     const RingParams &params() const { return params_; }
+    const CmpTopology &topology() const { return topo_; }
 
     /**
      * Reserve the data path from stop @p src to stop @p dst for one
-     * line, no earlier than @p earliest.
+     * line, no earlier than @p earliest. The topology decomposes the
+     * path into per-ring legs (one on the paper's single ring; up to
+     * three across a hierarchical layout); each leg evaluates both
+     * directions -- and, under dual_ring, both lanes -- and commits
+     * the earliest arrival.
      * @return delivery tick at the destination
      */
-    Tick reserveDataTransfer(unsigned src, unsigned dst, Tick earliest);
+    Tick reserveDataTransfer(RingStop src, RingStop dst,
+                             Tick earliest);
 
   private:
+    /** Segment reservation state of one physical ring. */
+    struct DataRing
+    {
+        unsigned size = 0;
+        /** nextFree[direction][segment]; segment i joins position i
+         * and position (i+1) % size. Direction 0 = clockwise. */
+        std::vector<Tick> nextFree[2];
+        /** Reused per-direction evaluation buffers (reserved at
+         * construction so reservation allocates nothing). */
+        std::vector<Tick> scratch[2];
+    };
+
+    /** Reserve one leg; ORs segment-contention into @p waited. */
+    Tick reserveLeg(const CmpTopology::DataLeg &leg, Tick earliest,
+                    bool &waited);
     void scheduleDrain();
     void drain();
     void combineNow(BusRequest req, Tick enqueued);
@@ -264,6 +289,7 @@ class Ring : public SimObject
     };
 
     RingParams params_;
+    CmpTopology topo_;
     SnoopCollector collector_;
     FaultInjector *faults_ = nullptr;
     RetryMonitor *retryMonitor_ = nullptr;
@@ -279,15 +305,13 @@ class Ring : public SimObject
     std::uint64_t nextTxnId_ = 1;
     EventFunctionWrapper drainEvent_;
 
-    /** nextFree_[direction][segment]; segment i joins stop i and
-     * stop (i+1) % numStops. Direction 0 = clockwise. */
-    std::vector<Tick> nextFree_[2];
+    /** One reservation state per physical ring (topology order:
+     * local rings first, the global ring last under hier_ring). */
+    std::vector<DataRing> dataRings_;
 
     /** Reused per-combine snoop-response buffer (combineNow is never
      * reentrant: it only runs from one-shot events). */
     std::vector<SnoopResponse> snoopScratch_;
-    /** Reused per-direction reservation buffers for the data path. */
-    std::vector<Tick> dirScratch_[2];
 
     stats::Scalar requests_;
     stats::Scalar launches_;

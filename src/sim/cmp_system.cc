@@ -27,7 +27,7 @@ struct CmpSystem::ParallelGlue
         EventQueue &
         queueForAgent(AgentId agent) override
         {
-            if (agent < sys_.cfg_.numL2s)
+            if (sys_.topo_.isL2Agent(agent))
                 return *sys_.coreQs_[agent];
             return sys_.eq_;
         }
@@ -58,8 +58,8 @@ struct CmpSystem::ParallelGlue
 
     explicit ParallelGlue(CmpSystem &sys)
         : router(sys),
-          sinks(sys.cfg_.numL2s),
-          retryQueryLogs(sys.cfg_.numL2s, 0),
+          sinks(sys.topo_.numL2s()),
+          retryQueryLogs(sys.topo_.numL2s(), 0),
           sched(
               [&sys] {
                   std::vector<EventQueue *> qs;
@@ -150,20 +150,40 @@ WbReuseTracker::reusedAcceptedPct() const
                        : 0.0;
 }
 
-CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
-    : stats::Group("system"), cfg_(cfg)
+namespace
 {
-    cfg_.validate();
-    cmp_assert(traces.numThreads() == cfg_.numThreads(),
+
+/** Validate the whole config, then build its machine shape. */
+CmpTopology
+makeTopology(const SystemConfig &cfg)
+{
+    cfg.validate();
+    auto t = CmpTopology::build(cfg.topology);
+    cmp_assert(t.ok(),
+               "topology passed validate() but failed to build");
+    return *t;
+}
+
+} // namespace
+
+CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
+    : stats::Group("system"), cfg_(cfg), topo_(makeTopology(cfg))
+{
+    cmp_assert(traces.numThreads() == topo_.numThreads(),
                "trace bundle has ", traces.numThreads(),
-               " threads, system wants ", cfg_.numThreads());
+               " threads, system wants ", topo_.numThreads());
+
+    // Fold the topology's per-level sizing overrides in once, so every
+    // component below sees the effective cache parameters.
+    cfg_.l2 = cfg_.effectiveL2();
+    cfg_.l3 = cfg_.effectiveL3();
 
     // Parallel mode: domain queues plus the scheduler glue, built
     // before any component so every schedule() -- including the
     // sequential startup ones -- draws its sequence number from the
     // scheduler's global counter.
     if (cfg_.runThreads > 0) {
-        for (unsigned i = 0; i < cfg_.numL2s; ++i)
+        for (unsigned i = 0; i < topo_.numL2s(); ++i)
             coreQs_.push_back(std::make_unique<EventQueue>());
         uncoreQ_ = std::make_unique<EventQueue>();
         par_ = std::make_unique<ParallelGlue>(*this);
@@ -188,27 +208,30 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
         faults_->setTimeSource([this] { return eq_.curTick(); });
     }
 
-    ring_ = std::make_unique<Ring>(this, uncore_eq, cfg_.ring,
-                                   cfg_.numL2s);
+    ring_ = std::make_unique<Ring>(this, uncore_eq, cfg_.ring, topo_);
     ring_->setRetryMonitor(retryMonitor_.get());
     ring_->setFaultInjector(faults_.get());
     if (par_)
         ring_->setScheduleRouter(&par_->router);
 
-    // Agent ids / ring stops: L2s take 0..n-1, L3 = n, memory = n+1.
-    const AgentId l3_id = static_cast<AgentId>(cfg_.numL2s);
-    const AgentId mem_id = static_cast<AgentId>(cfg_.numL2s + 1);
+    // Agent ids and ring stops come from the topology; nothing here
+    // computes placement arithmetic.
+    const AgentId l3_id = topo_.l3Agent();
+    const AgentId mem_id = topo_.memAgent();
 
     l3_ = std::make_unique<L3Cache>(this, uncore_eq, l3_id,
-                                    cfg_.numL2s, cfg_.l3);
+                                    topo_.stopOfAgent(l3_id), cfg_.l3);
     mem_ = std::make_unique<MemCtrl>(this, uncore_eq, mem_id,
-                                     cfg_.numL2s + 1, cfg_.mem);
+                                     topo_.stopOfAgent(mem_id),
+                                     cfg_.mem);
     l3_->setMemWriteFn([this] { mem_->writeFromL3(); });
 
-    for (unsigned i = 0; i < cfg_.numL2s; ++i) {
+    for (unsigned i = 0; i < topo_.numL2s(); ++i) {
+        const AgentId id = topo_.l2Agent(i);
         auto l2 = std::make_unique<L2Cache>(
-            this, core_eq(i), cstr("l2_", i), static_cast<AgentId>(i),
-            i, cfg_.l2, cfg_.policy, *ring_, retryMonitor_.get());
+            this, core_eq(i), cstr("l2_", i), id,
+            topo_.stopOfAgent(id), cfg_.l2, cfg_.policy, *ring_,
+            retryMonitor_.get());
         l2->setL3Peek(
             [this](Addr a) { return l3_->hasLineValid(a); });
         l2->setCompletionCallback([this](ThreadId tid) {
@@ -231,8 +254,9 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
 
     CpuParams cpu_params = cfg_.cpu;
     cpu_params.arrival = cfg_.arrival.model;
-    for (unsigned t = 0; t < cfg_.numThreads(); ++t) {
-        L2Cache &l2 = *l2s_[t / cfg_.threadsPerL2];
+    for (unsigned t = 0; t < topo_.numThreads(); ++t) {
+        const unsigned cluster = topo_.l2OfThread(t);
+        L2Cache &l2 = *l2s_[cluster];
         auto src = std::move(traces.perThread[t]);
         if (cfg_.arrival.model == ArrivalModel::Open) {
             // Open loop: the generator stamps interarrival times; the
@@ -242,7 +266,7 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
                 static_cast<ThreadId>(t));
         }
         cpus_.push_back(std::make_unique<TraceCpu>(
-            this, core_eq(t / cfg_.threadsPerL2), cstr("cpu_", t),
+            this, core_eq(cluster), cstr("cpu_", t),
             static_cast<ThreadId>(t), cpu_params, l2,
             std::move(src)));
     }
@@ -253,7 +277,7 @@ CmpSystem::~CmpSystem() = default;
 void
 CmpSystem::functionalWarmup(TraceBundle traces)
 {
-    cmp_assert(traces.numThreads() == cfg_.numThreads(),
+    cmp_assert(traces.numThreads() == topo_.numThreads(),
                "warmup bundle has the wrong thread count");
     cmp_assert(eq_.curTick() == 0 && totalPending() == 0,
                "warmup must precede the timed run");
@@ -263,11 +287,11 @@ CmpSystem::functionalWarmup(TraceBundle traces)
     TraceRecord r;
     while (any) {
         any = false;
-        for (unsigned t = 0; t < cfg_.numThreads(); ++t) {
+        for (unsigned t = 0; t < topo_.numThreads(); ++t) {
             if (!traces.perThread[t]->next(r))
                 continue;
             any = true;
-            L2Cache &l2 = *l2s_[t / cfg_.threadsPerL2];
+            L2Cache &l2 = *l2s_[topo_.l2OfThread(t)];
             TagArray &tags = l2.tags();
             const Addr line = tags.lineAlign(r.addr);
             const bool store = r.op == MemOp::Store;

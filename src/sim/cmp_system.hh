@@ -2,10 +2,12 @@
  * @file
  * CmpSystem: the assembled Figure 1 machine.
  *
- * Wires 16 trace-driven hardware threads into 4 shared L2 caches, an
- * off-chip L3 victim cache and a memory controller over the
- * bi-directional intrachip ring, with the Snoop Collector and the
- * paper's adaptive write-back machinery configured per PolicyConfig.
+ * Wires the topology's trace-driven hardware threads (16 in the
+ * paper's machine) into its shared L2 caches, an off-chip L3 victim
+ * cache and a memory controller over the intrachip ring, with the
+ * Snoop Collector and the paper's adaptive write-back machinery
+ * configured per PolicyConfig. All agent-id and placement arithmetic
+ * comes from the validated CmpTopology.
  */
 
 #ifndef CMPCACHE_SIM_CMP_SYSTEM_HH
@@ -91,6 +93,8 @@ class CmpSystem : public stats::Group
      */
     EventQueue &eventq() { return eq_; }
     const SystemConfig &config() const { return cfg_; }
+    /** The validated machine shape everything was assembled from. */
+    const CmpTopology &topology() const { return topo_; }
 
     /**
      * Live events across every domain queue. Equals
@@ -108,15 +112,9 @@ class CmpSystem : public stats::Group
     L3Cache &l3() { return *l3_; }
     MemCtrl &mem() { return *mem_; }
     L2Cache &l2(unsigned i) { return *l2s_.at(i); }
-    unsigned numL2s() const
-    {
-        return static_cast<unsigned>(l2s_.size());
-    }
+    unsigned numL2s() const { return topo_.numL2s(); }
     TraceCpu &cpu(unsigned tid) { return *cpus_.at(tid); }
-    unsigned numCpus() const
-    {
-        return static_cast<unsigned>(cpus_.size());
-    }
+    unsigned numCpus() const { return topo_.numThreads(); }
     RetryMonitor &retryMonitor() { return *retryMonitor_; }
     const WbReuseTracker *reuseTracker() const
     {
@@ -150,6 +148,9 @@ class CmpSystem : public stats::Group
     struct ParallelGlue;
 
     SystemConfig cfg_;
+    /** Built (and validated) from cfg_.topology before any component:
+     * every id, stop and cluster computation below goes through it. */
+    CmpTopology topo_;
     /** Global queue (the only one in serial mode). Queues are
      * declared before the components bound to them: events deregister
      * from their queue on destruction. */

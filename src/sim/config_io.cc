@@ -141,12 +141,93 @@ struct KeyHandler
             [](const SystemConfig &c) { return c.field; }               \
     }
 
+/**
+ * Canonical topology.* keys: checked setters that reject values a
+ * 32-bit shape field would silently wrap, and record that the
+ * canonical style is in use so mixing it with the deprecated aliases
+ * below surfaces as a named validation error.
+ */
+#define TOPO_U32(field)                                                 \
+    KeyHandler                                                          \
+    {                                                                   \
+        [](SystemConfig &c, const std::string &k,                       \
+           const std::string &v) -> Expected<void> {                    \
+            const auto r = toU64(k, v);                                 \
+            if (!r)                                                     \
+                return r.error();                                       \
+            if (*r > 0xffffffffull) {                                   \
+                return configError(cstr("config key '", k,              \
+                                        "' value ", *r,                 \
+                                        " overflows 32 bits"));         \
+            }                                                           \
+            c.topology.field =                                          \
+                static_cast<decltype(c.topology.field)>(*r);            \
+            c.topology.canonicalKeysUsed = true;                        \
+            return {};                                                  \
+        },                                                              \
+            [](const SystemConfig &c) {                                 \
+                /* Save the resolved shape so a config built from    */ \
+                /* legacy aliases round-trips as canonical keys.     */ \
+                return cstr(c.topology.resolved().field);               \
+            }                                                           \
+    }
+
+/**
+ * Deprecated machine-shape aliases. They live in their own map (not
+ * handlers()) so saveConfig never writes them back out; parsing one
+ * parks its value on the topology's legacy fields -- folded in by
+ * TopologyParams::resolved() -- and warns, naming the replacement.
+ */
+#define LEGACY_U32(field, replacement)                                  \
+    KeyHandler                                                          \
+    {                                                                   \
+        [](SystemConfig &c, const std::string &k,                       \
+           const std::string &v) -> Expected<void> {                    \
+            const auto r = toU64(k, v);                                 \
+            if (!r)                                                     \
+                return r.error();                                       \
+            if (*r > 0xffffffffull) {                                   \
+                return configError(cstr("config key '", k,              \
+                                        "' value ", *r,                 \
+                                        " overflows 32 bits"));         \
+            }                                                           \
+            warn("config key '", k, "' is deprecated; use ",            \
+                 replacement);                                          \
+            c.topology.field = static_cast<unsigned>(*r);               \
+            return {};                                                  \
+        },                                                              \
+            [](const SystemConfig &) { return std::string(); }          \
+    }
+
 const std::map<std::string, KeyHandler> &
 handlers()
 {
     static const std::map<std::string, KeyHandler> h = {
-        {"num_l2s", U64_KEY(numL2s)},
-        {"threads_per_l2", U64_KEY(threadsPerL2)},
+        {"topology.cores", TOPO_U32(cores)},
+        {"topology.smt", TOPO_U32(smt)},
+        {"topology.l2s", TOPO_U32(l2s)},
+        {"topology.l3_slices", TOPO_U32(l3Slices)},
+        {"topology.rings", TOPO_U32(rings)},
+        {"topology.l2_kb_per_l2", TOPO_U32(l2KbPerL2)},
+        {"topology.l3_mb_per_slice", TOPO_U32(l3MbPerSlice)},
+        {"topology.layout",
+         KeyHandler{[](SystemConfig &c, const std::string &k,
+                       const std::string &v) -> Expected<void> {
+                        RingLayout l;
+                        if (!tryRingLayoutFromString(v, l)) {
+                            return configError(cstr(
+                                "config key '", k,
+                                "' expects single_ring|dual_ring|"
+                                "hier_ring, got '", v, "'"));
+                        }
+                        c.topology.layout = l;
+                        c.topology.canonicalKeysUsed = true;
+                        return {};
+                    },
+                    [](const SystemConfig &c) {
+                        return std::string(
+                            toString(c.topology.layout));
+                    }}},
         {"cpu.outstanding", U64_KEY(cpu.maxOutstanding)},
         {"cpu.blocked_retry", U64_KEY(cpu.blockedRetry)},
         {"l2.size_bytes", U64_KEY(l2.sizeBytes)},
@@ -163,7 +244,6 @@ handlers()
         {"l3.size_bytes", U64_KEY(l3.sizeBytes)},
         {"l3.assoc", U64_KEY(l3.assoc)},
         {"l3.line_size", U64_KEY(l3.lineSize)},
-        {"l3.slices", U64_KEY(l3.slices)},
         {"l3.access_latency", U64_KEY(l3.accessLatency)},
         {"l3.bank_occupancy", U64_KEY(l3.bankOccupancy)},
         {"l3.write_occupancy", U64_KEY(l3.writeOccupancy)},
@@ -222,7 +302,6 @@ handlers()
         {"ring.snoop_latency", U64_KEY(ring.snoopLatency)},
         {"ring.hop_cycles", U64_KEY(ring.hopCycles)},
         {"ring.segment_occupancy", U64_KEY(ring.segmentOccupancy)},
-        {"ring.num_stops", U64_KEY(ring.numStops)},
         {"wbht.entries", U64_KEY(policy.wbht.entries)},
         {"wbht.assoc", U64_KEY(policy.wbht.assoc)},
         {"wbht.lines_per_entry", U64_KEY(policy.wbht.linesPerEntry)},
@@ -303,10 +382,29 @@ handlers()
     return h;
 }
 
+const std::map<std::string, KeyHandler> &
+legacyHandlers()
+{
+    static const std::map<std::string, KeyHandler> h = {
+        {"num_l2s", LEGACY_U32(legacyNumL2s, "topology.l2s (with "
+                               "topology.cores/topology.smt)")},
+        {"threads_per_l2",
+         LEGACY_U32(legacyThreadsPerL2,
+                    "topology.cores and topology.smt")},
+        {"ring.num_stops",
+         LEGACY_U32(legacyRingStops,
+                    "topology.l2s (stop count is derived)")},
+        {"l3.slices", LEGACY_U32(legacyL3Slices, "topology.l3_slices")},
+    };
+    return h;
+}
+
 #undef U64_KEY
 #undef BOOL_KEY
 #undef DBL_KEY
 #undef STR_KEY
+#undef TOPO_U32
+#undef LEGACY_U32
 
 } // namespace
 
@@ -315,9 +413,12 @@ applyConfigOption(SystemConfig &cfg, const std::string &key,
                   const std::string &value)
 {
     const auto it = handlers().find(key);
-    if (it == handlers().end())
-        return configError(cstr("unknown config key '", key, "'"));
-    return it->second.set(cfg, key, value);
+    if (it != handlers().end())
+        return it->second.set(cfg, key, value);
+    const auto lit = legacyHandlers().find(key);
+    if (lit != legacyHandlers().end())
+        return lit->second.set(cfg, key, value);
+    return configError(cstr("unknown config key '", key, "'"));
 }
 
 Expected<void>

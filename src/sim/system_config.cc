@@ -50,20 +50,42 @@ checkGeometry(std::vector<std::string> &errs, const char *prefix,
 
 } // namespace
 
+L2Params
+SystemConfig::effectiveL2() const
+{
+    L2Params p = l2;
+    const TopologyParams t = shape();
+    if (t.l2KbPerL2 != 0)
+        p.sizeBytes = t.l2KbPerL2 * 1024;
+    return p;
+}
+
+L3Params
+SystemConfig::effectiveL3() const
+{
+    L3Params p = l3;
+    const TopologyParams t = shape();
+    p.slices = t.l3Slices;
+    if (t.l3MbPerSlice != 0)
+        p.sizeBytes = t.l3MbPerSlice * 1024 * 1024 * t.l3Slices;
+    return p;
+}
+
 std::vector<std::string>
 SystemConfig::validationErrors() const
 {
     std::vector<std::string> errs;
 
-    if (numL2s == 0)
-        errs.push_back("num_l2s must be positive");
-    if (threadsPerL2 == 0)
-        errs.push_back("threads_per_l2 must be positive");
-    if (ring.numStops != numL2s + 2) {
-        errs.push_back(cstr("ring.num_stops (", ring.numStops,
-                            ") must equal num_l2s + 2 (", numL2s + 2,
-                            ": L2s + L3 + memory)"));
-    }
+    // The machine shape validates as a unit (topology.* keys plus any
+    // legacy aliases parked on it by config parsing).
+    for (auto &e : validateTopology(topology))
+        errs.push_back(std::move(e));
+
+    // Geometry checks run on the *effective* cache parameters, after
+    // the topology's per-level sizing overrides are applied.
+    const L2Params l2 = effectiveL2();
+    const L3Params l3 = effectiveL3();
+
     if (l2.lineSize != l3.lineSize) {
         errs.push_back(cstr("l2.line_size (", l2.lineSize,
                             ") and l3.line_size (", l3.lineSize,
@@ -77,8 +99,6 @@ SystemConfig::validationErrors() const
 
     if (l2.slices == 0)
         errs.push_back("l2.slices must be positive");
-    if (l3.slices == 0)
-        errs.push_back("l3.slices must be positive");
     if (l2.mshrs == 0)
         errs.push_back("l2.mshrs must be positive");
     if (l2.wbqDepth == 0)
@@ -178,10 +198,15 @@ SystemConfig::validate() const
 std::string
 SystemConfig::summary() const
 {
+    const L2Params l2 = effectiveL2();
+    const L3Params l3 = effectiveL3();
+    const TopologyParams t = shape();
     std::ostringstream os;
-    os << numL2s << "xL2(" << l2.sizeBytes / 1024 << "KB," << l2.assoc
-       << "w) L3(" << l3.sizeBytes / (1024 * 1024) << "MB," << l3.assoc
-       << "w) policy=" << toString(policy.policy)
+    os << t.cores << "cx" << t.smt << "smt " << t.l2s << "xL2("
+       << l2.sizeBytes / 1024 << "KB," << l2.assoc << "w) L3("
+       << l3.sizeBytes / (1024 * 1024) << "MB," << l3.assoc << "w,"
+       << l3.slices << "sl) " << toString(t.layout)
+       << " policy=" << toString(policy.policy)
        << " outstanding=" << cpu.maxOutstanding;
     return os.str();
 }

@@ -17,6 +17,7 @@
 #include "memctrl/mem_ctrl.hh"
 #include "obs/obs_config.hh"
 #include "ring/ring.hh"
+#include "sim/topology.hh"
 #include "sim/watchdog.hh"
 #include "trace/trace_source.hh"
 
@@ -25,9 +26,15 @@ namespace cmpcache
 
 struct SystemConfig
 {
-    /** Four L2 caches, each shared by two 2-way-SMT cores. */
-    unsigned numL2s = 4;
-    unsigned threadsPerL2 = 4;
+    /**
+     * Declarative machine shape (topology.* keys): cores, SMT ways,
+     * L2 count, L3 slicing, ring layout. Defaults to the paper's
+     * Table 3 machine: eight 2-way-SMT cores, four shared L2s, a
+     * 4-slice L3 and the memory controller on a single ring.
+     * Legacy keys (num_l2s, threads_per_l2, ring.num_stops,
+     * l3.slices) still parse and populate this (see docs/topology.md).
+     */
+    TopologyParams topology;
 
     L2Params l2;
     L3Params l3;
@@ -71,7 +78,24 @@ struct SystemConfig
      */
     unsigned runThreads = 0;
 
-    unsigned numThreads() const { return numL2s * threadsPerL2; }
+    /** The machine shape with legacy aliases and defaults folded in. */
+    TopologyParams shape() const { return topology.resolved(); }
+
+    unsigned numL2s() const { return shape().l2s; }
+    unsigned threadsPerL2() const { return shape().threadsPerL2(); }
+    unsigned numThreads() const { return shape().threads(); }
+
+    /**
+     * L2 parameters with the topology's per-level sizing override
+     * (topology.l2_kb_per_l2) applied.
+     */
+    L2Params effectiveL2() const;
+
+    /**
+     * L3 parameters with the topology's slice count and per-slice
+     * sizing override (topology.l3_mb_per_slice) applied.
+     */
+    L3Params effectiveL3() const;
 
     /**
      * Cross-field consistency checks. Each returned string names the

@@ -13,7 +13,7 @@ namespace
 class SnoopCollectorTest : public ::testing::Test
 {
   protected:
-    SnoopCollectorTest() : root_("sys"), sc_(&root_, 4) {}
+    SnoopCollectorTest() : root_("sys"), sc_(&root_, CmpTopology::flat(4, 4)) {}
 
     static BusRequest
     req(BusCmd cmd, AgentId requester = 0, bool snarf = false)

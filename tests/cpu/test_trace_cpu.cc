@@ -18,9 +18,7 @@ SystemConfig
 tinyConfig(unsigned outstanding)
 {
     SystemConfig cfg;
-    cfg.numL2s = 2;
-    cfg.threadsPerL2 = 1;
-    cfg.ring.numStops = 4;
+    cfg.topology = TopologyParams::flat(2, 1);
     cfg.l2.sizeBytes = 4096;
     cfg.l2.assoc = 2;
     cfg.l3.sizeBytes = 16384;

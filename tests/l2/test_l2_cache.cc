@@ -23,7 +23,7 @@ class StubAgent : public BusAgent
     StubAgent(AgentId id, unsigned stop) : id_(id), stop_(stop) {}
 
     AgentId agentId() const override { return id_; }
-    unsigned ringStop() const override { return stop_; }
+    RingStop ringStop() const override { return RingStop(stop_); }
 
     SnoopResponse
     snoop(const BusRequest &req) override
@@ -61,8 +61,8 @@ class L2Test : public ::testing::Test
         : root_("sys")
     {
         RingParams rp;
-        rp.numStops = 4; // 2 L2s + L3 + mem
-        ring_ = std::make_unique<Ring>(&root_, eq_, rp, 2);
+        ring_ = std::make_unique<Ring>(&root_, eq_, rp,
+                                       CmpTopology::flat(2, 2));
         retry_ = std::make_unique<RetryMonitor>(
             &root_, RetryMonitor::Params{});
         ring_->setRetryMonitor(retry_.get());
@@ -70,9 +70,9 @@ class L2Test : public ::testing::Test
         L2Params lp;
         lp.sizeBytes = 1024; // 4 sets x 2 ways, 128 B lines
         lp.assoc = 2;
-        l2_ = std::make_unique<L2Cache>(&root_, eq_, "l2_0", 0, 0, lp,
+        l2_ = std::make_unique<L2Cache>(&root_, eq_, "l2_0", 0, RingStop(0), lp,
                                         policy, *ring_, retry_.get());
-        peer_ = std::make_unique<L2Cache>(&root_, eq_, "l2_1", 1, 1,
+        peer_ = std::make_unique<L2Cache>(&root_, eq_, "l2_1", 1, RingStop(1),
                                           lp, policy, *ring_,
                                           retry_.get());
         l3_ = std::make_unique<StubAgent>(2, 2);
@@ -211,7 +211,7 @@ TEST_F(L2Test, BlockedWhenMshrsFull)
     lp.assoc = 2;
     lp.mshrs = 1;
     PolicyConfig pc;
-    L2Cache small(&root_, eq_, "l2_small", 4, 0, lp, pc, *ring_,
+    L2Cache small(&root_, eq_, "l2_small", 4, RingStop(0), lp, pc, *ring_,
                   retry_.get());
     // Detached from the ring's agent list on purpose: only the
     // resource check matters here.
@@ -314,7 +314,7 @@ TEST_F(L2WbhtTest, RetrySwitchOffMeansNoConsultation)
     L2Params lp;
     lp.sizeBytes = 1024;
     lp.assoc = 2;
-    L2Cache gated(&root_, eq_, "l2_gated", 5, 0, lp, p, *ring_,
+    L2Cache gated(&root_, eq_, "l2_gated", 5, RingStop(0), lp, p, *ring_,
                   retry_.get());
     ASSERT_NE(gated.wbht(), nullptr);
     EXPECT_EQ(gated.wbAbortedByWbht(), 0u);
@@ -335,12 +335,12 @@ class L2NoCleanIntervention : public L2Test
         lp.cleanInterventions = false;
         PolicyConfig pc;
         RingParams rp;
-        rp.numStops = 4;
-        ring2_ = std::make_unique<Ring>(&root_, eq_, rp, 2);
+        ring2_ = std::make_unique<Ring>(&root_, eq_, rp,
+                                        CmpTopology::flat(2, 2));
         ring2_->setRetryMonitor(retry_.get());
-        a_ = std::make_unique<L2Cache>(&root_, eq_, "nci_a", 10, 0,
+        a_ = std::make_unique<L2Cache>(&root_, eq_, "nci_a", 10, RingStop(0),
                                        lp, pc, *ring2_, retry_.get());
-        b_ = std::make_unique<L2Cache>(&root_, eq_, "nci_b", 11, 1,
+        b_ = std::make_unique<L2Cache>(&root_, eq_, "nci_b", 11, RingStop(1),
                                        lp, pc, *ring2_, retry_.get());
         l3b_ = std::make_unique<StubAgent>(12, 2);
         memb_ = std::make_unique<StubAgent>(13, 3);

@@ -18,7 +18,7 @@ class L3Test : public ::testing::Test
         params_.sizeBytes = 64 * 1024; // small: 16 sets x 16 ways? ->
         params_.assoc = 16;            // 64K/(16*128) = 32 sets
         params_.wbQueueDepth = 2;
-        l3_ = std::make_unique<L3Cache>(&root_, eq_, 4, 4, params_);
+        l3_ = std::make_unique<L3Cache>(&root_, eq_, 4, RingStop(4), params_);
         mem_writes_ = 0;
         l3_->setMemWriteFn([this] { ++mem_writes_; });
     }
@@ -210,7 +210,7 @@ TEST_F(L3Test, LoadHitRateUsesServedSemantics)
 TEST_F(L3Test, SquashConsumesQueueBriefly)
 {
     params_.wbQueueDepth = 1;
-    L3Cache l3(&root_, eq_, 5, 5, params_);
+    L3Cache l3(&root_, eq_, 5, RingStop(5), params_);
     // Make a line resident.
     auto wb = req(BusCmd::WbClean, 0x0, 100);
     ASSERT_TRUE(l3.snoop(wb).wbAccept);

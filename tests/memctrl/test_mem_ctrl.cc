@@ -15,7 +15,7 @@ class MemCtrlTest : public ::testing::Test
   protected:
     MemCtrlTest() : root_("sys")
     {
-        mem_ = std::make_unique<MemCtrl>(&root_, eq_, 5, 5, params_);
+        mem_ = std::make_unique<MemCtrl>(&root_, eq_, 5, RingStop(5), params_);
     }
 
     BusRequest

@@ -20,7 +20,7 @@ class MockAgent : public BusAgent
     MockAgent(AgentId id, unsigned stop) : id_(id), stop_(stop) {}
 
     AgentId agentId() const override { return id_; }
-    unsigned ringStop() const override { return stop_; }
+    RingStop ringStop() const override { return RingStop(stop_); }
 
     SnoopResponse
     snoop(const BusRequest &req) override
@@ -71,10 +71,9 @@ class MockAgent : public BusAgent
 class RingTest : public ::testing::Test
 {
   protected:
-    RingTest() : root_("sys")
+    RingTest() : root_("sys"), topo_(CmpTopology::flat(4, 4))
     {
-        params_.numStops = 6;
-        ring_ = std::make_unique<Ring>(&root_, eq_, params_, 4);
+        ring_ = std::make_unique<Ring>(&root_, eq_, params_, topo_);
         for (unsigned i = 0; i < 4; ++i) {
             l2s_.push_back(std::make_unique<MockAgent>(i, i));
             ring_->attach(l2s_.back().get(), Ring::Role::L2);
@@ -98,6 +97,7 @@ class RingTest : public ::testing::Test
     stats::Group root_;
     EventQueue eq_;
     RingParams params_;
+    CmpTopology topo_;
     std::unique_ptr<Ring> ring_;
     std::vector<std::unique_ptr<MockAgent>> l2s_;
     std::unique_ptr<MockAgent> l3_;
@@ -240,8 +240,8 @@ TEST_F(RingTest, TransactionIdsIncrease)
 TEST_F(RingTest, DataTransferLatencyGrowsWithDistance)
 {
     // Contention-free: one hop vs three hops.
-    const Tick one = ring_->reserveDataTransfer(0, 1, 1000);
-    const Tick three = ring_->reserveDataTransfer(0, 3, 2000);
+    const Tick one = ring_->reserveDataTransfer(RingStop(0), RingStop(1), 1000);
+    const Tick three = ring_->reserveDataTransfer(RingStop(0), RingStop(3), 2000);
     EXPECT_GT(three - 2000, one - 1000);
 }
 
@@ -249,8 +249,8 @@ TEST_F(RingTest, DataTransferShortestDirectionUsed)
 {
     // 5 -> 0 is one hop backwards; must not cost the 5-hop forward
     // path.
-    const Tick one_fwd = ring_->reserveDataTransfer(0, 1, 0);
-    const Tick one_bwd = ring_->reserveDataTransfer(5, 0, 10000);
+    const Tick one_fwd = ring_->reserveDataTransfer(RingStop(0), RingStop(1), 0);
+    const Tick one_bwd = ring_->reserveDataTransfer(RingStop(5), RingStop(0), 10000);
     EXPECT_EQ(one_fwd - 0, one_bwd - 10000);
 }
 
@@ -259,9 +259,9 @@ TEST_F(RingTest, CongestedSegmentDelaysTransfers)
     // Saturate segment 0->1 with many transfers at the same tick.
     Tick last = 0;
     for (int i = 0; i < 10; ++i)
-        last = ring_->reserveDataTransfer(0, 1, 0);
+        last = ring_->reserveDataTransfer(RingStop(0), RingStop(1), 0);
     const Tick uncongested =
-        ring_->reserveDataTransfer(2, 3, 0); // different segment
+        ring_->reserveDataTransfer(RingStop(2), RingStop(3), 0); // different segment
     EXPECT_GT(last, uncongested);
 }
 
@@ -270,10 +270,10 @@ TEST_F(RingTest, BidirectionalPathsRelieveLoad)
     // With the forward direction saturated, the reverse path gets
     // picked and arrival stays bounded.
     for (int i = 0; i < 50; ++i)
-        ring_->reserveDataTransfer(0, 3, 0); // both dirs fill up
-    const Tick a = ring_->reserveDataTransfer(0, 3, 0);
+        ring_->reserveDataTransfer(RingStop(0), RingStop(3), 0); // both dirs fill up
+    const Tick a = ring_->reserveDataTransfer(RingStop(0), RingStop(3), 0);
     // Another distinct pair remains fast.
-    const Tick b = ring_->reserveDataTransfer(4, 5, 0);
+    const Tick b = ring_->reserveDataTransfer(RingStop(4), RingStop(5), 0);
     EXPECT_GT(a, b);
 }
 

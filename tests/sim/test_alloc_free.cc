@@ -91,9 +91,7 @@ SystemConfig
 stressConfig()
 {
     SystemConfig cfg;
-    cfg.numL2s = 2;
-    cfg.threadsPerL2 = 2;
-    cfg.ring.numStops = 4;
+    cfg.topology = TopologyParams::flat(2, 2);
     cfg.l2.sizeBytes = 2048;
     cfg.l2.assoc = 2;
     cfg.l3.sizeBytes = 8192;

@@ -26,9 +26,7 @@ SystemConfig
 microConfig()
 {
     SystemConfig cfg;
-    cfg.numL2s = 2;
-    cfg.threadsPerL2 = 1;
-    cfg.ring.numStops = 4;
+    cfg.topology = TopologyParams::flat(2, 1);
     cfg.l2.sizeBytes = 1024;
     cfg.l2.assoc = 2;
     cfg.l3.sizeBytes = 4096;
@@ -429,7 +427,7 @@ TEST(CmpSystemDeath, WrongThreadCountIsFatal)
 TEST(CmpSystem, InconsistentRingStopsThrowsConfigError)
 {
     auto cfg = microConfig();
-    cfg.ring.numStops = 9;
+    cfg.topology.legacyRingStops = 9;
     try {
         CmpSystem sys(cfg, bundleOf({{}, {}}));
         FAIL() << "expected SimException";

@@ -46,8 +46,7 @@ class CoherenceInvariants
     config(const InvariantCase &c)
     {
         SystemConfig cfg;
-        cfg.numL2s = 4;
-        cfg.threadsPerL2 = 4;
+        cfg.topology = TopologyParams::flat(4, 4);
         // Small caches force heavy eviction/invalidation traffic.
         cfg.l2.sizeBytes = 16 * 1024;
         cfg.l2.assoc = 4;

@@ -178,3 +178,127 @@ TEST(ConfigIo, MissingFileReportsIoError)
               std::string::npos)
         << r.error().message;
 }
+
+TEST(ConfigIo, TopologyKeysApply)
+{
+    SystemConfig cfg;
+    mustApply(cfg, "topology.cores", "64");
+    mustApply(cfg, "topology.smt", "1");
+    mustApply(cfg, "topology.l2s", "16");
+    mustApply(cfg, "topology.l3_slices", "16");
+    mustApply(cfg, "topology.layout", "hier_ring");
+    mustApply(cfg, "topology.rings", "4");
+    mustApply(cfg, "topology.l2_kb_per_l2", "256");
+    mustApply(cfg, "topology.l3_mb_per_slice", "2");
+    EXPECT_EQ(cfg.topology.cores, 64u);
+    EXPECT_EQ(cfg.topology.smt, 1u);
+    EXPECT_EQ(cfg.topology.l2s, 16u);
+    EXPECT_EQ(cfg.topology.l3Slices, 16u);
+    EXPECT_EQ(cfg.topology.layout, RingLayout::HierRing);
+    EXPECT_EQ(cfg.topology.rings, 4u);
+    EXPECT_EQ(cfg.topology.l2KbPerL2, 256u);
+    EXPECT_EQ(cfg.topology.l3MbPerSlice, 2u);
+    EXPECT_TRUE(cfg.topology.canonicalKeysUsed);
+    EXPECT_TRUE(cfg.validationErrors().empty());
+}
+
+TEST(ConfigIo, TopologyKeysRoundTripThroughSave)
+{
+    SystemConfig a;
+    mustApply(a, "topology.cores", "32");
+    mustApply(a, "topology.smt", "2");
+    mustApply(a, "topology.l2s", "8");
+    mustApply(a, "topology.l3_slices", "8");
+    mustApply(a, "topology.layout", "dual_ring");
+
+    std::stringstream ss;
+    saveConfig(a, ss);
+    const std::string text = ss.str();
+    // The canonical keys are written; the deprecated aliases never
+    // are.
+    EXPECT_NE(text.find("topology.cores = 32"), std::string::npos);
+    EXPECT_NE(text.find("topology.layout = dual_ring"),
+              std::string::npos);
+    EXPECT_EQ(text.find("num_l2s"), std::string::npos);
+    EXPECT_EQ(text.find("threads_per_l2"), std::string::npos);
+    EXPECT_EQ(text.find("ring.num_stops"), std::string::npos);
+    EXPECT_EQ(text.find("l3.slices"), std::string::npos);
+
+    SystemConfig b;
+    const auto r = loadConfig(b, ss);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(b.topology.cores, 32u);
+    EXPECT_EQ(b.topology.smt, 2u);
+    EXPECT_EQ(b.topology.l2s, 8u);
+    EXPECT_EQ(b.topology.l3Slices, 8u);
+    EXPECT_EQ(b.topology.layout, RingLayout::DualRing);
+}
+
+TEST(ConfigIo, LegacyShapeKeysParkAndWarn)
+{
+    SystemConfig cfg;
+    mustApply(cfg, "num_l2s", "2");
+    mustApply(cfg, "threads_per_l2", "2");
+    mustApply(cfg, "ring.num_stops", "4");
+    mustApply(cfg, "l3.slices", "2");
+    // Values park on the legacy fields; the canonical fields stay
+    // untouched until resolved() folds them in.
+    EXPECT_EQ(cfg.topology.legacyNumL2s, 2u);
+    EXPECT_EQ(cfg.topology.legacyThreadsPerL2, 2u);
+    EXPECT_EQ(cfg.topology.legacyRingStops, 4u);
+    EXPECT_EQ(cfg.topology.legacyL3Slices, 2u);
+    EXPECT_FALSE(cfg.topology.canonicalKeysUsed);
+    EXPECT_EQ(cfg.topology.cores, 8u);
+    EXPECT_EQ(cfg.numL2s(), 2u);
+    EXPECT_EQ(cfg.threadsPerL2(), 2u);
+    EXPECT_EQ(cfg.numThreads(), 4u);
+    EXPECT_TRUE(cfg.validationErrors().empty());
+}
+
+TEST(ConfigIo, LegacyConfigSavesAsCanonicalKeys)
+{
+    SystemConfig a;
+    mustApply(a, "num_l2s", "2");
+    mustApply(a, "threads_per_l2", "2");
+
+    std::stringstream ss;
+    saveConfig(a, ss);
+
+    SystemConfig b;
+    const auto r = loadConfig(b, ss);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    // The save wrote the resolved shape under canonical keys, so the
+    // reload describes the same 4-thread machine without aliases.
+    EXPECT_EQ(b.topology.legacyNumL2s, 0u);
+    EXPECT_EQ(b.numL2s(), 2u);
+    EXPECT_EQ(b.numThreads(), 4u);
+    EXPECT_TRUE(b.validationErrors().empty());
+}
+
+TEST(ConfigIo, MixingLegacyAndCanonicalFailsValidation)
+{
+    SystemConfig cfg;
+    mustApply(cfg, "num_l2s", "2");
+    mustApply(cfg, "topology.cores", "8");
+    const auto errs = cfg.validationErrors();
+    ASSERT_FALSE(errs.empty());
+    bool found = false;
+    for (const auto &e : errs)
+        found = found
+                || e.find("conflict with canonical topology.* keys")
+                       != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(ConfigIo, TopologyLayoutRejectsUnknownNames)
+{
+    SystemConfig cfg;
+    for (const auto *bad : {"moebius", "ring", "SINGLE_RING", ""}) {
+        const auto r = applyConfigOption(cfg, "topology.layout", bad);
+        ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+        EXPECT_NE(r.error().message.find(
+                      "single_ring|dual_ring|hier_ring"),
+                  std::string::npos)
+            << r.error().message;
+    }
+}

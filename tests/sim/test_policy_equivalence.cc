@@ -21,9 +21,7 @@ SystemConfig
 singleL2Config(WbPolicy policy)
 {
     SystemConfig cfg;
-    cfg.numL2s = 1;
-    cfg.threadsPerL2 = 4;
-    cfg.ring.numStops = 3; // L2 + L3 + memory
+    cfg.topology = TopologyParams::flat(1, 4);
     cfg.l2.sizeBytes = 16 * 1024;
     cfg.l2.assoc = 4;
     cfg.l3.sizeBytes = 64 * 1024;

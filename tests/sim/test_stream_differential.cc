@@ -79,9 +79,7 @@ SystemConfig
 baseConfig()
 {
     SystemConfig cfg;
-    cfg.numL2s = 2;
-    cfg.threadsPerL2 = 2;
-    cfg.ring.numStops = cfg.numL2s + 2; // L2s + L3 + memory
+    cfg.topology = TopologyParams::flat(2, 2);
     cfg.l2.sizeBytes = 16 * 1024;
     cfg.l3.sizeBytes = 128 * 1024;
     // Streaming forces warmup off (one pass over the stream), so the

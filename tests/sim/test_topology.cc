@@ -1,0 +1,653 @@
+/**
+ * @file
+ * Tests for the declarative CmpTopology: validation of topology.*
+ * parameter sets (each error names its key), legacy-alias resolution,
+ * agent/stop placement, physical data-ring geometry and routing for
+ * all three layouts, and small end-to-end runs on the non-default
+ * interconnects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config_io.hh"
+#include "sim/sweep.hh"
+#include "sim/system_config.hh"
+#include "sim/topology.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+/** Does any validation error mention @p needle? */
+bool
+mentions(const std::vector<std::string> &errs, const std::string &needle)
+{
+    for (const auto &e : errs)
+        if (e.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::string
+joined(const std::vector<std::string> &errs)
+{
+    std::string s;
+    for (const auto &e : errs)
+        s += e + "\n";
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Validation: every rejected shape names the offending config key.
+// ---------------------------------------------------------------------
+
+TEST(TopologyValidate, DefaultShapeIsValid)
+{
+    TopologyParams p;
+    EXPECT_TRUE(validateTopology(p).empty());
+}
+
+TEST(TopologyValidate, ZeroCoresNamed)
+{
+    TopologyParams p;
+    p.cores = 0;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "topology.cores must be positive"))
+        << joined(errs);
+}
+
+TEST(TopologyValidate, ZeroSmtNamed)
+{
+    TopologyParams p;
+    p.smt = 0;
+    EXPECT_TRUE(
+        mentions(validateTopology(p), "topology.smt must be positive"));
+}
+
+TEST(TopologyValidate, ZeroL2sNamed)
+{
+    TopologyParams p;
+    p.l2s = 0;
+    EXPECT_TRUE(
+        mentions(validateTopology(p), "topology.l2s must be positive"));
+}
+
+TEST(TopologyValidate, L2CountBoundedByAgentIdWidth)
+{
+    TopologyParams p;
+    p.cores = 254;
+    p.smt = 1;
+    p.l2s = 254;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "topology.l2s (254) must be <= 253"))
+        << joined(errs);
+
+    p.cores = 253;
+    p.l2s = 253;
+    EXPECT_TRUE(validateTopology(p).empty());
+}
+
+TEST(TopologyValidate, ThreadsMustDivideAcrossL2s)
+{
+    TopologyParams p;
+    p.cores = 9;
+    p.smt = 1;
+    p.l2s = 4;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "must divide evenly across "
+                               "topology.l2s (4)"))
+        << joined(errs);
+}
+
+TEST(TopologyValidate, ThreadCountBoundedByThreadIdWidth)
+{
+    TopologyParams p;
+    p.cores = 40000;
+    p.smt = 2;
+    p.l2s = 40000; // keep the l2s check quiet about divisibility
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "must be <= 65535")) << joined(errs);
+}
+
+TEST(TopologyValidate, ThreadCountOverflowNamed)
+{
+    TopologyParams p;
+    p.cores = 1u << 16;
+    p.smt = 1u << 16; // cores * smt wraps a 32-bit unsigned
+    p.l2s = 4;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "overflows the thread count"))
+        << joined(errs);
+}
+
+TEST(TopologyValidate, L3SlicesMustBePowerOfTwo)
+{
+    TopologyParams p;
+    for (unsigned bad : {0u, 3u, 6u, 12u}) {
+        p.l3Slices = bad;
+        EXPECT_TRUE(mentions(validateTopology(p),
+                             "topology.l3_slices"))
+            << "accepted l3Slices = " << bad;
+    }
+    for (unsigned good : {1u, 2u, 8u, 64u}) {
+        p.l3Slices = good;
+        EXPECT_TRUE(validateTopology(p).empty())
+            << "rejected l3Slices = " << good;
+    }
+}
+
+TEST(TopologyValidate, HierRingNeedsTwoRings)
+{
+    TopologyParams p;
+    p.layout = RingLayout::HierRing;
+    p.rings = 1;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "topology.rings (1) must be >= 2"))
+        << joined(errs);
+}
+
+TEST(TopologyValidate, HierRingNeedsEvenL2Split)
+{
+    TopologyParams p;
+    p.cores = 6;
+    p.smt = 1;
+    p.l2s = 3;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "topology.l2s (3) must divide evenly "
+                               "across topology.rings (2)"))
+        << joined(errs);
+}
+
+TEST(TopologyValidate, MixingLegacyAndCanonicalIsNamedError)
+{
+    TopologyParams p;
+    p.canonicalKeysUsed = true;
+    p.legacyNumL2s = 2;
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "conflict with canonical topology.* "
+                               "keys; use one style only"))
+        << joined(errs);
+}
+
+TEST(TopologyValidate, LegacyRingStopMismatchKeepsOldMessage)
+{
+    TopologyParams p;
+    p.legacyRingStops = 9; // default 4 L2s need 6 stops
+    const auto errs = validateTopology(p);
+    EXPECT_TRUE(mentions(errs, "ring.num_stops (9) must equal "
+                               "num_l2s + 2 (6: L2s + L3 + memory)"))
+        << joined(errs);
+
+    p.legacyRingStops = 6;
+    EXPECT_TRUE(validateTopology(p).empty());
+}
+
+TEST(TopologyValidate, BuildRollsErrorsIntoConfigError)
+{
+    TopologyParams p;
+    p.cores = 0;
+    p.l3Slices = 3;
+    const auto t = CmpTopology::build(p);
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.error().kind, SimErrorKind::Config);
+    EXPECT_NE(t.error().message.find("topology.cores"),
+              std::string::npos);
+    EXPECT_NE(t.error().message.find("topology.l3_slices"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Legacy-alias resolution semantics.
+// ---------------------------------------------------------------------
+
+TEST(TopologyLegacy, NumL2sAloneResolvesWithLegacyDefaults)
+{
+    TopologyParams p;
+    p.legacyNumL2s = 2;
+    const TopologyParams r = p.resolved();
+    // Legacy machines were num_l2s clusters x threads_per_l2 (default
+    // 4) single-SMT threads.
+    EXPECT_EQ(r.l2s, 2u);
+    EXPECT_EQ(r.cores, 8u);
+    EXPECT_EQ(r.smt, 1u);
+    EXPECT_EQ(r.threads(), 8u);
+    EXPECT_EQ(r.threadsPerL2(), 4u);
+    EXPECT_EQ(r.l3Slices, 4u);
+}
+
+TEST(TopologyLegacy, ThreadsPerL2AloneResolves)
+{
+    TopologyParams p;
+    p.legacyThreadsPerL2 = 2;
+    const TopologyParams r = p.resolved();
+    EXPECT_EQ(r.l2s, 4u);
+    EXPECT_EQ(r.threads(), 8u);
+    EXPECT_EQ(r.threadsPerL2(), 2u);
+    EXPECT_EQ(r.smt, 1u);
+}
+
+TEST(TopologyLegacy, L3SlicesAliasResolves)
+{
+    TopologyParams p;
+    p.legacyL3Slices = 8;
+    EXPECT_EQ(p.resolved().l3Slices, 8u);
+}
+
+TEST(TopologyLegacy, ResolvedIsIdentityWithoutLegacyKeys)
+{
+    TopologyParams p;
+    p.cores = 64;
+    p.smt = 1;
+    p.l2s = 16;
+    p.l3Slices = 16;
+    const TopologyParams r = p.resolved();
+    EXPECT_EQ(r.cores, 64u);
+    EXPECT_EQ(r.smt, 1u);
+    EXPECT_EQ(r.l2s, 16u);
+    EXPECT_EQ(r.l3Slices, 16u);
+}
+
+TEST(TopologyLegacy, FlatFactoryMatchesOldThreeFieldIdiom)
+{
+    const TopologyParams p = TopologyParams::flat(2, 2);
+    EXPECT_EQ(p.l2s, 2u);
+    EXPECT_EQ(p.cores, 4u);
+    EXPECT_EQ(p.smt, 1u);
+    EXPECT_EQ(p.threadsPerL2(), 2u);
+    EXPECT_TRUE(validateTopology(p).empty());
+}
+
+// ---------------------------------------------------------------------
+// Placement: agents, stops, thread clustering.
+// ---------------------------------------------------------------------
+
+TEST(TopologyPlacement, PaperMachineShape)
+{
+    TopologyParams p; // default: 8c x 2smt, 4 L2s, 4 slices
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->numCores(), 8u);
+    EXPECT_EQ(t->numThreads(), 16u);
+    EXPECT_EQ(t->numL2s(), 4u);
+    EXPECT_EQ(t->threadsPerL2(), 4u);
+    EXPECT_EQ(t->numL3Slices(), 4u);
+    EXPECT_EQ(t->numAgents(), 6u);
+    EXPECT_EQ(t->numStops(), 6u);
+}
+
+TEST(TopologyPlacement, AgentIdsInOrder)
+{
+    const CmpTopology t = CmpTopology::flat(4, 4);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.l2Agent(i), static_cast<AgentId>(i));
+        EXPECT_TRUE(t.isL2Agent(t.l2Agent(i)));
+    }
+    EXPECT_EQ(t.l3Agent(), 4);
+    EXPECT_EQ(t.memAgent(), 5);
+    EXPECT_FALSE(t.isL2Agent(t.l3Agent()));
+    EXPECT_FALSE(t.isL2Agent(t.memAgent()));
+}
+
+TEST(TopologyPlacement, EveryAgentOwnsItsStop)
+{
+    TopologyParams p;
+    p.cores = 8;
+    p.smt = 1;
+    p.l2s = 4;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    // Stop index == agent id holds across every layout; the physical
+    // ring a stop maps to is route()'s business.
+    for (unsigned a = 0; a < t->numAgents(); ++a) {
+        EXPECT_EQ(t->stopOfAgent(static_cast<AgentId>(a)).value(), a);
+    }
+}
+
+TEST(TopologyPlacement, ThreadsClusterContiguously)
+{
+    const CmpTopology t = CmpTopology::flat(4, 4);
+    for (unsigned tid = 0; tid < t.numThreads(); ++tid)
+        EXPECT_EQ(t.l2OfThread(tid), tid / 4);
+}
+
+TEST(TopologyPlacement, SixtyFourCoreMachineBuilds)
+{
+    TopologyParams p;
+    p.cores = 64;
+    p.smt = 1;
+    p.l2s = 16;
+    p.l3Slices = 16;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->numThreads(), 64u);
+    EXPECT_EQ(t->numStops(), 18u);
+    EXPECT_EQ(t->l3Agent(), 16);
+    EXPECT_EQ(t->memAgent(), 17);
+    EXPECT_EQ(t->l2OfThread(63), 15u);
+}
+
+// ---------------------------------------------------------------------
+// Physical data-ring geometry and routing.
+// ---------------------------------------------------------------------
+
+TEST(TopologyRoute, SingleRingIsOneLane)
+{
+    const CmpTopology t = CmpTopology::flat(4, 4);
+    EXPECT_EQ(t.numRings(), 1u);
+    EXPECT_EQ(t.ringSize(0), 6u);
+    EXPECT_EQ(t.numDataLanes(), 1u);
+
+    CmpTopology::DataLeg legs[3];
+    ASSERT_EQ(t.route(RingStop(0), RingStop(5), legs), 1u);
+    EXPECT_EQ(legs[0].ring, 0u);
+    EXPECT_EQ(legs[0].srcPos, 0u);
+    EXPECT_EQ(legs[0].dstPos, 5u);
+    EXPECT_EQ(t.route(RingStop(3), RingStop(3), legs), 0u);
+}
+
+TEST(TopologyRoute, DualRingDoublesLanesNotPlacement)
+{
+    TopologyParams p;
+    p.layout = RingLayout::DualRing;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->numRings(), 2u);
+    EXPECT_EQ(t->numDataLanes(), 2u);
+    EXPECT_EQ(t->ringSize(0), 6u);
+    EXPECT_EQ(t->ringSize(1), 6u);
+
+    // Routing is identical to single_ring: one leg on ring 0 and the
+    // caller substitutes any lane < numDataLanes().
+    CmpTopology::DataLeg legs[3];
+    ASSERT_EQ(t->route(RingStop(1), RingStop(4), legs), 1u);
+    EXPECT_EQ(legs[0].ring, 0u);
+    EXPECT_EQ(legs[0].srcPos, 1u);
+    EXPECT_EQ(legs[0].dstPos, 4u);
+}
+
+TEST(TopologyRoute, HierRingGeometry)
+{
+    TopologyParams p;
+    p.cores = 8;
+    p.smt = 1;
+    p.l2s = 4;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    // Two local rings of 2 L2s + 1 bridge; global ring of 2 bridges +
+    // L3 + memory.
+    EXPECT_EQ(t->numRings(), 3u);
+    EXPECT_EQ(t->ringSize(0), 3u);
+    EXPECT_EQ(t->ringSize(1), 3u);
+    EXPECT_EQ(t->ringSize(2), 4u);
+    EXPECT_EQ(t->numDataLanes(), 1u);
+}
+
+TEST(TopologyRoute, HierRingLocalTransferIsOneLeg)
+{
+    TopologyParams p;
+    p.cores = 8;
+    p.smt = 1;
+    p.l2s = 4;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    CmpTopology::DataLeg legs[3];
+    ASSERT_EQ(t->route(RingStop(0), RingStop(1), legs), 1u);
+    EXPECT_EQ(legs[0].ring, 0u);
+    EXPECT_EQ(legs[0].srcPos, 0u);
+    EXPECT_EQ(legs[0].dstPos, 1u);
+}
+
+TEST(TopologyRoute, HierRingCrossClusterTakesThreeLegs)
+{
+    TopologyParams p;
+    p.cores = 8;
+    p.smt = 1;
+    p.l2s = 4;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    // L2 0 (ring 0, pos 0) -> L2 2 (ring 1, pos 0): exit over the
+    // bridge at local pos 2, cross bridges 0 -> 1 on the global ring,
+    // enter through the far bridge.
+    CmpTopology::DataLeg legs[3];
+    ASSERT_EQ(t->route(RingStop(0), RingStop(2), legs), 3u);
+    EXPECT_EQ(legs[0].ring, 0u);
+    EXPECT_EQ(legs[0].srcPos, 0u);
+    EXPECT_EQ(legs[0].dstPos, 2u);
+    EXPECT_EQ(legs[1].ring, 2u);
+    EXPECT_EQ(legs[1].srcPos, 0u);
+    EXPECT_EQ(legs[1].dstPos, 1u);
+    EXPECT_EQ(legs[2].ring, 1u);
+    EXPECT_EQ(legs[2].srcPos, 2u);
+    EXPECT_EQ(legs[2].dstPos, 0u);
+}
+
+TEST(TopologyRoute, HierRingL2ToL3TakesTwoLegs)
+{
+    TopologyParams p;
+    p.cores = 8;
+    p.smt = 1;
+    p.l2s = 4;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    // L2 0 -> L3 (global ring pos 2): local exit then global hop.
+    CmpTopology::DataLeg legs[3];
+    ASSERT_EQ(t->route(RingStop(0), t->stopOfAgent(t->l3Agent()),
+                       legs),
+              2u);
+    EXPECT_EQ(legs[0].ring, 0u);
+    EXPECT_EQ(legs[0].dstPos, 2u);
+    EXPECT_EQ(legs[1].ring, 2u);
+    EXPECT_EQ(legs[1].srcPos, 0u);
+    EXPECT_EQ(legs[1].dstPos, 2u);
+}
+
+TEST(TopologyRoute, HierRingGlobalAgentsAreOneLeg)
+{
+    TopologyParams p;
+    p.cores = 8;
+    p.smt = 1;
+    p.l2s = 4;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    const auto t = CmpTopology::build(p);
+    ASSERT_TRUE(t.ok());
+    // L3 (global pos 2) -> memory (global pos 3).
+    CmpTopology::DataLeg legs[3];
+    ASSERT_EQ(t->route(t->stopOfAgent(t->l3Agent()),
+                       t->stopOfAgent(t->memAgent()), legs),
+              1u);
+    EXPECT_EQ(legs[0].ring, 2u);
+    EXPECT_EQ(legs[0].srcPos, 2u);
+    EXPECT_EQ(legs[0].dstPos, 3u);
+}
+
+TEST(TopologyDescribe, NamesShapeAndLayout)
+{
+    TopologyParams p;
+    EXPECT_EQ(CmpTopology::build(p)->describe(),
+              "8cx2smt 4xL2 4xL3sl single_ring(6)");
+
+    EXPECT_EQ(CmpTopology::flat(4, 4).describe(),
+              "16c 4xL2 4xL3sl single_ring(6)");
+
+    p.cores = 8;
+    p.smt = 1;
+    p.layout = RingLayout::HierRing;
+    p.rings = 2;
+    EXPECT_EQ(CmpTopology::build(p)->describe(),
+              "8c 4xL2 4xL3sl hier_ring(2x3+4)");
+}
+
+// ---------------------------------------------------------------------
+// End to end: the non-default interconnects run real workloads
+// cleanly, with the coherence invariant checker on.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"thrash"};
+    spec.policies = {WbPolicy::Combined};
+    spec.outstanding = {6};
+    spec.recordsPerThread = 1000;
+    spec.checkCoherence = true;
+    return spec;
+}
+
+void
+expectCleanRun(const SweepSpec &spec)
+{
+    const auto results = runSweep(spec, 1);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].coherenceViolations, 0u);
+    EXPECT_GT(results[0].result.execTime, 0u);
+    EXPECT_GT(results[0].eventsExecuted, 0u);
+}
+
+} // namespace
+
+TEST(TopologyEndToEnd, DualRingRunsClean)
+{
+    SweepSpec spec = smallSpec();
+    spec.base.topology.layout = RingLayout::DualRing;
+    expectCleanRun(spec);
+}
+
+TEST(TopologyEndToEnd, HierRingRunsClean)
+{
+    SweepSpec spec = smallSpec();
+    spec.base.topology.cores = 8;
+    spec.base.topology.smt = 1;
+    spec.base.topology.layout = RingLayout::HierRing;
+    spec.base.topology.rings = 2;
+    expectCleanRun(spec);
+}
+
+TEST(TopologyEndToEnd, SixtyFourCoreMachineRunsClean)
+{
+    SweepSpec spec = smallSpec();
+    spec.recordsPerThread = 300;
+    spec.base.topology.cores = 64;
+    spec.base.topology.smt = 1;
+    spec.base.topology.l2s = 16;
+    spec.base.topology.l3Slices = 16;
+    expectCleanRun(spec);
+}
+
+// ---------------------------------------------------------------------
+// Hostile configuration corpus: malformed topology.* values must fail
+// as named config errors without touching the shape. This suite runs
+// under ASan/UBSan (test_topology carries the sanitize label).
+// ---------------------------------------------------------------------
+
+TEST(TopologyHostileConfig, CanonicalKeysRejectHostileValues)
+{
+    SystemConfig cfg;
+    // Shape fields are 32-bit: a value that parses as u64 but would
+    // silently wrap is a named error, as are the usual malformed
+    // integers.
+    for (const auto *key :
+         {"topology.cores", "topology.smt", "topology.l2s",
+          "topology.l3_slices", "topology.rings",
+          "topology.l2_kb_per_l2", "topology.l3_mb_per_slice"}) {
+        const auto over = applyConfigOption(cfg, key, "4294967296");
+        ASSERT_FALSE(over.ok()) << key;
+        EXPECT_NE(over.error().message.find("overflows 32 bits"),
+                  std::string::npos)
+            << over.error().message;
+        for (const auto *bad :
+             {"-1", "1.5", "4x", "", " ",
+              "99999999999999999999999"}) {
+            EXPECT_FALSE(applyConfigOption(cfg, key, bad).ok())
+                << key << " accepted '" << bad << "'";
+        }
+    }
+    // Nothing above may have modified the config.
+    EXPECT_EQ(cfg.topology.cores, 8u);
+    EXPECT_FALSE(cfg.topology.canonicalKeysUsed);
+}
+
+TEST(TopologyHostileConfig, LegacyKeysRejectHostileValues)
+{
+    SystemConfig cfg;
+    for (const auto *key :
+         {"num_l2s", "threads_per_l2", "ring.num_stops",
+          "l3.slices"}) {
+        EXPECT_FALSE(applyConfigOption(cfg, key, "4294967296").ok())
+            << key;
+        EXPECT_FALSE(applyConfigOption(cfg, key, "-3").ok()) << key;
+        EXPECT_FALSE(applyConfigOption(cfg, key, "two").ok()) << key;
+    }
+    EXPECT_FALSE(cfg.topology.legacyKeysUsed());
+}
+
+TEST(TopologyHostileConfig, BadLayoutInStreamNamesLine)
+{
+    SystemConfig cfg;
+    std::istringstream is(
+        "topology.cores = 16\n"
+        "topology.layout = klein_bottle\n");
+    const auto r = loadConfig(cfg, is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("line 2"), std::string::npos)
+        << r.error().message;
+}
+
+TEST(TopologyHostileConfig, AbsurdShapesFailValidationNotAssertions)
+{
+    // Values that parse fine but describe impossible machines must
+    // come back as validation errors, never construct a topology.
+    const struct
+    {
+        unsigned cores, smt, l2s, slices;
+    } corpus[] = {
+        {0, 0, 0, 0},
+        {1, 1, 200, 4},          // threads < l2s
+        {4294967295u, 1, 4, 4},  // thread-id overflow
+        {16, 4294967295u, 4, 4}, // cores * smt wraps
+        {8, 2, 253, 4},          // indivisible at the id ceiling
+        {8, 2, 4, 4294967295u},  // slice mask impossible
+    };
+    for (const auto &c : corpus) {
+        TopologyParams p;
+        p.cores = c.cores;
+        p.smt = c.smt;
+        p.l2s = c.l2s;
+        p.l3Slices = c.slices;
+        EXPECT_FALSE(CmpTopology::build(p).ok())
+            << c.cores << "c x" << c.smt << " " << c.l2s << "xL2";
+    }
+}
+
+TEST(TopologyEndToEnd, PerL2SizingOverridesApply)
+{
+    SystemConfig cfg;
+    cfg.topology.l2KbPerL2 = 256;
+    cfg.topology.l3MbPerSlice = 2;
+    EXPECT_EQ(cfg.effectiveL2().sizeBytes, 256u * 1024);
+    EXPECT_EQ(cfg.effectiveL3().sizeBytes, 2ull * 1024 * 1024 * 4);
+    EXPECT_EQ(cfg.effectiveL3().slices, 4u);
+    EXPECT_TRUE(cfg.validationErrors().empty());
+}

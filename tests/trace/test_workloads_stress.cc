@@ -73,9 +73,7 @@ SystemConfig
 smallConfig()
 {
     SystemConfig cfg;
-    cfg.numL2s = 2;
-    cfg.threadsPerL2 = 2;
-    cfg.ring.numStops = 4;
+    cfg.topology = TopologyParams::flat(2, 2);
     cfg.l2.sizeBytes = 16 * 1024;
     cfg.l2.assoc = 4;
     cfg.l3.sizeBytes = 128 * 1024;
