@@ -28,15 +28,20 @@
 #                               # with invariant checking, a 64-core
 #                               # watchdogged run on every layout, and
 #                               # the BENCH_scale.json events/sec guard
+#   scripts/check.sh chaos      # conformance-oracle fuzzing smoke: a
+#                               # clean seeded campaign must pass, and
+#                               # a campaign with the wb_blind_spot
+#                               # mutation forced on must fail, shrink
+#                               # and leave a replayable repro bundle
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | serve | scale) ;;
+unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | serve | scale | chaos) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|serve|scale]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|serve|scale|chaos]" >&2
     exit 2
     ;;
 esac
@@ -185,6 +190,47 @@ if [ "$SELECT" = scale ]; then
         echo "scale: bench guard skipped (CMPCACHE_SKIP_BENCH set)"
     fi
     echo "scale: 32-core invariants + 64-core layout smoke OK"
+    exit 0
+fi
+
+if [ "$SELECT" = chaos ]; then
+    # Chaos fuzzing smoke (docs/robustness.md): a clean seeded
+    # campaign under the conformance oracle must find nothing, and a
+    # campaign with the wb_blind_spot mutation forced on must fail
+    # (exit 2), shrink the failure and leave a reproducer bundle that
+    # replays to the same conformance trip through the serve path.
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    run_phase chaos-suite \
+        ctest --test-dir build --output-on-failure -j"$(nproc)" \
+        -R 'test_version_oracle|test_chaos'
+    run_phase chaos-clean \
+        ./build/src/cmpcache chaos --seed=11 --samples=4 --refs=800 \
+        --repro-dir="$smoke_dir/clean-repro"
+    status=0
+    ./build/src/cmpcache chaos --seed=3 --samples=4 --refs=400 \
+        --fault-plan=wb_blind_spot:0:end \
+        --repro-dir="$smoke_dir/repro" 2>"$smoke_dir/chaos.log" \
+        || status=$?
+    if [ "$status" -ne 2 ]; then
+        echo "chaos: forced wb_blind_spot campaign exited $status (want 2)" >&2
+        cat "$smoke_dir/chaos.log" >&2
+        exit 1
+    fi
+    for f in repro_trace.txt repro.conf; do
+        [ -f "$smoke_dir/repro/$f" ] \
+            || { echo "chaos: reproducer bundle missing $f" >&2; exit 1; }
+    done
+    status=0
+    ./build/src/cmpcache serve \
+        --trace="$smoke_dir/repro/repro_trace.txt" \
+        --config="$smoke_dir/repro/repro.conf" --quiet \
+        >/dev/null 2>&1 || status=$?
+    if [ "$status" -ne 2 ]; then
+        echo "chaos: reproducer replay exited $status (want 2)" >&2
+        exit 1
+    fi
+    echo "chaos: clean campaign + forced-failure reproducer smoke OK"
     exit 0
 fi
 

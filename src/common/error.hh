@@ -39,6 +39,7 @@ enum class SimErrorKind
     Result,   ///< malformed results JSON
     Watchdog, ///< forward-progress watchdog tripped (live/deadlock)
     Budget,   ///< tick or wall-clock budget exhausted
+    Conformance, ///< coherence conformance oracle detected stale data
     Internal, ///< unexpected exception escaping a simulation
 };
 
@@ -58,6 +59,8 @@ toString(SimErrorKind k)
         return "watchdog";
       case SimErrorKind::Budget:
         return "budget";
+      case SimErrorKind::Conformance:
+        return "conformance";
       case SimErrorKind::Internal:
         return "internal";
     }

@@ -76,6 +76,17 @@ class FaultInjector : public stats::Group
         return plan_.active(FaultKind::DisableSnarf, now) != nullptr;
     }
 
+    /**
+     * TEST ONLY: hide transient write-back copies (wbq entries,
+     * pending snarfs, in-flight fills) from write-back snoops at
+     * @p now, re-opening the PR-1 stale-data race for the conformance
+     * oracle and the chaos minimizer to catch.
+     */
+    bool wbBlindSpot(Tick now) const
+    {
+        return plan_.active(FaultKind::WbBlindSpot, now) != nullptr;
+    }
+
   private:
     /** Window lookup + permille draw; counts into @p counter. */
     bool draw(FaultKind kind, Tick now, stats::Scalar &counter);

@@ -25,6 +25,7 @@ constexpr KindInfo kKinds[] = {
     {FaultKind::DropSnarf, "drop_snarf", 1000, true},
     {FaultKind::DisableWbht, "disable_wbht", 0, false},
     {FaultKind::DisableSnarf, "disable_snarf", 0, false},
+    {FaultKind::WbBlindSpot, "wb_blind_spot", 0, false},
 };
 
 const KindInfo *
@@ -116,7 +117,8 @@ parseFaultPlan(const std::string &spec)
             return planError(i, "unknown fault kind '" + parts[0]
                                     + "' (expected l3_retry, nack, "
                                       "delay, drop_snarf, "
-                                      "disable_wbht or disable_snarf)");
+                                      "disable_wbht, disable_snarf or "
+                                      "wb_blind_spot)");
         FaultWindow w;
         w.kind = info->kind;
         if (!parseU64(parts[1], w.from))
@@ -127,8 +129,15 @@ parseFaultPlan(const std::string &spec)
             return planError(i, "bad end cycle '" + parts[2]
                                     + "' (number or 'end')");
         }
-        if (w.until <= w.from)
-            return planError(i, "window is empty (until <= from)");
+        if (w.until <= w.from) {
+            // Name the kind and bounds: a degenerate window would
+            // otherwise read as "injection configured" yet never fire.
+            return planError(
+                i, "degenerate " + std::string(info->name) + " window ["
+                       + std::to_string(w.from) + ", " + parts[2]
+                       + ") is empty (until <= from), so it would "
+                         "never fire");
+        }
         w.arg = info->defaultArg;
         if (parts.size() == 4) {
             if (!parseU64(parts[3], w.arg))

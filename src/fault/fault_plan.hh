@@ -21,6 +21,11 @@
  *                   write backs (arg: permille affected, default 1000)
  *     disable_wbht  gate WBHT decisions off (table keeps learning)
  *     disable_snarf stop snarf offers *and* snarf-hint flagging
+ *     wb_blind_spot TEST ONLY: re-open the PR-1 snarf/write-back race
+ *                   by hiding wbq/pending-snarf/in-flight-fill copies
+ *                   from write-back snoops -- a seeded stale-data bug
+ *                   for exercising the conformance oracle and the
+ *                   chaos minimizer (never use in experiments)
  *
  * Example -- a retry storm between cycles 0 and 2M, with snarfing
  * knocked out for the second half:
@@ -55,6 +60,8 @@ enum class FaultKind
     DropSnarf,    ///< snarf-accept offers suppressed at combine
     DisableWbht,  ///< WBHT decisions forced inactive
     DisableSnarf, ///< snarf offers and hint flagging forced off
+    WbBlindSpot,  ///< TEST ONLY: hide transient write-back copies
+                  ///< from snoops (reintroduces the PR-1 race family)
 };
 
 const char *toString(FaultKind k);

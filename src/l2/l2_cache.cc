@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/version_oracle.hh"
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 
@@ -144,6 +145,8 @@ L2Cache::access(ThreadId tid, Addr addr, MemOp op)
             ++hits_;
             if (is_store && entry->state == LineState::Exclusive)
                 entry->state = LineState::Modified;
+            if (is_store && oracle_)
+                oracle_->onStore(id_, line, curTick());
             if (entry->snarfed && !entry->snarfUsedLocal) {
                 entry->snarfUsedLocal = true;
                 ++snarfLocalUse_;
@@ -252,6 +255,15 @@ L2Cache::drainWriteBacks()
             const bool in_l3 = l3Peek_ ? l3Peek_(e->lineAddr) : false;
             if (wbht_->shouldAbort(e->lineAddr, in_l3)) {
                 ++wbAbortedByWbht_;
+                // Unless we refetched the line in the meantime --
+                // installed in the tags already, or still in flight
+                // behind a demand MSHR (the self-refetch race) -- the
+                // queued victim was our last copy: let the oracle
+                // check a newer version survives elsewhere.
+                if (oracle_
+                    && !tags_.lookup(e->lineAddr, /*touch=*/false)
+                    && !mshrs_.find(e->lineAddr))
+                    oracle_->onLocalSquash(id_, e->lineAddr, now);
                 wbq_.remove(e);
                 continue;
             }
@@ -309,6 +321,12 @@ L2Cache::snoop(const BusRequest &req)
     resp.responder = id_;
     const Addr line = req.lineAddr;
 
+    // TEST ONLY (wb_blind_spot fault): pretend the transient copies
+    // -- wbq victims, won snarfs, granted fills -- are invisible to
+    // snoops, re-opening the PR-1 stale-data race so the conformance
+    // oracle and the chaos minimizer have a real bug to catch.
+    const bool blind = faults_ && faults_->wbBlindSpot(curTick());
+
     if (isWriteBack(req.cmd)) {
         // Peer L2s only examine their tags for snarf-flagged write
         // backs (pressure on L2 tags is why the snarf table exists).
@@ -323,7 +341,8 @@ L2Cache::snoop(const BusRequest &req)
             resp.hasDirty = isDirty(entry->state);
             return resp;
         }
-        if (const WbEntry *queued = wbq_.find(line)) {
+        if (const WbEntry *queued = wbq_.find(line);
+            queued && !blind) {
             // A victim parked in our write-back queue is still a copy
             // of the line: report it, or a concurrent peer write back
             // would see no sharers and its snarfer would install an
@@ -333,7 +352,8 @@ L2Cache::snoop(const BusRequest &req)
             resp.hasDirty = queued->dirty;
             return resp;
         }
-        if (const PendingSnarf *ps = pendingSnarfs_.find(line)) {
+        if (const PendingSnarf *ps = pendingSnarfs_.find(line);
+            ps && !blind) {
             // Same story for a snarf we have already won: the copy is
             // in flight to us and will be installed, so a concurrent
             // write back of the line must count us as a sharer.
@@ -342,7 +362,7 @@ L2Cache::snoop(const BusRequest &req)
             return resp;
         }
         if (const Mshr *m = mshrs_.find(line);
-            m && m->awaitingData) {
+            m && m->awaitingData && !blind) {
             // And for a demand fill the bus has already granted us:
             // the data is on its way and will be installed.
             resp.hasLine = true;
@@ -371,12 +391,12 @@ L2Cache::snoop(const BusRequest &req)
     // NOT retry -- otherwise two racing requesters would retry each
     // other forever; the one that combines first wins, the other
     // backs off.
-    if (wbq_.find(line) || pendingSnarfs_.contains(line)) {
+    if (!blind && (wbq_.find(line) || pendingSnarfs_.contains(line))) {
         resp.retry = true;
         return resp;
     }
     if (const Mshr *m = mshrs_.find(line)) {
-        if (m->awaitingData) {
+        if (m->awaitingData && !blind) {
             resp.retry = true;
             return resp;
         }
@@ -448,8 +468,12 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
                             return e.state == LineState::Shared;
                         });
                 }
-                if (victim && victim->valid())
+                if (victim && victim->valid()) {
+                    if (oracle_)
+                        oracle_->onDropCopy(id_, victim->lineAddr,
+                                            curTick());
                     tags_.invalidate(victim);
+                }
                 pendingSnarfs_[line] =
                     PendingSnarf{req.cmd == BusCmd::WbDirty,
                                  res.otherSharers};
@@ -461,7 +485,11 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
         // A snarf reservation cannot coexist with an effective peer
         // demand: our snoop retries demands while one is pending, and
         // the ring snoops and combines atomically per transaction.
-        cmp_assert(!pendingSnarfs_.contains(line),
+        // (Unless the wb_blind_spot fault hid the reservation -- then
+        // reaching this state *is* the injected bug, left for the
+        // conformance oracle to flag at the stale supply.)
+        cmp_assert(!pendingSnarfs_.contains(line)
+                       || (faults_ && faults_->wbBlindSpot(curTick())),
                    "effective peer demand with a snarf reservation");
 
         // Apply our state transition.
@@ -505,14 +533,28 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
                 && !policy_.globalWbhtAllocation()) {
                 wbht_->recordL3Valid(line);
             }
+            // The squash drops our queued copy. Unless we refetched
+            // the line meanwhile -- installed in the tags already, or
+            // still in flight behind a demand MSHR (the self-refetch
+            // race) -- that was our last one; the oracle checks a
+            // newer version really does survive elsewhere.
+            if (oracle_ && !tags_.lookup(line, /*touch=*/false)
+                && !mshrs_.find(line))
+                oracle_->onLocalSquash(id_, line, curTick());
             wbq_.remove(e);
             return;
           case CombinedResp::WbAcceptL3:
             ++wbAcceptedL3_;
+            if (oracle_ && !tags_.lookup(line, /*touch=*/false)
+                && !mshrs_.find(line))
+                oracle_->onDropCopy(id_, line, curTick());
             wbq_.remove(e);
             return;
           case CombinedResp::WbSnarfed:
             ++wbSnarfedOut_;
+            if (oracle_ && !tags_.lookup(line, /*touch=*/false)
+                && !mshrs_.find(line))
+                oracle_->onDropCopy(id_, line, curTick());
             wbq_.remove(e);
             return;
           default:
@@ -546,8 +588,11 @@ L2Cache::observeCombined(const BusRequest &req, const CombinedResult &res)
         if (entry && isValid(entry->state)) {
             entry->state = LineState::Modified;
             // Complete every waiter shortly (ownership granted).
-            for (const auto &w : m->waiters)
+            for (const auto &w : m->waiters) {
+                if (w.isStore && oracle_)
+                    oracle_->onStore(id_, line, curTick());
                 completeWaiter(w, params_.fillLatency);
+            }
             missLatency_.sample(
                 static_cast<double>(curTick() - m->allocated));
             mshrs_.deallocate(m);
@@ -646,6 +691,8 @@ L2Cache::handleFill(const BusRequest &req, const CombinedResult &res)
         }
         if (w.isStore && entry->state == LineState::Exclusive)
             entry->state = LineState::Modified;
+        if (w.isStore && oracle_)
+            oracle_->onStore(id_, line, curTick());
         completeWaiter(w, params_.fillLatency);
     }
     missLatency_.sample(static_cast<double>(curTick() - m->allocated));
@@ -688,8 +735,12 @@ L2Cache::receiveWriteBack(const BusRequest &req)
                    || (policy_.snarfSharedVictims
                        && e.state == LineState::Shared);
         });
+    bool victim_copy_queued = false;
     if (!victim) {
         if (!dirty) {
+            // The won (clean) copy has nowhere to go: accounted drop.
+            if (oracle_)
+                oracle_->onDropCopy(id_, line, curTick());
             ++snarfedDropped_;
             return;
         }
@@ -700,10 +751,13 @@ L2Cache::receiveWriteBack(const BusRequest &req)
         if (victim->valid()
             && protocol::needsWriteBack(victim->state)) {
             if (wbq_.full()) {
+                if (oracle_)
+                    oracle_->onDropCopy(id_, line, curTick());
                 ++snarfedDropped_;
                 return;
             }
             queueWriteBack(*victim);
+            victim_copy_queued = true;
         }
     } else if (victim->valid()
                && protocol::needsWriteBack(victim->state)
@@ -711,6 +765,10 @@ L2Cache::receiveWriteBack(const BusRequest &req)
         cmp_panic("snarf victim selection chose a dirty line");
     }
 
+    // A displaced Shared victim is silently dropped (peers very
+    // likely hold duplicates); report it so the shadow model follows.
+    if (oracle_ && victim->valid() && !victim_copy_queued)
+        oracle_->onDropCopy(id_, victim->lineAddr, curTick());
     tags_.insert(victim, line,
                  protocol::snarfFillState(dirty, sharers),
                  policy_.snarfInsert);

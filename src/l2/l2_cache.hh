@@ -36,6 +36,7 @@ namespace cmpcache
 {
 
 class FaultInjector;
+class VersionOracle;
 
 /** Structural and timing parameters of one L2 cache. */
 struct L2Params
@@ -107,6 +108,15 @@ class L2Cache : public SimObject, public BusAgent
      */
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
 
+    /**
+     * Conformance oracle (check.oracle; null disables reporting).
+     * The L2 reports committed stores and every locally decided copy
+     * drop -- losses the combined response cannot see (snarf-victim
+     * reservations, dropped snarf data, WBHT aborts, write backs
+     * resolving after the line was refetched).
+     */
+    void setConformance(VersionOracle *o) { oracle_ = o; }
+
     // BusAgent interface
     AgentId agentId() const override { return id_; }
     RingStop ringStop() const override { return stop_; }
@@ -156,6 +166,21 @@ class L2Cache : public SimObject, public BusAgent
     // Watchdog / diagnostics
     const WriteBackQueue &writeBackQueue() const { return wbq_; }
     MshrFile &mshrFile() { return mshrs_; }
+    /** Snarf wins still awaiting their data (invariant checker: must
+     * be zero once the machine has quiesced). */
+    std::size_t pendingSnarfCount() const
+    {
+        return pendingSnarfs_.size();
+    }
+    /** Snarf buffer reservations held right now (ditto). */
+    unsigned snarfInFlightCount() const { return snarfInFlight_; }
+    /** TEST ONLY: forge a dangling snarf reservation so the
+     * invariant checker's negative path can be exercised. */
+    void forgePendingSnarfForTest(Addr line)
+    {
+        pendingSnarfs_[tags_.lineAlign(line)] = PendingSnarf{};
+        ++snarfInFlight_;
+    }
     /** Write backs resolved one way or another (forward-progress
      * signal: accepted by the L3, squashed, snarfed out, or aborted
      * by the WBHT). */
@@ -184,6 +209,7 @@ class L2Cache : public SimObject, public BusAgent
     Ring &ring_;
     RetryMonitor *retryMonitor_;
     FaultInjector *faults_ = nullptr;
+    VersionOracle *oracle_ = nullptr;
 
     TagArray tags_;
     MshrFile mshrs_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/version_oracle.hh"
 #include "coherence/protocol.hh"
 #include "common/logging.hh"
 
@@ -208,6 +209,11 @@ L3Cache::receiveWriteBack(const BusRequest &req)
 
     ++wbAbsorbed_;
 
+    // The accepted data has landed: close the oracle's in-flight
+    // window for this line (memory-supply tolerance ends here).
+    if (oracle_)
+        oracle_->onWbArrivedL3(line, dirty, curTick());
+
     // The array write competes with demand reads for the slice bank.
     bankFree_[slice] =
         std::max(bankFree_[slice], curTick()) + params_.bankWriteOccupancy;
@@ -223,10 +229,16 @@ L3Cache::receiveWriteBack(const BusRequest &req)
         if (victim->valid()) {
             if (isDirty(victim->state)) {
                 ++victimsToMemory_;
+                if (oracle_)
+                    oracle_->onMemoryWrite(id_, victim->lineAddr,
+                                           curTick());
                 if (memWrite_)
                     memWrite_();
             } else {
                 ++victimsDropped_;
+                if (oracle_)
+                    oracle_->onDropCopy(id_, victim->lineAddr,
+                                        curTick());
             }
         }
         tags_.insert(victim, line,

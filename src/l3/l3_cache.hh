@@ -63,6 +63,12 @@ class L3Cache : public SimObject, public BusAgent
         memWrite_ = std::move(fn);
     }
 
+    /** Conformance oracle (check.oracle; null disables reporting).
+     * The L3 reports its victim disposals: dirty castouts move the
+     * shadow version to memory, dropped clean victims are accounted
+     * copy losses. */
+    void setConformance(VersionOracle *o) { oracle_ = o; }
+
     /** Oracle peek used by the WBHT scoring and Table 1. */
     bool hasLineValid(Addr addr) const
     {
@@ -132,6 +138,7 @@ class L3Cache : public SimObject, public BusAgent
     TagArray tags_;
 
     std::function<void()> memWrite_;
+    VersionOracle *oracle_ = nullptr;
 
     /** Occupied incoming-queue entries per slice. */
     std::vector<unsigned> wbQueueBusy_;

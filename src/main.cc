@@ -8,6 +8,9 @@
  *   serve   simulate a trace streamed from a file, FIFO or stdin
  *           (or a synthetic generator) online with bounded memory,
  *           under an open- or closed-loop arrival model
+ *   chaos   seeded coherence fuzzing: adversarial sharing workloads x
+ *           fault plans x topologies under the conformance oracle,
+ *           with automatic reproducer minimization on failure
  *   list    print the available workloads and policies
  *   help    usage text
  *
@@ -38,6 +41,7 @@
 #include <sstream>
 #include <thread>
 
+#include "check/chaos.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "obs/time_series.hh"
@@ -65,8 +69,26 @@ usage()
         "  sweep   run a workload x policy x outstanding grid\n"
         "  serve   simulate a streamed trace (file/FIFO/stdin) or a\n"
         "          synthetic generator online with bounded memory\n"
+        "  chaos   seeded coherence fuzzing under the conformance\n"
+        "          oracle, with reproducer minimization on failure\n"
         "  list    print available workloads and policies\n"
         "  help    this text\n\n"
+        "chaos options:\n"
+        "  --seed=N              master seed (default 1); every\n"
+        "                        sample derives its own stream\n"
+        "  --samples=N           samples to draw (default 16); stops\n"
+        "                        at the first failure\n"
+        "  --refs=N              references/thread/sample (def. 1200)\n"
+        "  --time-box=SECS       wall-clock budget over sampling and\n"
+        "                        minimization (0 = unlimited)\n"
+        "  --fault-plan=SPEC     extra fault windows appended to every\n"
+        "                        sample (the forced-failure smoke\n"
+        "                        injects wb_blind_spot here)\n"
+        "  --no-faults           don't randomize benign fault windows\n"
+        "  --no-minimize         report the failure without shrinking\n"
+        "  --minimize-target=N   stop ddmin at N records (default 200)\n"
+        "  --repro-dir=DIR       reproducer bundle dir (default\n"
+        "                        chaos-repro)\n\n"
         "serve options:\n"
         "  --trace=PATH          stream a text or binary trace from a\n"
         "                        file or FIFO ('-' = stdin); decoded\n"
@@ -120,8 +142,10 @@ usage()
         "workload\n"
         "  --quiet               suppress progress lines\n\n"
         "exit codes: 0 ok, 1 bad arguments/config or internal error,\n"
-        "2 coherence violations, 3 one or more sweep cells failed\n"
-        "(failed cells appear as status:\"error\" in the results)\n";
+        "2 coherence violations (sweep checker, serve conformance\n"
+        "trip, or a chaos failure with its reproducer written),\n"
+        "3 one or more sweep cells failed (failed cells appear as\n"
+        "status:\"error\" in the results)\n";
 }
 
 StatsFormat
@@ -361,6 +385,41 @@ sweepMain(const CliArgs &args)
 }
 
 int
+chaosMain(const CliArgs &args)
+{
+    ChaosOptions opts;
+    opts.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const auto samples = args.getInt("samples", 16);
+    if (samples <= 0)
+        cmp_fatal("--samples must be positive");
+    opts.samples = static_cast<unsigned>(samples);
+    opts.recordsPerThread = static_cast<std::uint64_t>(
+        args.getInt("refs", 1200));
+    const auto box = args.getInt("time-box", 0);
+    if (box < 0)
+        cmp_fatal("--time-box must be >= 0");
+    opts.timeBoxSecs = static_cast<double>(box);
+    opts.extraFaultPlan = args.getString("fault-plan", "");
+    opts.withFaults = !args.getBool("no-faults", false);
+    opts.minimize = !args.getBool("no-minimize", false);
+    const auto target = args.getInt("minimize-target", 200);
+    if (target < 0)
+        cmp_fatal("--minimize-target must be >= 0");
+    opts.minimizeTargetRecords = static_cast<std::size_t>(target);
+    opts.reproDir = args.getString("repro-dir", "chaos-repro");
+
+    const ChaosReport report = runChaos(opts, std::cerr);
+    if (!report.failed)
+        return 0;
+    std::cerr << "chaos: failure (" << report.failureKind << "): "
+              << report.failureMessage << "\n";
+    if (report.reproWritten)
+        std::cerr << "chaos: rerun: " << report.rerunCommand << "\n";
+    return 2;
+}
+
+int
 serveMain(const CliArgs &args)
 {
     SystemConfig cfg;
@@ -523,11 +582,23 @@ main(int argc, char **argv)
         } catch (const SimException &e) {
             std::cerr << "error (" << toString(e.error().kind)
                       << "): " << e.error().message << "\n";
+            // A conformance trip on a replayed reproducer is the
+            // expected outcome; give it the coherence exit code.
+            return e.error().kind == SimErrorKind::Conformance ? 2
+                                                               : 1;
+        }
+    }
+    if (cmd == "chaos") {
+        try {
+            return chaosMain(args);
+        } catch (const SimException &e) {
+            std::cerr << "error (" << toString(e.error().kind)
+                      << "): " << e.error().message << "\n";
             return 1;
         }
     }
     if (cmd == "list")
         return listMain();
     cmp_fatal("unknown subcommand '", cmd,
-              "' (expected sweep, serve, list or help)");
+              "' (expected sweep, serve, chaos, list or help)");
 }

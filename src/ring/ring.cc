@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/version_oracle.hh"
 #include "common/logging.hh"
 #include "core/retry_monitor.hh"
 #include "fault/fault_injector.hh"
@@ -201,6 +202,12 @@ Ring::combineNow(BusRequest req, Tick enqueued)
         if (retryMonitor_)
             retryMonitor_->recordRetry(now);
     }
+
+    // The conformance oracle validates at the serialization point,
+    // before any agent reacts to the combined response. Throws
+    // (SimErrorKind::Conformance) on a stale supply.
+    if (conformance_)
+        conformance_->onCombined(req, res, now);
 
     if (observer_)
         observer_(req, res);

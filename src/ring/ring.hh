@@ -45,6 +45,7 @@ namespace cmpcache
 class FaultInjector;
 class RetryMonitor;
 class TraceRecorder;
+class VersionOracle;
 
 /** Interface every component on the ring implements. */
 class BusAgent
@@ -219,6 +220,14 @@ class Ring : public SimObject
     void setObserver(Observer obs) { observer_ = std::move(obs); }
 
     /**
+     * Conformance oracle hook (check.oracle): every combined response
+     * -- after fault overrides, before any agent reacts -- is
+     * validated against the shadow write-epoch model. Separate from
+     * the analysis observer slot so both can be active at once.
+     */
+    void setConformance(VersionOracle *o) { conformance_ = o; }
+
+    /**
      * Enqueue a request for the address ring. The requester learns
      * the outcome in observeCombined().
      * @return the assigned transaction id
@@ -296,6 +305,7 @@ class Ring : public SimObject
     TraceRecorder *tracer_ = nullptr;
     ScheduleRouter *router_ = nullptr;
     Observer observer_;
+    VersionOracle *conformance_ = nullptr;
 
     std::vector<BusAgent *> agents_;
     BusAgent *l3Agent_ = nullptr;

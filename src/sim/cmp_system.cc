@@ -1,6 +1,8 @@
 #include "sim/cmp_system.hh"
 
 #include <algorithm>
+#include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "sim/domain_scheduler.hh"
@@ -226,6 +228,16 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
                                      cfg_.mem);
     l3_->setMemWriteFn([this] { mem_->writeFromL3(); });
 
+    // Conformance oracle (check.oracle): built before the L2s so
+    // every component can be wired to it as it is constructed.
+    if (cfg_.check.oracle) {
+        oracle_ = std::make_unique<VersionOracle>(l3_id);
+        oracle_->setSnapshotFn(
+            [this] { return conformanceSnapshot(); });
+        ring_->setConformance(oracle_.get());
+        l3_->setConformance(oracle_.get());
+    }
+
     for (unsigned i = 0; i < topo_.numL2s(); ++i) {
         const AgentId id = topo_.l2Agent(i);
         auto l2 = std::make_unique<L2Cache>(
@@ -238,6 +250,7 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
             cpus_.at(tid)->onMissComplete();
         });
         l2->setFaultInjector(faults_.get());
+        l2->setConformance(oracle_.get());
         ring_->attach(l2.get(), Ring::Role::L2);
         l2s_.push_back(std::move(l2));
     }
@@ -355,6 +368,67 @@ CmpSystem::functionalWarmup(TraceBundle traces)
             }
         }
     }
+
+    // Warmup installs per-L2 without invalidating peers, so a line
+    // can end up writable in several L2s at once -- a state no
+    // running machine produces. Remember those lines so the
+    // structural invariant checker can skip them (the oracle taints
+    // them the same way below).
+    {
+        std::unordered_map<Addr, unsigned> seeded;
+        for (auto &l2 : l2s_) {
+            l2->tags().forEach([&](const TagEntry &e) {
+                if (e.valid())
+                    ++seeded[e.lineAddr];
+            });
+        }
+        for (const auto &[line, count] : seeded) {
+            if (count >= 2)
+                warmupApprox_.insert(line);
+        }
+    }
+
+    // Hand the warmed cache contents to the conformance oracle as
+    // version-0 seeds. Warmup installs per-L2 without invalidating
+    // peers (a known approximation), so lines it left in several L2s
+    // are tainted -- exempt from validation -- at seal time.
+    if (oracle_) {
+        for (unsigned i = 0; i < topo_.numL2s(); ++i) {
+            const AgentId id = topo_.l2Agent(i);
+            l2s_[i]->tags().forEach([&](const TagEntry &e) {
+                if (e.valid())
+                    oracle_->onSeedCopy(id, e.lineAddr,
+                                        isDirty(e.state));
+            });
+        }
+        const AgentId l3_id = topo_.l3Agent();
+        l3tags.forEach([&](const TagEntry &e) {
+            if (e.valid())
+                oracle_->onSeedCopy(l3_id, e.lineAddr,
+                                    isDirty(e.state));
+        });
+        oracle_->sealSeeding();
+    }
+}
+
+std::string
+CmpSystem::conformanceSnapshot()
+{
+    std::ostringstream os;
+    os << "machine state: tick=" << eq_.curTick()
+       << " events=" << totalExecuted()
+       << " ring_pending=" << ring_->pendingRequests();
+    for (unsigned i = 0; i < topo_.numL2s(); ++i) {
+        L2Cache &l2 = *l2s_[i];
+        os << " l2_" << i << "{wbq=" << l2.writeBackQueue().size()
+           << " mshr=" << l2.mshrFile().inUse()
+           << " snarfs=" << l2.pendingSnarfCount() << "}";
+    }
+    unsigned done = 0;
+    for (const auto &cpu : cpus_)
+        done += cpu->done();
+    os << " cpus_done=" << done << "/" << cpus_.size();
+    return os.str();
 }
 
 Tick
@@ -375,6 +449,11 @@ CmpSystem::run()
                  totalPending(), " events pending); likely a "
                  "deadlock or an undersized maxTicks")));
     }
+
+    // Violations recorded by domain-worker hooks surface at serial
+    // points; end of run is the last one.
+    if (oracle_)
+        oracle_->throwIfViolated();
 
     Tick finish = 0;
     for (const auto &cpu : cpus_)

@@ -14,8 +14,10 @@
 #define CMPCACHE_SIM_CMP_SYSTEM_HH
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
+#include "check/version_oracle.hh"
 #include "common/flat_map.hh"
 #include "core/retry_monitor.hh"
 #include "cpu/trace_cpu.hh"
@@ -122,6 +124,22 @@ class CmpSystem : public stats::Group
     }
     /** Non-null only when cfg.fault.plan is non-empty. */
     FaultInjector *faultInjector() { return faults_.get(); }
+    /** Non-null only when cfg.check.oracle is set. */
+    VersionOracle *conformanceOracle() { return oracle_.get(); }
+
+    /**
+     * Did functional warmup seed this line into several L2s at once?
+     * Warmup installs per-L2 without invalidating peers, so such
+     * lines start the timed run in states (duplicate M/E copies) a
+     * running machine could never produce -- a known approximation.
+     * The structural invariant checker skips them, exactly as the
+     * conformance oracle taints them. Empty when warmup is off.
+     */
+    bool
+    isWarmupApproximate(Addr line) const
+    {
+        return warmupApprox_.count(line) != 0;
+    }
 
     /**
      * The stat paths (relative to this group) the periodic sampler
@@ -147,6 +165,9 @@ class CmpSystem : public stats::Group
   private:
     struct ParallelGlue;
 
+    /** Violation-report appendix for the conformance oracle. */
+    std::string conformanceSnapshot();
+
     SystemConfig cfg_;
     /** Built (and validated) from cfg_.topology before any component:
      * every id, stop and cluster computation below goes through it. */
@@ -168,6 +189,11 @@ class CmpSystem : public stats::Group
     std::vector<std::unique_ptr<L2Cache>> l2s_;
     std::vector<std::unique_ptr<TraceCpu>> cpus_;
     std::unique_ptr<WbReuseTracker> reuseTracker_;
+    /** Built only when cfg.check.oracle is set. */
+    std::unique_ptr<VersionOracle> oracle_;
+    /** Lines functional warmup seeded into >= 2 L2s (see
+     * isWarmupApproximate). */
+    std::unordered_set<Addr> warmupApprox_;
     /** Parallel-mode glue (scheduler, router, issue sinks); declared
      * last so it tears down before the queues it hooks. */
     std::unique_ptr<ParallelGlue> par_;

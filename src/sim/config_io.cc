@@ -321,6 +321,8 @@ handlers()
         {"reuse_tracker", BOOL_KEY(enableWbReuseTracker)},
         {"fault.plan", STR_KEY(fault.plan)},
         {"fault.seed", U64_KEY(fault.seed)},
+        {"check.oracle", BOOL_KEY(check.oracle)},
+        {"check.invariants_every", U64_KEY(check.invariantsEvery)},
         {"watchdog.every", U64_KEY(watchdog.every)},
         {"watchdog.stall_checks", U64_KEY(watchdog.stallChecks)},
         {"watchdog.max_txn_age", U64_KEY(watchdog.maxTxnAge)},

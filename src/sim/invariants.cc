@@ -40,8 +40,10 @@ CoherenceCheck::report() const
 }
 
 CoherenceCheck
-checkCoherence(CmpSystem &sys, std::size_t max_messages)
+checkCoherence(CmpSystem &sys, const CoherenceCheckOptions &opts)
 {
+    const std::size_t max_messages = opts.maxMessages;
+
     // Gather every valid L2 copy per line address.
     std::map<Addr, std::vector<LineState>> copies;
     for (unsigned i = 0; i < sys.numL2s(); ++i) {
@@ -53,6 +55,13 @@ checkCoherence(CmpSystem &sys, std::size_t max_messages)
 
     CoherenceCheck out;
     for (const auto &[line, states] : copies) {
+        // Functional warmup can seed one line writable into several
+        // L2s -- states a running machine never produces. Skip them,
+        // mirroring the conformance oracle's warmup taint.
+        if (sys.isWarmupApproximate(line)) {
+            ++out.linesSkipped;
+            continue;
+        }
         ++out.linesChecked;
         unsigned owners = 0;   // M or T
         unsigned modified = 0; // M specifically
@@ -77,8 +86,42 @@ checkCoherence(CmpSystem &sys, std::size_t max_messages)
         if (sl > 1)
             record(out, max_messages, line,
                    cstr(sl, " SL intervention sources"));
+        // A store gaining ownership invalidates the L3 copy at
+        // combine, so an owned L2 line must not still be valid off
+        // chip. (Modified/Exclusive/Tagged; plain Shared copies
+        // coexist with the L3 by design.)
+        if (opts.checkL3 && (owners || excl)
+            && sys.l3().hasLineValid(line))
+            record(out, max_messages, line,
+                   "stale L3 copy alongside an owned L2 copy");
+    }
+
+    // On a drained machine every snarf reservation must have been
+    // consumed or aborted; a leftover entry means a transaction
+    // leaked its bookkeeping.
+    if (opts.quiesced) {
+        for (unsigned i = 0; i < sys.numL2s(); ++i) {
+            const auto pending = sys.l2(i).pendingSnarfCount();
+            const auto inflight = sys.l2(i).snarfInFlightCount();
+            if (pending || inflight) {
+                ++out.violations;
+                if (out.messages.size() < max_messages)
+                    out.messages.push_back(cstr(
+                        "dangling snarf bookkeeping in quiesced L2 ",
+                        i, ": ", pending, " reservations, ", inflight,
+                        " in flight"));
+            }
+        }
     }
     return out;
+}
+
+CoherenceCheck
+checkCoherence(CmpSystem &sys, std::size_t max_messages)
+{
+    CoherenceCheckOptions opts;
+    opts.maxMessages = max_messages;
+    return checkCoherence(sys, opts);
 }
 
 } // namespace cmpcache

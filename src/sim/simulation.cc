@@ -4,6 +4,7 @@
 #include <istream>
 
 #include "common/logging.hh"
+#include "sim/invariants.hh"
 
 namespace cmpcache
 {
@@ -169,6 +170,15 @@ Simulation::initObservability()
             std::make_unique<TraceRecorder>(obs.traceCapacity);
         sys_->ring().setTracer(tracer_.get());
     }
+    if (sys_->config().check.invariantsEvery > 0) {
+        invariantEvent_ = std::make_unique<EventFunctionWrapper>(
+            [this] { invariantSweep(); }, "invariant-sweep",
+            Event::StatPri);
+        EventQueue &eq = sys_->eventq();
+        eq.schedule(invariantEvent_.get(),
+                    eq.curTick()
+                        + sys_->config().check.invariantsEvery);
+    }
     const WatchdogConfig &wd = sys_->config().watchdog;
     if (wd.enabled()) {
         watchdog_ = std::make_unique<Watchdog>(*sys_, wd);
@@ -188,6 +198,29 @@ Simulation::initObservability()
     }
 }
 
+void
+Simulation::invariantSweep()
+{
+    if (sys_->finished())
+        return; // drained; never keep the queue alive
+
+    CoherenceCheckOptions opts;
+    const CoherenceCheck chk = checkCoherence(*sys_, opts);
+    if (!chk.clean()) {
+        throw SimException(SimError(
+            SimErrorKind::Conformance,
+            cstr("online invariant sweep found ", chk.violations,
+                 " coherence violation(s) at tick ",
+                 sys_->eventq().curTick(), ":\n", chk.report())));
+    }
+    if (VersionOracle *oracle = sys_->conformanceOracle())
+        oracle->throwIfViolated();
+
+    EventQueue &eq = sys_->eventq();
+    eq.schedule(invariantEvent_.get(),
+                eq.curTick() + sys_->config().check.invariantsEvery);
+}
+
 const ExperimentResult &
 Simulation::run()
 {
@@ -195,6 +228,22 @@ Simulation::run()
         if (watchdog_)
             watchdog_->start();
         const Tick finish = sys_->run();
+        // With online checking on, re-verify the structural
+        // invariants once more on the drained machine, where the
+        // transient-bookkeeping (snarf reservation) rules apply too.
+        if (sys_->config().check.invariantsEvery > 0) {
+            CoherenceCheckOptions opts;
+            opts.quiesced = true;
+            const CoherenceCheck chk = checkCoherence(*sys_, opts);
+            if (!chk.clean()) {
+                throw SimException(SimError(
+                    SimErrorKind::Conformance,
+                    cstr("quiesced invariant check found ",
+                         chk.violations,
+                         " coherence violation(s):\n",
+                         chk.report())));
+            }
+        }
         result_ = collectResult(*sys_, finish, inputName_);
         ran_ = true;
     }

@@ -64,7 +64,8 @@ sweepWorkloadByName(const std::string &name,
         return workloads::stressByName(name, records_per_thread, seed);
     cmp_fatal("unknown sweep workload '", name,
               "' (commercial: TP, CPW2, NotesBench, Trade2; stress: "
-              "uniform, streaming, pingpong, thrash)");
+              "uniform, streaming, pingpong, thrash, "
+              "producer_consumer, migratory, false_sharing)");
 }
 
 std::string
@@ -259,6 +260,39 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
                 r.samples = SampleSeries{};
                 r.trace.clear();
                 r.statsDump.clear();
+                // Rerun identity: everything needed to replay this
+                // one cell standalone, as a one-liner.
+                r.seed = job.params.seed;
+                r.faultPlan = job.config.fault.plan;
+                r.faultSeed = job.config.fault.seed;
+                r.runThreads = job.config.runThreads;
+                const TopologyParams shape = job.config.shape();
+                r.topologySummary = cstr(
+                    "cores=", shape.cores, " smt=", shape.smt,
+                    " l2s=", shape.l2s, " layout=",
+                    toString(shape.layout));
+                std::ostringstream cmd;
+                cmd << "cmpcache serve --workload=" << job.workload
+                    << " --refs=" << job.params.recordsPerThread
+                    << " --seed=" << job.params.seed
+                    << " policy=" << toString(job.policy)
+                    << " cpu.outstanding=" << job.outstanding
+                    << " warmup="
+                    << (job.config.warmupPass ? "true" : "false")
+                    << " topology.cores=" << shape.cores
+                    << " topology.smt=" << shape.smt
+                    << " topology.l2s=" << shape.l2s
+                    << " topology.layout=" << toString(shape.layout);
+                if (shape.layout == RingLayout::HierRing)
+                    cmd << " topology.rings=" << shape.rings;
+                if (!job.config.fault.plan.empty()) {
+                    cmd << " 'fault.plan="
+                        << job.config.fault.plan
+                        << "' fault.seed=" << job.config.fault.seed;
+                }
+                for (const auto &[k, v] : spec.workloadOverrides)
+                    cmd << " " << k << "=" << v;
+                r.rerun = cmd.str();
             }
             r.wallSeconds =
                 std::chrono::duration<double>(Clock::now() - job_start)
@@ -391,7 +425,15 @@ writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,
                << "\",\n      \"policy\": \""
                << jsonEscape(r.result.policy)
                << "\",\n      \"maxOutstanding\": "
-               << r.result.maxOutstanding << "\n    }";
+               << r.result.maxOutstanding
+               << ",\n      \"seed\": " << r.seed
+               << ",\n      \"topology\": \""
+               << jsonEscape(r.topologySummary)
+               << "\",\n      \"faultPlan\": \""
+               << jsonEscape(r.faultPlan)
+               << "\",\n      \"faultSeed\": " << r.faultSeed
+               << ",\n      \"rerun\": \"" << jsonEscape(r.rerun)
+               << "\"\n    }";
         }
         if (i + 1 < results.size())
             os << ",";

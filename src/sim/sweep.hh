@@ -127,6 +127,24 @@ struct SweepJobResult
     /** Human-readable failure message; empty when ok. */
     std::string error;
 
+    /**
+     * Rerun identity, filled for failed cells: the exact workload
+     * seed, fault plan and machine shape the cell ran with, plus a
+     * one-line `cmpcache serve` command that replays it standalone
+     * (docs/robustness.md). Emitted in the error-cell JSON so a
+     * failure in a big grid is reproducible without re-deriving the
+     * per-cell configuration.
+     */
+    std::uint64_t seed = 0;
+    std::string faultPlan;
+    std::uint64_t faultSeed = 0;
+    std::string topologySummary;
+    /** The cell's run.threads. Struct-only: results are bit-identical
+     * across kernel thread counts by contract, so this never appears
+     * in the deterministic JSON (nor in the rerun line). */
+    unsigned runThreads = 0;
+    std::string rerun;
+
     ExperimentResult result;
     /** Invariant-checker violations (0 unless checkCoherence). */
     std::uint64_t coherenceViolations = 0;
@@ -226,9 +244,11 @@ bool isSweepWorkload(const std::string &name);
  * when base.obs.sampleEvery > 0), and one result object per cell in
  * job order (parseSweepResultsJson reads it back, v1 files included).
  * Failed cells appear as {"status": "error", "errorKind": ...,
- * "error": ..., workload/policy/maxOutstanding} in place of the
- * result object; all-ok files carry no "status" fields and stay
- * byte-identical to earlier releases. Byte-identical for equal specs
+ * "error": ..., workload/policy/maxOutstanding, plus the rerun
+ * identity: seed, topology, faultPlan, faultSeed and a one-line
+ * "rerun" command} in place of the result object; all-ok
+ * files carry no "status" fields and stay byte-identical to earlier
+ * releases. Byte-identical for equal specs
  * regardless of thread count.
  */
 void writeSweepResultsJson(std::ostream &os, const SweepSpec &spec,

@@ -24,6 +24,30 @@
 namespace cmpcache
 {
 
+/**
+ * Online conformance checking (check.* keys). Both knobs default off
+ * so the default machine stays byte-identical to a build without the
+ * checking subsystem; the unit/e2e suites force them on.
+ */
+struct CheckConfig
+{
+    /**
+     * Shadow write-epoch oracle (check.oracle): every store bumps a
+     * per-line version, every data delivery is validated against the
+     * newest committed version. A stale supply throws a SimException
+     * of kind Conformance at the exact tick it happens.
+     */
+    bool oracle = false;
+
+    /**
+     * Period (cycles) of online whole-machine invariant sweeps
+     * (check.invariants_every); 0 keeps the checker end-of-run only.
+     */
+    Tick invariantsEvery = 0;
+
+    bool enabled() const { return oracle || invariantsEvery > 0; }
+};
+
 struct SystemConfig
 {
     /**
@@ -45,6 +69,8 @@ struct SystemConfig
     ObsConfig obs;
     FaultConfig fault;
     WatchdogConfig watchdog;
+    /** Conformance oracle + online invariant sweeps (check.* keys). */
+    CheckConfig check;
     /**
      * Traffic model (arrival.* keys): closed-loop think time (the
      * default, batch-replay behavior) or open-loop generator-stamped

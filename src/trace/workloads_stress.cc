@@ -86,11 +86,84 @@ thrashStress(std::uint64_t records_per_thread, std::uint64_t seed,
     return p;
 }
 
+WorkloadParams
+producerConsumerStress(std::uint64_t records_per_thread,
+                       std::uint64_t seed,
+                       std::uint64_t shared_lines)
+{
+    WorkloadParams p;
+    p.name = "producer_consumer";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    // All traffic in one modest shared region. The high (but not
+    // total) store fraction keeps dirty owners handing lines to
+    // readers: dirty interventions, Tagged suppliers and write backs
+    // racing the consumers' demand refetches.
+    p.privateLines = 1;
+    p.sharedLines = shared_lines;
+    p.sharedFrac = 1.0;
+    p.sharedZipf = 0.4;
+    p.sharedStoreFrac = 0.35;
+    p.kernelFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.gapMean = 2.0;
+    p.phaseLength = 0;
+    return p;
+}
+
+WorkloadParams
+migratoryStress(std::uint64_t records_per_thread, std::uint64_t seed,
+                std::uint64_t shared_lines)
+{
+    WorkloadParams p;
+    p.name = "migratory";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    // A tiny, almost write-only shared set: M ownership migrates from
+    // thread to thread through back-to-back ReadExcl/Upgrade storms,
+    // the pattern with the most supplier handoffs per line.
+    p.privateLines = 1;
+    p.sharedLines = shared_lines;
+    p.sharedFrac = 1.0;
+    p.sharedZipf = 0.3;
+    p.sharedStoreFrac = 0.9;
+    p.kernelFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.gapMean = 2.0;
+    p.phaseLength = 0;
+    return p;
+}
+
+WorkloadParams
+falseSharingStress(std::uint64_t records_per_thread,
+                   std::uint64_t seed, std::uint64_t shared_lines)
+{
+    WorkloadParams p;
+    p.name = "false_sharing";
+    p.recordsPerThread = records_per_thread;
+    p.seed = seed;
+    // A handful of lines hammered by every thread with a load/store
+    // mix: maximum concurrent transactions per line per combine
+    // window, the densest interleaving space for the collector.
+    p.privateLines = 1;
+    p.sharedLines = shared_lines;
+    p.sharedFrac = 1.0;
+    p.sharedZipf = 0.0; // flat: all lines contended equally
+    p.sharedStoreFrac = 0.5;
+    p.kernelFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.gapMean = 1.0;
+    p.phaseLength = 0;
+    return p;
+}
+
 const std::vector<std::string> &
 stressNames()
 {
     static const std::vector<std::string> names = {
-        "uniform", "streaming", "pingpong", "thrash"};
+        "uniform",   "streaming",         "pingpong",
+        "thrash",    "producer_consumer", "migratory",
+        "false_sharing"};
     return names;
 }
 
@@ -106,8 +179,15 @@ stressByName(const std::string &name,
         return pingpongStress(records_per_thread, seed);
     if (name == "thrash")
         return thrashStress(records_per_thread, seed);
+    if (name == "producer_consumer")
+        return producerConsumerStress(records_per_thread, seed);
+    if (name == "migratory")
+        return migratoryStress(records_per_thread, seed);
+    if (name == "false_sharing")
+        return falseSharingStress(records_per_thread, seed);
     cmp_fatal("unknown stress pattern '", name,
-              "' (expected uniform, streaming, pingpong or thrash)");
+              "' (expected uniform, streaming, pingpong, thrash, "
+              "producer_consumer, migratory or false_sharing)");
 }
 
 } // namespace workloads

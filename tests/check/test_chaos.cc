@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Chaos-fuzzing driver tests (docs/robustness.md): seeded
+ * determinism of the sample stream, the forced-failure minimization
+ * path (a wb_blind_spot plan injected into every sample must be found,
+ * delta-debugged below the record budget and written as a reproducer
+ * bundle), and replay of the written bundle through the ordinary
+ * trace-run front door -- the bundle must still fail with the same
+ * structured Conformance error, or it is not a reproducer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "check/chaos.hh"
+#include "common/error.hh"
+#include "sim/config_io.hh"
+#include "sim/simulation.hh"
+#include "trace/trace_io.hh"
+
+using namespace cmpcache;
+
+namespace
+{
+
+/** Small, fast forced-failure options (seed verified to trip within
+ * the sample budget; see the CLI smoke in scripts/check.sh chaos). */
+ChaosOptions
+forcedFailureOptions(const std::string &repro_dir)
+{
+    ChaosOptions opts;
+    opts.seed = 3;
+    opts.samples = 4;
+    opts.recordsPerThread = 400;
+    opts.extraFaultPlan = "wb_blind_spot:0:end";
+    opts.minimizeTargetRecords = 200;
+    opts.reproDir = repro_dir;
+    return opts;
+}
+
+} // namespace
+
+TEST(Chaos, CleanSweepFindsNothing)
+{
+    ChaosOptions opts;
+    opts.seed = 11;
+    opts.samples = 2;
+    opts.recordsPerThread = 300;
+    std::ostringstream log;
+    const ChaosReport r = runChaos(opts, log);
+    EXPECT_FALSE(r.failed) << r.failureMessage;
+    EXPECT_EQ(r.samplesRun, 2u);
+    EXPECT_FALSE(r.reproWritten);
+}
+
+TEST(Chaos, EqualSeedsDrawEqualFailures)
+{
+    ChaosOptions opts =
+        forcedFailureOptions(::testing::TempDir() + "/chaos_det");
+    opts.minimize = false; // sampling determinism only
+    std::ostringstream log1, log2;
+    const ChaosReport a = runChaos(opts, log1);
+    const ChaosReport b = runChaos(opts, log2);
+    ASSERT_TRUE(a.failed);
+    EXPECT_EQ(a.samplesRun, b.samplesRun);
+    EXPECT_EQ(a.failingSeed, b.failingSeed);
+    EXPECT_EQ(a.failureKind, b.failureKind);
+    EXPECT_EQ(a.failureMessage, b.failureMessage);
+    EXPECT_EQ(a.sampleSummary, b.sampleSummary);
+}
+
+TEST(Chaos, ForcedFailureMinimizesIntoReplayableBundle)
+{
+    const std::string dir = ::testing::TempDir() + "/chaos_repro";
+    std::ostringstream log;
+    const ChaosReport r = runChaos(forcedFailureOptions(dir), log);
+
+    ASSERT_TRUE(r.failed) << log.str();
+    EXPECT_EQ(r.failureKind, "conformance") << r.failureMessage;
+    ASSERT_TRUE(r.reproWritten) << log.str();
+    EXPECT_GT(r.originalRecords, r.minimizedRecords);
+    // The acceptance bound: a handful of records, not a whole trace.
+    EXPECT_LE(r.minimizedRecords, 200u);
+    // The injected fault survives minimization (it is load-bearing).
+    EXPECT_NE(r.minimizedFaultPlan.find("wb_blind_spot"),
+              std::string::npos);
+    EXPECT_FALSE(r.rerunCommand.empty());
+
+    // Replay the bundle through the ordinary trace front door.
+    auto records = readTraceFile(r.reproTracePath);
+    ASSERT_TRUE(records.ok()) << records.error().message;
+    EXPECT_EQ(records.value().size(), r.minimizedRecords);
+
+    SystemConfig cfg;
+    std::ifstream conf(r.reproConfigPath);
+    ASSERT_TRUE(conf.is_open()) << r.reproConfigPath;
+    auto loaded = loadConfig(cfg, conf);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_TRUE(cfg.check.oracle); // bundle carries the oracle with it
+
+    Simulation sim(cfg, splitByThread(records.value(), cfg.numThreads()),
+                   "chaos-repro");
+    try {
+        sim.run();
+        FAIL() << "minimized reproducer no longer fails";
+    } catch (const SimException &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Conformance)
+            << e.error().message;
+    }
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "fault/fault_plan.hh"
 
 using namespace cmpcache;
@@ -99,6 +101,36 @@ TEST(FaultPlan, RejectsMalformedSpecs)
         if (!plan.ok())
             EXPECT_EQ(plan.error().kind, SimErrorKind::Config) << bad;
     }
+}
+
+TEST(FaultPlan, RejectsDegenerateWindows)
+{
+    // from == until is as empty as from > until: the half-open range
+    // [n, n) covers nothing, so the window could never fire.
+    for (const auto *bad : {"nack:10:10", "l3_retry:20:10",
+                            "wb_blind_spot:5:5", "delay:100:99"}) {
+        const auto plan = parseFaultPlan(bad);
+        ASSERT_FALSE(plan.ok()) << "accepted '" << bad << "'";
+        EXPECT_EQ(plan.error().kind, SimErrorKind::Config) << bad;
+        // The error names the kind and the offending bounds.
+        EXPECT_NE(plan.error().message.find("degenerate"),
+                  std::string::npos)
+            << plan.error().message;
+        const std::string kind(bad, std::strchr(bad, ':') - bad);
+        EXPECT_NE(plan.error().message.find(kind), std::string::npos)
+            << plan.error().message;
+    }
+}
+
+TEST(FaultPlan, ParsesTestOnlyBlindSpotKind)
+{
+    const auto plan = parseFaultPlan("wb_blind_spot:0:end");
+    ASSERT_TRUE(plan.ok()) << plan.error().message;
+    ASSERT_EQ(plan->windows.size(), 1u);
+    EXPECT_EQ(plan->windows[0].kind, FaultKind::WbBlindSpot);
+    const auto again = parseFaultPlan(formatFaultPlan(*plan));
+    ASSERT_TRUE(again.ok()) << again.error().message;
+    EXPECT_EQ(again->windows[0].kind, FaultKind::WbBlindSpot);
 }
 
 TEST(FaultPlan, ToleratesTrailingSeparator)

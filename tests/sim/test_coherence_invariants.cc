@@ -4,12 +4,22 @@
  * through the full machine, followed by global coherence-state
  * invariant checks across every L2 and the L3. Parameterized over
  * seeds and policies so each instantiation explores a different
- * interleaving.
+ * interleaving. The conformance oracle (check.oracle) is forced on
+ * for every property run.
+ *
+ * A second half forges illegal coherence states directly into the tag
+ * arrays -- dual owners, E beside a sharer, a stale L3 copy, dangling
+ * snarf bookkeeping -- and requires the checker's negative paths to
+ * fire on each.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/logging.hh"
+#include "l2/l2_cache.hh"
+#include "mem/tag_array.hh"
 #include "sim/cmp_system.hh"
 #include "sim/invariants.hh"
 #include "trace/workload.hh"
@@ -61,6 +71,10 @@ class CoherenceInvariants
         cfg.policy.wbht.entries = 1024;
         cfg.policy.snarf.entries = 1024;
         cfg.warmupPass = false;
+        // The conformance oracle rides along on every property run:
+        // stale data anywhere in these interleavings fails the test
+        // at the offending transaction, not as end-of-run skew.
+        cfg.check.oracle = true;
         return cfg;
     }
 
@@ -106,6 +120,125 @@ TEST_P(CoherenceInvariants, RunAndCheckGlobalState)
     SyntheticWorkload wl2(workload(c.seed));
     CmpSystem sys2(config(c), wl2.makeBundle());
     EXPECT_EQ(sys2.run(), t);
+}
+
+// ---------------------------------------------------------------
+// Negative paths: forge illegal states directly into the tag arrays
+// and require the checker to call each one out. These are the states
+// a correctly working machine can never reach, so the only way to
+// test the rules is to fabricate them.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** A tiny idle machine whose tags we can forge. Never run. */
+class ForgedState : public ::testing::Test
+{
+  protected:
+    ForgedState()
+    {
+        SystemConfig cfg;
+        cfg.topology = TopologyParams::flat(2, 1);
+        cfg.warmupPass = false;
+        WorkloadParams p;
+        p.numThreads = 2;
+        p.recordsPerThread = 1;
+        SyntheticWorkload wl(p);
+        sys_ = std::make_unique<CmpSystem>(cfg, wl.makeBundle());
+        line_ = sys_->l2(0).tags().lineAlign(0x8000);
+    }
+
+    void
+    forgeL2(unsigned l2, LineState state)
+    {
+        TagArray &tags = sys_->l2(l2).tags();
+        tags.insert(tags.findVictim(line_), line_, state);
+    }
+
+    void
+    forgeL3(LineState state)
+    {
+        TagArray &tags = sys_->l3().tags();
+        tags.insert(tags.findVictim(line_), line_, state);
+    }
+
+    std::unique_ptr<CmpSystem> sys_;
+    Addr line_ = 0;
+};
+
+} // namespace
+
+TEST_F(ForgedState, DualOwnersAreFlagged)
+{
+    forgeL2(0, LineState::Modified);
+    forgeL2(1, LineState::Modified);
+    const CoherenceCheck check = checkCoherence(*sys_);
+    // Both the dual-owner and the M-alongside-copies rule fire.
+    EXPECT_GE(check.violations, 2u);
+    EXPECT_NE(check.report().find("dirty owners"), std::string::npos)
+        << check.report();
+}
+
+TEST_F(ForgedState, ExclusiveAlongsideSharerIsFlagged)
+{
+    forgeL2(0, LineState::Exclusive);
+    forgeL2(1, LineState::Shared);
+    const CoherenceCheck check = checkCoherence(*sys_);
+    EXPECT_EQ(check.violations, 1u);
+    EXPECT_NE(check.report().find("E alongside"), std::string::npos)
+        << check.report();
+}
+
+TEST_F(ForgedState, StaleL3CopyIsAdvisoryOptIn)
+{
+    forgeL2(0, LineState::Modified);
+    forgeL3(LineState::Shared);
+    // Default options skip the L3 rule: the architected self-refetch
+    // race makes "owned L2 copy + valid L3 copy" reachable on a
+    // correct machine (see invariants.hh).
+    EXPECT_EQ(checkCoherence(*sys_).violations, 0u);
+    CoherenceCheckOptions opts;
+    opts.checkL3 = true;
+    const CoherenceCheck check = checkCoherence(*sys_, opts);
+    EXPECT_EQ(check.violations, 1u);
+    EXPECT_NE(check.report().find("stale L3"), std::string::npos)
+        << check.report();
+}
+
+TEST_F(ForgedState, DanglingSnarfEntryFlaggedOnlyWhenQuiesced)
+{
+    sys_->l2(1).forgePendingSnarfForTest(line_);
+    // Mid-run a pending reservation is normal bookkeeping...
+    EXPECT_EQ(checkCoherence(*sys_).violations, 0u);
+    // ...but on a drained machine it means a transaction leaked.
+    CoherenceCheckOptions opts;
+    opts.quiesced = true;
+    const CoherenceCheck check = checkCoherence(*sys_, opts);
+    EXPECT_EQ(check.violations, 1u);
+    EXPECT_NE(check.report().find("dangling snarf"), std::string::npos)
+        << check.report();
+}
+
+TEST_F(ForgedState, MessageCapStillCountsEverything)
+{
+    // Forge many bad lines; the report caps messages but never the
+    // violation count. The stride is a page, comfortably above any
+    // configured line size, so the 8 addresses stay distinct lines.
+    for (unsigned i = 0; i < 8; ++i) {
+        const Addr line =
+            sys_->l2(0).tags().lineAlign(0x8000 + i * 0x1000);
+        TagArray &a = sys_->l2(0).tags();
+        TagArray &b = sys_->l2(1).tags();
+        a.insert(a.findVictim(line), line, LineState::Modified);
+        b.insert(b.findVictim(line), line, LineState::Modified);
+    }
+    CoherenceCheckOptions opts;
+    opts.maxMessages = 3;
+    const CoherenceCheck check = checkCoherence(*sys_, opts);
+    EXPECT_EQ(check.messages.size(), 3u);
+    EXPECT_GE(check.violations, 16u);
+    EXPECT_NE(check.report().find("more"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -36,6 +36,10 @@ stressSpec()
     spec.base.policy.wbht.entries = 1024;
     spec.base.policy.snarf.entries = 1024;
     spec.base.warmupPass = false;
+    // The conformance oracle runs inside every cell, serial and
+    // fanned out alike: its cross-thread hooks must neither race
+    // (tsan label) nor perturb the deterministic output.
+    spec.base.check.oracle = true;
     spec.statsFormat = StatsFormat::Json;
     return spec;
 }
