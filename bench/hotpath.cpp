@@ -5,7 +5,8 @@
  * patterns they replaced (heap-allocated candidate vectors,
  * std::function predicates, std::lower_bound Zipf inversion,
  * std::unordered_map transaction tables, heap-backed one-shot
- * callables).
+ * callables), plus one whole-simulation pair: the L2-hit fast path
+ * against the one-event-per-reference kernel it bypasses.
  *
  * The legacy replicas are kept deliberately faithful to the old code
  * shape so the committed BENCH_hotpath.json numbers measure the actual
@@ -38,6 +39,9 @@
 #include "common/random.hh"
 #include "mem/replacement.hh"
 #include "mem/tag_array.hh"
+#include "sim/result_json.hh"
+#include "sim/simulation.hh"
+#include "trace/workloads_commercial.hh"
 
 namespace cmpcache
 {
@@ -458,6 +462,75 @@ runCallable(std::uint64_t ops)
     return s;
 }
 
+// ---------------------------------------------------------------------
+// Pair 5: the L2-hit fast path -- one event per reference (legacy,
+// run.fastpath=off) vs. batched hit runs that advance the CPU clock
+// without touching the event kernel (current, run.fastpath=on), on a
+// hit-heavy simulation where the batches get long. Both sides must
+// produce byte-identical result JSON (the fast path's core contract),
+// so this too is a differential check the compiler cannot elide.
+// ---------------------------------------------------------------------
+
+PairStats
+runFastpath(std::uint64_t ops)
+{
+    // A roomy L2 over the TP working set, one single-SMT core per L2
+    // cluster: most references hit and a thread's consecutive attempt
+    // events meet no interleaver at the queue head, so the fast path
+    // spends the run inside long batches (on the default 4-thread-
+    // per-L2 machine lockstep interleaving at equal ticks keeps
+    // batches near length one and the pair measures only the probe's
+    // overhead). References scale with the shared op count so the
+    // pair's runtime tracks its peers (long enough that the cold-miss
+    // warmup stops dominating the hit-heavy steady state).
+    const std::uint64_t refs = std::max<std::uint64_t>(ops / 8, 2000);
+
+    PairStats s;
+    s.name = "l2hit-fastpath";
+
+    std::string legacy_json;
+    std::string current_json;
+    for (const bool fast : {false, true}) {
+        SystemConfig cfg;
+        cfg.runThreads = 0;
+        cfg.runFastpath = fast;
+        cfg.topology.cores = 4;
+        cfg.topology.smt = 1;
+        cfg.topology.l2s = 4;
+        cfg.topology.l3Slices = 4;
+        cfg.l2.sizeBytes = 256 * 1024;
+        cfg.l2.assoc = 8;
+        WorkloadParams wl = workloads::tp(refs, /*seed=*/7);
+        wl.numThreads = cfg.numThreads();
+
+        const Timer t;
+        Simulation sim(cfg, wl);
+        const ExperimentResult &result = sim.run();
+        const double secs = t.seconds();
+
+        std::ostringstream os;
+        writeResultJson(os, result);
+        if (fast) {
+            s.currentSeconds = secs;
+            current_json = os.str();
+        } else {
+            s.legacySeconds = secs;
+            legacy_json = os.str();
+            // Both sides do the same simulated work; report it in
+            // events the unbatched kernel executes so the pair's
+            // ops/sec axis matches the kernel benches.
+            s.ops = sim.system().totalExecuted();
+        }
+    }
+
+    if (legacy_json != current_json) {
+        std::cerr << "l2hit-fastpath equivalence FAILED: result "
+                     "JSON differs with run.fastpath on\n";
+        std::exit(1);
+    }
+    return s;
+}
+
 std::string
 jsonNum(double v)
 {
@@ -520,6 +593,7 @@ main(int argc, char **argv)
         runZipf(ops),
         runFlatMapPair(ops),
         runCallable(ops),
+        runFastpath(ops),
     };
 
     writeJson(std::cout, ops, pairs);

@@ -14,6 +14,19 @@
  * kernel's events/second and currentOpsPerSec is the domain
  * scheduler's at that worker count ("speedup" is then the parallel
  * speedup; the committed baseline lives in bench/BENCH_parallel.json).
+ * The top-level hostCores field records the measuring machine so the
+ * guard can refuse to cross-fail baselines taken on a different
+ * core count, and every scheduler-backed pair carries the per-phase
+ * wall breakdown (core / barrier / replay / global / renumber) plus
+ * the round counters, so a speedup regression points at the phase
+ * that ate it. Every pair carries "metric": "speedup" so the guard
+ * gates on the within-run parallel-vs-serial ratio (the contract is
+ * "parallelism pays", and the same-run ratio cancels VM
+ * noisy-neighbor drift that absolute Mops/s does not), and pairs
+ * that oversubscribe the host (more workers than cores, e.g. forced
+ * fan-out on a one-core container) are emitted with "guard": false
+ * -- their wall clock is scheduler-thrash noise, unguardable even
+ * against a same-host baseline.
  */
 
 #include <chrono>
@@ -22,8 +35,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/domain_scheduler.hh"
 #include "sim/result_json.hh"
 #include "sim/simulation.hh"
 #include "trace/workloads_commercial.hh"
@@ -39,6 +54,8 @@ struct RunStats
     double seconds = 0.0;
     std::uint64_t events = 0;
     std::string resultJson;
+    bool hasPhases = false; ///< scheduler-backed run (workers >= 2)
+    DomainScheduler::PhaseStats phases;
 
     double
     eventsPerSec() const
@@ -53,21 +70,67 @@ runOnce(unsigned workers, std::uint64_t refs)
 {
     SystemConfig cfg;
     cfg.runThreads = workers;
+    // Phase-timing gauges ride on the observability switch; the
+    // serial run has no scheduler, so its result is untouched.
+    cfg.obs.schedGauges = true;
     const WorkloadParams wl = workloads::tp(refs, /*seed=*/1);
 
-    const auto start = std::chrono::steady_clock::now();
-    Simulation sim(cfg, wl);
-    const ExperimentResult &result = sim.run();
-    RunStats s;
-    s.workers = workers;
-    s.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-    s.events = sim.system().totalExecuted();
+    // Best-of-3 against VM noisy-neighbor drift; every repeat must
+    // reproduce the first result byte for byte, so the repeats
+    // double as a same-binary determinism check.
+    RunStats best;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        Simulation sim(cfg, wl);
+        const ExperimentResult &result = sim.run();
+        RunStats s;
+        s.workers = workers;
+        s.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        s.events = sim.system().totalExecuted();
+        if (const DomainScheduler *sched =
+                sim.system().domainScheduler()) {
+            s.hasPhases = true;
+            s.phases = sched->phaseStats();
+        }
+        std::ostringstream os;
+        writeResultJson(os, result);
+        s.resultJson = os.str();
+        if (rep > 0 && s.resultJson != best.resultJson) {
+            std::cerr << "parallel_run: repeat diverged at "
+                      << workers << " workers\n";
+            std::exit(1);
+        }
+        if (rep == 0 || s.seconds < best.seconds)
+            best = s;
+    }
+    return best;
+}
+
+std::string
+jsonNum(double v)
+{
     std::ostringstream os;
-    writeResultJson(os, result);
-    s.resultJson = os.str();
-    return s;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+void
+writePhases(std::ostream &os, const DomainScheduler::PhaseStats &ps)
+{
+    os << ", \"phases\": {\"rounds\": " << ps.rounds
+       << ", \"fanOutRounds\": " << ps.fanOutRounds
+       << ", \"soloRounds\": " << ps.soloRounds
+       << ", \"renumberSorts\": " << ps.renumberSorts
+       << ", \"birthRecords\": " << ps.birthRecords
+       << ", \"coreSeconds\": " << jsonNum(ps.coreSeconds)
+       << ", \"barrierSeconds\": " << jsonNum(ps.barrierSeconds)
+       << ", \"replaySeconds\": " << jsonNum(ps.replaySeconds)
+       << ", \"globalSeconds\": " << jsonNum(ps.globalSeconds)
+       << ", \"renumberSeconds\": " << jsonNum(ps.renumberSeconds)
+       << "}";
 }
 
 void
@@ -75,6 +138,8 @@ writeJson(std::ostream &os, std::uint64_t ops, const RunStats &serial,
           const std::vector<RunStats> &parallel)
 {
     os << "{\n  \"schema\": \"cmpcache-hotpath-bench-v1\",\n"
+       << "  \"hostCores\": "
+       << std::thread::hardware_concurrency() << ",\n"
        << "  \"opsPerPair\": " << ops << ",\n  \"pairs\": [\n";
     for (std::size_t i = 0; i < parallel.size(); ++i) {
         const RunStats &p = parallel[i];
@@ -87,8 +152,13 @@ writeJson(std::ostream &os, std::uint64_t ops, const RunStats &serial,
            << ", \"legacyOpsPerSec\": " << legacy
            << ", \"currentOpsPerSec\": " << current
            << ", \"speedup\": "
-           << (legacy > 0.0 ? current / legacy : 0.0) << "}"
-           << (i + 1 < parallel.size() ? "," : "") << "\n";
+           << (legacy > 0.0 ? current / legacy : 0.0)
+           << ", \"metric\": \"speedup\"";
+        if (p.workers > std::thread::hardware_concurrency())
+            os << ", \"guard\": false";
+        if (p.hasPhases)
+            writePhases(os, p.phases);
+        os << "}" << (i + 1 < parallel.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 }
@@ -133,6 +203,18 @@ benchMain(int argc, char **argv)
                   << serial.eventsPerSec() / 1e6 << " Mev/s ("
                   << p.eventsPerSec() / serial.eventsPerSec()
                   << "x)\n";
+        if (p.hasPhases) {
+            const auto &ps = p.phases;
+            std::cerr << "  rounds=" << ps.rounds << " (solo "
+                      << ps.soloRounds << ", fan-out "
+                      << ps.fanOutRounds << ", sorts "
+                      << ps.renumberSorts << ") core="
+                      << ps.coreSeconds << "s barrier="
+                      << ps.barrierSeconds << "s replay="
+                      << ps.replaySeconds << "s global="
+                      << ps.globalSeconds << "s renumber="
+                      << ps.renumberSeconds << "s\n";
+        }
     }
 
     writeJson(std::cout, serial.events, serial, parallel);

@@ -9,7 +9,19 @@ committed baseline in bench/BENCH_*.json. Any guarded pair that drops
 more than --max-drop (default 20%) below its baseline fails the
 guard; pairs marked "guard": false in the baseline are reported but
 never gate (the scale bench guards only its 8-core cell -- larger
-machines are informational).
+machines are informational). A baseline pair may set
+"metric": "speedup" to gate on the within-run legacy-vs-current
+ratio instead of absolute throughput -- the parallel bench uses this
+because its contract is "parallelism pays relative to this run's
+serial kernel", and absolute Mops/s drifts with VM noisy-neighbor
+load that the same-run ratio cancels out.
+
+Baselines that record the machine they were measured on (a top-level
+"hostCores" field, emitted by the parallel bench) only gate when the
+current host reports the same core count: parallel speedup on a
+16-core box and on a 1-core CI runner are different experiments, so a
+mismatch downgrades every pair to informational instead of
+cross-failing.
 
 Exit codes: 0 pass, 1 regression (or broken inputs), 77 skipped.
 Set CMPCACHE_SKIP_BENCH=1 to skip (slow or contended CI machines);
@@ -36,6 +48,9 @@ def main():
                     help="committed BENCH_hotpath.json")
     ap.add_argument("--max-drop", type=float, default=0.20,
                     help="max fractional throughput drop per pair")
+    ap.add_argument("--fresh-out",
+                    help="also write the fresh bench JSON here (for "
+                         "CI artifact upload)")
     args = ap.parse_args()
 
     if os.environ.get("CMPCACHE_SKIP_BENCH"):
@@ -57,6 +72,22 @@ def main():
         with open(out) as f:
             fresh = json.load(f)
 
+    if args.fresh_out:
+        os.makedirs(os.path.dirname(args.fresh_out) or ".",
+                    exist_ok=True)
+        with open(args.fresh_out, "w") as f:
+            json.dump(fresh, f, indent=2)
+
+    host_match = True
+    base_cores = baseline.get("hostCores")
+    fresh_cores = fresh.get("hostCores")
+    if base_cores is not None and base_cores != fresh_cores:
+        host_match = False
+        print(f"baseline was measured on a {base_cores}-core host, "
+              f"this one reports {fresh_cores}; pairs are "
+              f"informational only (re-baseline on this machine to "
+              f"gate)")
+
     base_pairs = {p["name"]: p for p in baseline["pairs"]}
     failed = False
     for pair in fresh["pairs"]:
@@ -67,17 +98,24 @@ def main():
                   f"{args.baseline})", file=sys.stderr)
             failed = True
             continue
-        now = pair["currentOpsPerSec"]
-        ref = base["currentOpsPerSec"]
+        metric = base.get("metric", "currentOpsPerSec")
+        now = pair[metric]
+        ref = base[metric]
         ratio = now / ref if ref > 0 else 0.0
         status = "ok"
         if not base.get("guard", True):
             status = "informational (not guarded)"
+        elif not host_match:
+            status = "informational (host core count differs)"
         elif ratio < 1.0 - args.max_drop:
             status = "REGRESSION"
             failed = True
-        print(f"{name}: {now / 1e6:.2f} Mops/s vs baseline "
-              f"{ref / 1e6:.2f} Mops/s ({ratio:.2f}x) {status}")
+        if metric == "speedup":
+            print(f"{name}: {now:.3f}x vs baseline {ref:.3f}x "
+                  f"({ratio:.2f}x) {status}")
+        else:
+            print(f"{name}: {now / 1e6:.2f} Mops/s vs baseline "
+                  f"{ref / 1e6:.2f} Mops/s ({ratio:.2f}x) {status}")
 
     if failed:
         print(f"hot-path throughput regressed more than "

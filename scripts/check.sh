@@ -20,6 +20,11 @@
 #                               # BENCH_parallel.json and
 #                               # BENCH_scale.json baselines (skip
 #                               # with CMPCACHE_SKIP_BENCH=1)
+#   scripts/check.sh perf       # the parallel + hotpath guards with
+#                               # CMPCACHE_FANOUT=1 forced (real
+#                               # worker threads wherever it runs);
+#                               # fresh bench JSON lands in build/perf
+#                               # for CI artifact upload
 #   scripts/check.sh serve      # streaming smoke: a 1M-record trace
 #                               # through a FIFO with bounded memory
 #                               # and live ingest gauges, plus open-
@@ -39,9 +44,9 @@ cd "$(dirname "$0")/.."
 
 SELECT="${1:-all}"
 case "$SELECT" in
-unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | serve | scale | chaos) ;;
+unit | e2e | all | sanitize | tsan | obs | faults | fuzz | bench | perf | serve | scale | chaos) ;;
 *)
-    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|serve|scale|chaos]" >&2
+    echo "usage: scripts/check.sh [unit|e2e|all|sanitize|tsan|obs|faults|fuzz|bench|perf|serve|scale|chaos]" >&2
     exit 2
     ;;
 esac
@@ -136,6 +141,29 @@ if [ "$SELECT" = bench ]; then
     run_phase bench-scale python3 scripts/bench_guard.py \
         --bench build/bench/scale \
         --baseline bench/BENCH_scale.json
+    exit 0
+fi
+
+if [ "$SELECT" = perf ]; then
+    if [ -n "${CMPCACHE_SKIP_BENCH:-}" ]; then
+        echo "perf: skipped (CMPCACHE_SKIP_BENCH set)"
+        exit 0
+    fi
+    # The parallel-kernel and fast-path guards with fan-out forced on,
+    # so the real worker threads run even where the runtime reports
+    # one core. hostCores-mismatched baselines report informationally
+    # instead of gating (scripts/bench_guard.py), so this is safe on
+    # any runner; the fresh JSON is kept for artifact upload.
+    run_phase perf-parallel \
+        env CMPCACHE_FANOUT=1 python3 scripts/bench_guard.py \
+        --bench build/bench/parallel_run \
+        --baseline bench/BENCH_parallel.json \
+        --fresh-out build/perf/BENCH_parallel.json
+    run_phase perf-hotpath \
+        env CMPCACHE_FANOUT=1 python3 scripts/bench_guard.py \
+        --bench build/bench/hotpath \
+        --baseline bench/BENCH_hotpath.json \
+        --fresh-out build/perf/BENCH_hotpath.json
     exit 0
 fi
 

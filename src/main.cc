@@ -102,7 +102,7 @@ usage()
         "  --sample-every=N      sample obs probes plus live ingest\n"
         "                        gauges (queue depth, ingest rate,\n"
         "                        drops) every N cycles\n"
-        "  --run-threads=N       per-simulation event-kernel workers\n"
+        "  --run-threads=N|auto  per-simulation event-kernel workers\n"
         "  --out=FILE            result JSON (default: stdout);\n"
         "                        includes a timeSeries block when\n"
         "                        sampling is on\n"
@@ -118,9 +118,10 @@ usage()
         "                        or CMPCACHE_REFS)\n"
         "  --seed=N              workload seed (default 1)\n"
         "  --threads=N           worker threads (default: hardware)\n"
-        "  --run-threads=N       per-simulation event-kernel workers\n"
-        "                        (0 = serial kernel, the default; any\n"
-        "                        N gives bit-identical results)\n"
+        "  --run-threads=N|auto  per-simulation event-kernel workers\n"
+        "                        (0 = serial kernel, the default;\n"
+        "                        auto picks from the host and shape;\n"
+        "                        any N gives bit-identical results)\n"
         "  --out=FILE            results JSON (default: stdout)\n"
         "  --bench-out=FILE      timing JSON, e.g. "
         "bench/BENCH_grid.json\n"
@@ -146,6 +147,25 @@ usage()
         "trip, or a chaos failure with its reproducer written),\n"
         "3 one or more sweep cells failed (failed cells appear as\n"
         "status:\"error\" in the results)\n";
+}
+
+/** --run-threads=N|auto (auto = SystemConfig::RunThreadsAuto). */
+unsigned
+parseRunThreads(const std::string &v)
+{
+    if (v == "auto")
+        return SystemConfig::RunThreadsAuto;
+    std::size_t used = 0;
+    long long n = -1;
+    try {
+        n = std::stoll(v, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != v.size() || n < 0)
+        cmp_fatal("--run-threads expects a count >= 0 or 'auto', "
+                  "got '", v, "'");
+    return static_cast<unsigned>(n);
 }
 
 StatsFormat
@@ -277,10 +297,8 @@ sweepMain(const CliArgs &args)
     const std::string stats_out = args.getString("stats-out", "");
 
     if (args.has("run-threads")) {
-        const auto rt = args.getInt("run-threads", 0);
-        if (rt < 0)
-            cmp_fatal("--run-threads must be >= 0");
-        spec.base.runThreads = static_cast<unsigned>(rt);
+        spec.base.runThreads =
+            parseRunThreads(args.getString("run-threads", "0"));
     }
 
     unsigned hw = std::thread::hardware_concurrency();
@@ -467,10 +485,8 @@ serveMain(const CliArgs &args)
         cfg.obs.sampleEvery = static_cast<Tick>(every);
     }
     if (args.has("run-threads")) {
-        const auto rt = args.getInt("run-threads", 0);
-        if (rt < 0)
-            cmp_fatal("--run-threads must be >= 0");
-        cfg.runThreads = static_cast<unsigned>(rt);
+        cfg.runThreads =
+            parseRunThreads(args.getString("run-threads", "0"));
     }
 
     const std::string trace = args.getString("trace", "");

@@ -183,6 +183,26 @@ class Ring : public SimObject
     std::size_t pendingRequests() const { return reqQueue_.size(); }
 
     /**
+     * Tick of the next scheduled address-slot drain; MaxTick when
+     * none is pending. Drains are the only path that schedules a
+     * combined response (the only globally ordered ring event), so
+     * the parallel scheduler's adaptive cut uses this as the live
+     * uncore-to-global bound (DomainScheduler::LookaheadProbeFn).
+     */
+    Tick nextDrainTick() const
+    {
+        return drainEvent_.scheduled() ? drainEvent_.when() : MaxTick;
+    }
+
+    /**
+     * Address-slot pacing floor: no request -- queued or yet to be
+     * issued -- can drain before this tick. Monotone within a run,
+     * which is what makes it a sound cut input (the floor read at a
+     * round start can only rise by replay time).
+     */
+    Tick launchFloor() const { return nextLaunch_; }
+
+    /**
      * Line address and enqueue tick of the oldest queued request;
      * false if the queue is empty.
      */

@@ -72,9 +72,10 @@ struct CmpSystem::ParallelGlue
               }(),
               *sys.uncoreQ_, sys.eq_,
               DomainScheduler::Params{
-                  sys.cfg_.runThreads,
+                  sys.cfg_.resolvedRunThreads(),
                   sys.cfg_.ring.snoopLatency,
-                  sys.cfg_.ring.requesterOverhead})
+                  sys.cfg_.ring.requesterOverhead,
+                  sys.cfg_.obs.schedGauges})
     {
         for (auto &s : sinks)
             s.sched = &sched;
@@ -183,8 +184,11 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
     // Parallel mode: domain queues plus the scheduler glue, built
     // before any component so every schedule() -- including the
     // sequential startup ones -- draws its sequence number from the
-    // scheduler's global counter.
-    if (cfg_.runThreads > 0) {
+    // scheduler's global counter. One worker would execute the exact
+    // serial order through the round machinery anyway, so anything
+    // below 2 skips the glue entirely and runs the bare serial
+    // kernel -- same bytes, zero inline scheduler overhead.
+    if (cfg_.resolvedRunThreads() >= 2) {
         for (unsigned i = 0; i < topo_.numL2s(); ++i)
             coreQs_.push_back(std::make_unique<EventQueue>());
         uncoreQ_ = std::make_unique<EventQueue>();
@@ -213,8 +217,18 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
     ring_ = std::make_unique<Ring>(this, uncore_eq, cfg_.ring, topo_);
     ring_->setRetryMonitor(retryMonitor_.get());
     ring_->setFaultInjector(faults_.get());
-    if (par_)
+    if (par_) {
         ring_->setScheduleRouter(&par_->router);
+        // Adaptive cut: feed the scheduler live ring state. Ring
+        // drains are the only uncore events that bear globals, and
+        // the launch floor bounds how soon a still-deferred issue
+        // can drain (see DomainScheduler::LookaheadProbeFn).
+        par_->sched.setLookaheadProbeFn(
+            [this](Tick &drain_at, Tick &launch_floor) {
+                drain_at = ring_->nextDrainTick();
+                launch_floor = ring_->launchFloor();
+            });
+    }
 
     // Agent ids and ring stops come from the topology; nothing here
     // computes placement arithmetic.
@@ -267,6 +281,7 @@ CmpSystem::CmpSystem(const SystemConfig &cfg, TraceBundle traces)
 
     CpuParams cpu_params = cfg_.cpu;
     cpu_params.arrival = cfg_.arrival.model;
+    cpu_params.fastpath = cfg_.runFastpath;
     for (unsigned t = 0; t < topo_.numThreads(); ++t) {
         const unsigned cluster = topo_.l2OfThread(t);
         L2Cache &l2 = *l2s_[cluster];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
@@ -112,6 +113,15 @@ struct DomainScheduler::ExecCtx
     std::uint32_t subCtr = 0;
     /** Core domain being executed (defer routing); phase 1 only. */
     unsigned domain = 0;
+    /**
+     * Inside a round's parallel phase: births flag their own hook
+     * (single writer) instead of the coordinator's serial dirty list,
+     * and currentExecBound() exposes the cut below.
+     */
+    bool phase1 = false;
+    /** Execution bound handed to executeDomain (phase 1 only). */
+    Tick cutTick = 0;
+    std::uint64_t cutKey = 0;
 };
 
 thread_local DomainScheduler::ExecCtx *DomainScheduler::tlsCtx_ =
@@ -149,6 +159,98 @@ class DomainScheduler::QueueHook final : public SchedulerHook
   public:
     explicit QueueHook(DomainScheduler &s) : sched_(s) {}
 
+    /**
+     * Chunked, pointer-stable birth-record storage. Records are
+     * parent-linked by pointer and events carry cookies into the
+     * arena, so growth must never relocate a record; clearing keeps
+     * the chunks, so a steady-state round allocates nothing.
+     */
+    class Arena
+    {
+      public:
+        BirthRec &
+        append()
+        {
+            if (size_ == capacity_) {
+                chunks_.push_back(
+                    std::make_unique<BirthRec[]>(ChunkSize));
+                capacity_ += ChunkSize;
+            }
+            BirthRec &r = chunks_[size_ / ChunkSize][size_ % ChunkSize];
+            ++size_;
+            return r;
+        }
+
+        BirthRec &
+        at(std::size_t i)
+        {
+            return chunks_[i / ChunkSize][i % ChunkSize];
+        }
+
+        bool empty() const { return size_ == 0; }
+        std::size_t size() const { return size_; }
+        void clear() { size_ = 0; }
+
+      private:
+        static constexpr std::size_t ChunkSize = 128;
+        std::vector<std::unique_ptr<BirthRec[]>> chunks_;
+        std::size_t size_ = 0;
+        std::size_t capacity_ = 0;
+    };
+
+    /** A logged birth: its record and its provisional sequence. */
+    struct Birth
+    {
+        BirthRec *rec;
+        std::uint64_t seq;
+    };
+
+    /**
+     * Log one birth under the executing context. @p ev may be null:
+     * the hit fast path logs virtual attempt events this way, which
+     * consume a sequence slot at renumber time (mirroring the serial
+     * counter) without ever entering a queue.
+     */
+    Birth
+    logBirth(ExecCtx *ctx, EventQueue &q, Event *ev)
+    {
+        if (arena_.empty()) {
+            // First birth this round: flag the hook so renumbering
+            // visits only queues that actually received births. A
+            // phase-1 birth flags the hook itself (single writer:
+            // only the owning domain bears into a core queue during
+            // the parallel phase; the done barrier publishes the
+            // flag); serial-phase births log coordinator-side.
+            if (ctx->phase1)
+                dirtyPhase1_ = true;
+            else
+                sched_.serialDirty_.push_back(this);
+        }
+        BirthRec &rec = arena_.append();
+        rec.parent = ctx->pos;
+        if (ctx->applyMode) {
+            rec.idx = ctx->fixedIdx;
+            rec.subIdx = ctx->subCtr++;
+        } else {
+            rec.idx = ctx->birthCtr++;
+            rec.subIdx = 0;
+        }
+        rec.ev = ev;
+        rec.queue = &q;
+        if (ev)
+            ev->setHookCookie(&rec);
+        // In the reference wiring each queue's births arrive in
+        // serial order already (phase 1 pops in position order;
+        // serial phases bear at or beyond the cut), letting
+        // renumberRound skip its sort when one queue is dirty. Track
+        // it rather than assume it: synthetic harnesses may bear
+        // across queues in arbitrary order.
+        if (sorted_ && last_ && cmpRec(last_, &rec) > 0)
+            sorted_ = false;
+        last_ = &rec;
+        return Birth{&rec, ProvisionalBase + provCtr_++};
+    }
+
     std::uint64_t
     nextSequence(EventQueue &q, Event *ev, Tick when) override
     {
@@ -160,20 +262,7 @@ class DomainScheduler::QueueHook final : public SchedulerHook
                        "sequence space exhausted");
             return sched_.nextGlobalSeq_++;
         }
-        arena_.emplace_back();
-        BirthRec &rec = arena_.back();
-        rec.parent = ctx->pos;
-        if (ctx->applyMode) {
-            rec.idx = ctx->fixedIdx;
-            rec.subIdx = ctx->subCtr++;
-        } else {
-            rec.idx = ctx->birthCtr++;
-            rec.subIdx = 0;
-        }
-        rec.ev = ev;
-        rec.queue = &q;
-        ev->setHookCookie(&rec);
-        return ProvisionalBase + provCtr_++;
+        return logBirth(ctx, q, ev).seq;
     }
 
     void
@@ -183,13 +272,26 @@ class DomainScheduler::QueueHook final : public SchedulerHook
         cache_->valid = false;
     }
 
+    void
+    clearRound()
+    {
+        arena_.clear();
+        sorted_ = true;
+        last_ = nullptr;
+    }
+
     /** Stable storage: records are parent-linked by pointer. */
-    std::deque<BirthRec> arena_;
+    Arena arena_;
+    /** Set by the owning domain on its first phase-1 birth. */
+    bool dirtyPhase1_ = false;
+    /** Arena still in serial birth order (sort elision). */
+    bool sorted_ = true;
     /** This queue's slot in the scheduler's head cache. */
     HeadCache *cache_ = nullptr;
 
   private:
     DomainScheduler &sched_;
+    const BirthRec *last_ = nullptr;
     std::uint64_t provCtr_ = 0;
 };
 
@@ -354,6 +456,39 @@ DomainScheduler::posOfPopped(EventQueue &q, const Event *ev)
     return p;
 }
 
+bool
+DomainScheduler::currentExecBound(Tick &cut_tick, std::uint64_t &cut_key)
+{
+    const ExecCtx *ctx = tlsCtx_;
+    if (!ctx || !ctx->phase1)
+        return false;
+    cut_tick = ctx->cutTick;
+    cut_key = ctx->cutKey;
+    return true;
+}
+
+void
+DomainScheduler::noteVirtualStep(EventQueue &q, Tick when,
+                                 Event::Priority pri)
+{
+    ExecCtx *ctx = tlsCtx_;
+    if (!ctx || !ctx->phase1)
+        return;
+    auto *h = static_cast<QueueHook *>(q.schedulerHook());
+    cmp_assert(h, "virtual step on a queue without a scheduler hook");
+    // The serial kernel would have scheduled this event for real (one
+    // sequence draw, parented here) and then popped it, making it the
+    // executing context. Mirror both halves: log an event-less birth
+    // record in the slot the schedule call would have taken, then
+    // re-parent the context onto it, so everything the batch bears
+    // afterwards renumbers to exactly its serial sequence.
+    const QueueHook::Birth b = h->logBirth(ctx, q, nullptr);
+    ctx->pos.tick = when;
+    ctx->pos.key = EventQueue::makeKey(pri, b.seq);
+    ctx->pos.rec = b.rec;
+    ctx->birthCtr = 0;
+}
+
 void
 DomainScheduler::noteDeferredIssue(std::uint32_t payload)
 {
@@ -388,6 +523,9 @@ DomainScheduler::executeDomain(unsigned d, Tick cut_tick,
     LeaveScope leave{*this, d};
     ExecCtx ctx;
     ctx.domain = d;
+    ctx.phase1 = true;
+    ctx.cutTick = cut_tick;
+    ctx.cutKey = cut_key;
     TlsCtxScope scope(&ctx);
     while (Event *ev = q.popNextBefore(cut_tick, cut_key)) {
         ctx.pos = posOfPopped(q, ev);
@@ -421,16 +559,24 @@ DomainScheduler::drainUncoreAndIssues(Tick cut_tick,
                                       std::uint64_t cut_key)
 {
     mergedMsgs_.clear();
+    unsigned deferring = 0;
     for (auto &ob : outbox_) {
+        if (ob.empty())
+            continue;
+        ++deferring;
         mergedMsgs_.insert(mergedMsgs_.end(), ob.begin(), ob.end());
         ob.clear();
     }
-    std::sort(mergedMsgs_.begin(), mergedMsgs_.end(),
-              [](const OutMsg &a, const OutMsg &b) {
-                  if (const int c = cmpPos(a.parent, b.parent))
-                      return c < 0;
-                  return a.idx < b.idx;
-              });
+    // One domain's deferrals are already in serial order (its pop
+    // order); the merge sort only pays when several domains deferred
+    // in the same round.
+    if (deferring > 1)
+        std::sort(mergedMsgs_.begin(), mergedMsgs_.end(),
+                  [](const OutMsg &a, const OutMsg &b) {
+                      if (const int c = cmpPos(a.parent, b.parent))
+                          return c < 0;
+                      return a.idx < b.idx;
+                  });
 
     // Interleave deferred issues (positioned at their parent) with
     // the uncore queue's own events, in serial position order. The
@@ -483,21 +629,49 @@ DomainScheduler::drainUncoreAndIssues(Tick cut_tick,
 void
 DomainScheduler::renumberRound()
 {
-    renumberBuf_.clear();
-    for (auto &hook : hooks_)
-        for (BirthRec &r : hook->arena_)
-            renumberBuf_.push_back(&r);
-    if (renumberBuf_.empty())
+    // Only queues that received births this round need visiting.
+    // Phase-1 dirty flags live on the active domains' hooks (written
+    // by their owners, published by the done barrier); every other
+    // birth was logged on the coordinator's serial list. The two are
+    // disjoint: a serial birth into an already phase-1-dirty queue
+    // finds a non-empty arena and logs nothing.
+    dirtyHooks_.clear();
+    for (unsigned d : activeDomains_) {
+        QueueHook *h = hooks_[d].get();
+        if (h->dirtyPhase1_) {
+            h->dirtyPhase1_ = false;
+            dirtyHooks_.push_back(h);
+        }
+    }
+    for (QueueHook *h : serialDirty_)
+        dirtyHooks_.push_back(h);
+    serialDirty_.clear();
+    if (dirtyHooks_.empty())
         return;
+
+    renumberBuf_.clear();
+    for (QueueHook *h : dirtyHooks_)
+        for (std::size_t i = 0; i < h->arena_.size(); ++i)
+            renumberBuf_.push_back(&h->arena_.at(i));
 
     // Serial birth order: parent position, then call order within the
     // parent. Every record consumes one dense sequence (mirroring the
     // serial counter), but only the latest still-pending schedule of
     // an event is rekeyed -- a record whose event has since fired,
     // been descheduled, or been rescheduled keeps its slot without
-    // touching the queue.
-    std::sort(renumberBuf_.begin(), renumberBuf_.end(),
-              [](BirthRec *a, BirthRec *b) { return cmpRec(a, b) < 0; });
+    // touching the queue. A single dirty queue whose arena is already
+    // in serial order (the common round: one domain bearing into its
+    // own queue) skips the sort outright.
+    const bool need_sort =
+        dirtyHooks_.size() > 1 || !dirtyHooks_.front()->sorted_;
+    if (need_sort) {
+        std::sort(renumberBuf_.begin(), renumberBuf_.end(),
+                  [](BirthRec *a, BirthRec *b) {
+                      return cmpRec(a, b) < 0;
+                  });
+        ++phaseStats_.renumberSorts;
+    }
+    phaseStats_.birthRecords += renumberBuf_.size();
     for (BirthRec *r : renumberBuf_) {
         cmp_assert(nextGlobalSeq_ < ProvisionalBase,
                    "sequence space exhausted");
@@ -517,8 +691,8 @@ DomainScheduler::renumberRound()
             ev->setHookCookie(nullptr);
         }
     }
-    for (auto &hook : hooks_)
-        hook->arena_.clear();
+    for (QueueHook *h : dirtyHooks_)
+        h->clearRound();
 }
 
 void
@@ -551,10 +725,27 @@ DomainScheduler::totalExecuted() const
 void
 DomainScheduler::run(Tick max_tick)
 {
+    using Clock = std::chrono::steady_clock;
+    const bool timed = params_.phaseStats;
+    Clock::time_point t0;
+    const auto mark = [&] {
+        if (timed)
+            t0 = Clock::now();
+    };
+    const auto acc = [&](double &field) {
+        if (!timed)
+            return;
+        const auto t1 = Clock::now();
+        field +=
+            std::chrono::duration<double>(t1 - t0).count();
+        t0 = t1;
+    };
+
     for (;;) {
         // Round start: locate every domain's head through the head
         // cache (peeks only where a schedule, removal, or pop touched
-        // the queue since the last round).
+        // the queue since the last round). An idle domain costs two
+        // flag loads per round until something bears into its queue.
         HeadCache &uc = headCache_[core_.size()];
         HeadCache &gc = headCache_[core_.size() + 1];
         if (!gc.valid) {
@@ -569,7 +760,6 @@ DomainScheduler::run(Tick max_tick)
         const bool have_u = uc.have;
         const EventQueue::PeekResult g = gc.r;
         const EventQueue::PeekResult u = uc.r;
-        coreHeads_.clear();
         Tick core_min = MaxTick;
         for (unsigned d = 0; d < core_.size(); ++d) {
             HeadCache &cc = headCache_[d];
@@ -577,13 +767,11 @@ DomainScheduler::run(Tick max_tick)
                 cc.have = core_[d]->peekNext(cc.r);
                 cc.valid = true;
             }
-            if (cc.have) {
-                coreHeads_.push_back(CoreHead{d, cc.r.when, cc.r.key});
+            if (cc.have)
                 core_min = std::min(core_min, cc.r.when);
-            }
         }
 
-        if (!have_g && !have_u && coreHeads_.empty()) {
+        if (!have_g && !have_u && core_min == MaxTick) {
             // Drained: align every clock with the serial kernel's
             // final tick (that of the last executed event overall).
             Tick last = std::max(global_.curTick(), uncore_.curTick());
@@ -611,23 +799,36 @@ DomainScheduler::run(Tick max_tick)
         }
 
         // The cut: earliest position a global event could occupy.
+        // With a lookahead probe installed, the uncore and core terms
+        // use live ring state instead of assuming every pending event
+        // is about to touch the ring: the next *scheduled drain* is
+        // the only uncore event that can bear a global (its combine
+        // lands a full snoop latency later), and no deferred issue
+        // can drain below the ring's launch floor.
         Tick cut_tick = MaxTick;
         std::uint64_t cut_key = ~std::uint64_t{0};
         if (have_g) {
             cut_tick = g.when;
             cut_key = g.key;
         }
-        if (have_u) {
-            const Tick t = satAdd(u.when, params_.lookahead);
+        Tick drain_at = MaxTick;
+        Tick launch_floor = 0;
+        const bool probed = static_cast<bool>(probeFn_);
+        if (probed)
+            probeFn_(drain_at, launch_floor);
+        if (probed ? drain_at < MaxTick : have_u) {
+            const Tick t =
+                satAdd(probed ? drain_at : u.when, params_.lookahead);
             if (posLess(t, 0, cut_tick, cut_key)) {
                 cut_tick = t;
                 cut_key = 0;
             }
         }
         if (core_min < MaxTick) {
-            const Tick t = satAdd(
-                satAdd(core_min, params_.issueToLaunch),
-                params_.lookahead);
+            Tick launch = satAdd(core_min, params_.issueToLaunch);
+            if (probed && launch_floor > launch)
+                launch = launch_floor;
+            const Tick t = satAdd(launch, params_.lookahead);
             if (posLess(t, 0, cut_tick, cut_key)) {
                 cut_tick = t;
                 cut_key = 0;
@@ -647,11 +848,17 @@ DomainScheduler::run(Tick max_tick)
                               && g.when <= max_tick;
 
         // Phase 1: core domains execute strictly below the bound, in
-        // parallel when more than one has work.
+        // parallel when more than one has work. A single active
+        // domain elides both barriers (the coordinator just runs it
+        // inline), and a quiescent domain never appears here at all.
         activeDomains_.clear();
-        for (const CoreHead &h : coreHeads_)
-            if (posLess(h.when, h.key, bound_tick, bound_key))
-                activeDomains_.push_back(h.d);
+        for (unsigned d = 0; d < core_.size(); ++d) {
+            const HeadCache &cc = headCache_[d];
+            if (cc.have
+                && posLess(cc.r.when, cc.r.key, bound_tick, bound_key))
+                activeDomains_.push_back(d);
+        }
+        mark();
         if (!activeDomains_.empty()) {
             pool_->cutTick = bound_tick;
             pool_->cutKey = bound_key;
@@ -659,11 +866,18 @@ DomainScheduler::run(Tick max_tick)
             const bool fan_out = pool_->fanOutAllowed
                                  && !pool_->threads.empty()
                                  && activeDomains_.size() > 1;
-            if (fan_out)
+            if (activeDomains_.size() == 1)
+                ++phaseStats_.soloRounds;
+            if (fan_out) {
+                ++phaseStats_.fanOutRounds;
                 pool_->start.arrive_and_wait(pool_->spinLimit);
+            }
             workerClaimLoop();
-            if (fan_out)
+            acc(phaseStats_.coreSeconds);
+            if (fan_out) {
                 pool_->done.arrive_and_wait(pool_->spinLimit);
+                acc(phaseStats_.barrierSeconds);
+            }
             // Pops bypass the hooks: drop the executed domains' heads.
             for (unsigned d : activeDomains_)
                 headCache_[d].valid = false;
@@ -687,6 +901,7 @@ DomainScheduler::run(Tick max_tick)
             drainUncoreAndIssues(bound_tick, bound_key);
             headCache_[core_.size()].valid = false;
         }
+        acc(phaseStats_.replaySeconds);
 
         // Phase 4: the single boundary global event, with every clock
         // synchronized to its tick and deferred retry-window rolls
@@ -712,9 +927,12 @@ DomainScheduler::run(Tick max_tick)
                 gev->process();
             }
         }
+        acc(phaseStats_.globalSeconds);
 
         renumberRound();
+        acc(phaseStats_.renumberSeconds);
         ++rounds_;
+        phaseStats_.rounds = rounds_;
     }
 }
 

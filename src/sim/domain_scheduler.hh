@@ -40,7 +40,6 @@
 #define CMPCACHE_SIM_DOMAIN_SCHEDULER_HH
 
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -73,6 +72,44 @@ class DomainScheduler
          * cause. Must be >= 1.
          */
         Tick issueToLaunch = 1;
+        /**
+         * Collect wall-clock per-phase timing (PhaseStats seconds
+         * fields). Off by default: two steady_clock reads per phase
+         * per round are measurable at high round rates.
+         */
+        bool phaseStats = false;
+    };
+
+    /**
+     * Optional oracle tightening the conservative cut with live ring
+     * state: fills @p uncore_global_at with the tick of the next
+     * scheduled ring drain (MaxTick when none -- drains are the only
+     * uncore events that ever schedule globals) and
+     * @p core_launch_floor with the ring's next-launch floor (a
+     * deferred issue can drain no earlier than
+     * max(parent + issueToLaunch, floor)). Installing a probe asserts
+     * that ring combines are the *only* globals born from uncore or
+     * core execution; anything else must keep the static terms.
+     */
+    using LookaheadProbeFn =
+        std::function<void(Tick &uncore_global_at, Tick &core_launch_floor)>;
+
+    /**
+     * Per-phase round accounting. Counters are always maintained;
+     * the seconds fields stay zero unless Params::phaseStats is set.
+     */
+    struct PhaseStats
+    {
+        std::uint64_t rounds = 0;        ///< barrier rounds completed
+        std::uint64_t fanOutRounds = 0;  ///< rounds that woke the pool
+        std::uint64_t soloRounds = 0;    ///< rounds with one active domain
+        std::uint64_t renumberSorts = 0; ///< rounds needing the cross-queue sort
+        std::uint64_t birthRecords = 0;  ///< round-born events renumbered
+        double coreSeconds = 0;     ///< phase 1: domain execution + claim loop
+        double barrierSeconds = 0;  ///< coordinator wait at the done barrier
+        double replaySeconds = 0;   ///< phases 2-3: issue replay + uncore drain
+        double globalSeconds = 0;   ///< phase 4: boundary global events
+        double renumberSeconds = 0; ///< end-of-round renumbering
     };
 
     /** Install the glue hook replaying deferred ring issue #payload
@@ -102,6 +139,10 @@ class DomainScheduler
     void setEnterDomainFn(DomainCtxFn fn) { enterFn_ = std::move(fn); }
     void setLeaveDomainFn(DomainCtxFn fn) { leaveFn_ = std::move(fn); }
     void setPreGlobalFn(PreGlobalFn fn) { preGlobalFn_ = std::move(fn); }
+    void setLookaheadProbeFn(LookaheadProbeFn fn)
+    {
+        probeFn_ = std::move(fn);
+    }
 
     /**
      * Record a deferred cross-domain issue made by the event
@@ -127,6 +168,35 @@ class DomainScheduler
 
     /** Barrier rounds completed (diagnostics/tests). */
     std::uint64_t rounds() const { return rounds_; }
+
+    /** Per-phase round accounting (see PhaseStats). */
+    const PhaseStats &phaseStats() const { return phaseStats_; }
+
+    /**
+     * Execution bound of the domain currently running on this thread.
+     * Returns true -- filling the cut position -- only from inside a
+     * round's parallel phase; a consumer (the CPU hit fast path) may
+     * then advance its local clock to any position strictly before
+     * the cut without cross-domain work observing it. Returns false
+     * on threads not executing a domain (serial kernel, replay,
+     * boundary globals).
+     */
+    static bool currentExecBound(Tick &cut_tick, std::uint64_t &cut_key);
+
+    /**
+     * Account one event the hit fast path executed virtually (no
+     * schedule, no pop) inside the current phase-1 execution: logs an
+     * event-less birth record -- consuming the sequence slot the
+     * serial kernel's schedule() would have drawn -- and re-parents
+     * the thread's execution context onto it at (@p when, @p pri).
+     * Anything the batch schedules afterwards is thereby renumbered
+     * to exactly the sequence the serial kernel would have assigned.
+     * No-op outside a round's parallel phase (the serial kernel
+     * preserves relative sequence order by construction: the fast
+     * path only batches while its events would be consecutive).
+     */
+    static void noteVirtualStep(EventQueue &q, Tick when,
+                                Event::Priority pri);
 
     const Params &params() const { return params_; }
 
@@ -160,14 +230,6 @@ class DomainScheduler
         std::uint32_t idx = 0;
         std::uint32_t payload = 0;
         unsigned domain = 0;
-    };
-
-    /** Pending head of a core domain's queue (round-start scan). */
-    struct CoreHead
-    {
-        unsigned d = 0;
-        Tick when = 0;
-        std::uint64_t key = 0;
     };
 
     /**
@@ -217,16 +279,23 @@ class DomainScheduler
     DomainCtxFn enterFn_;
     DomainCtxFn leaveFn_;
     PreGlobalFn preGlobalFn_;
+    LookaheadProbeFn probeFn_;
 
     std::uint64_t nextGlobalSeq_ = 0;
     std::uint64_t rounds_ = 0;
+    PhaseStats phaseStats_;
 
     /** Domains with work below the current cut (worker claim list). */
     std::vector<unsigned> activeDomains_;
-    std::vector<CoreHead> coreHeads_;
     /** Cached heads: one per core domain, then uncore, then global
      * (same order as hooks_). */
     std::vector<HeadCache> headCache_;
+    /** Hooks dirtied by births outside the parallel phase (the
+     * coordinator's serial phases 2-4); phase-1 births flag their own
+     * hook instead, so no cross-thread queue is needed. */
+    std::vector<QueueHook *> serialDirty_;
+    /** Scratch: hooks with birth records this round (renumberRound). */
+    std::vector<QueueHook *> dirtyHooks_;
     std::unique_ptr<WorkerPool> pool_;
     std::mutex errorMutex_;
     std::exception_ptr firstError_;

@@ -432,6 +432,15 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick max_tick)
 {
+    // Exception-safe: a budget/watchdog throw mid-run must not leave
+    // a stale bound behind on a queue that outlives the failed run.
+    struct BudgetScope
+    {
+        EventQueue &q;
+        Tick prev;
+        ~BudgetScope() { q.runBudget_ = prev; }
+    } budget_scope{*this, runBudget_};
+    runBudget_ = max_tick;
     // popNext() advances to max_tick itself when the next event lies
     // beyond it, and leaves time untouched when the queue drains --
     // matching the long-standing run() semantics with a single scan
@@ -443,10 +452,15 @@ EventQueue::run(Tick max_tick)
         // bucket without re-entering popNext's wheel scan. A callback
         // can only schedule at curTick_ (into this very bucket, which
         // is re-sorted below if that lands out of order) or later, so
-        // bucket order remains global order.
+        // bucket order remains global order -- unless the callback
+        // advanced time itself (the CPU hit fast path batches through
+        // syncTo), which can migrate a far event one wheel revolution
+        // ahead into this very bucket; the tick check below falls back
+        // to the full scan the moment the current tick is stale.
+        const Tick bucket_tick = curTick_;
         const auto bi = static_cast<unsigned>(curTick_ & WheelMask);
         Bucket &b = wheel_[bi];
-        while (b.head != b.entries.size()) {
+        while (curTick_ == bucket_tick && b.head != b.entries.size()) {
             sortBucket(b);
             const WheelEntry e = b.entries[b.head];
             ++b.head;

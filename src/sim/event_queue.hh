@@ -262,6 +262,23 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t numExecuted() const { return numExecuted_; }
 
+    /**
+     * Count one unit of work executed without an event behind it (the
+     * CPU hit fast path batches references inside one event; counting
+     * each batched reference keeps numExecuted() identical to the
+     * unbatched kernel's event count, which the differential suites
+     * compare across modes).
+     */
+    void countVirtualExecuted() { ++numExecuted_; }
+
+    /**
+     * The tick bound of the innermost run() in progress, MaxTick
+     * outside run(). Inline batching (the CPU hit fast path) must not
+     * advance time past this bound: run(max_tick) promises that no
+     * work beyond max_tick has happened when it returns.
+     */
+    Tick runBudget() const { return runBudget_; }
+
     /** One-shot pool objects ever allocated (pool growth metric). */
     std::size_t poolSize() const { return poolAllocated_; }
 
@@ -296,6 +313,26 @@ class EventQueue
      * reclaimed. @return false when the queue is drained.
      */
     bool peekNext(PeekResult &out);
+
+    /**
+     * Lower bound on the tick of the next pending entry, without
+     * sorting buckets, validating liveness or reclaiming anything --
+     * one occupancy-bitmap scan, the same primitive a pop pays.
+     * Stale (descheduled) entries count, so the result can be
+     * earlier than the true next live event; callers that only need
+     * "nothing can run before tick T" (TraceCpu::batchHits) stay
+     * conservative. MaxTick when the queue is drained.
+     */
+    Tick
+    nextPendingTick() const
+    {
+        if (wheelCount_ != 0)
+            return curTick_
+                   + static_cast<Tick>(nextOccupied(curTick_));
+        if (!far_.empty())
+            return far_.front().when;
+        return MaxTick;
+    }
 
     /**
      * Remove and return the next live event whose position
@@ -437,6 +474,7 @@ class EventQueue
     std::vector<WheelEntry> scratch_;
 
     Tick curTick_ = 0;
+    Tick runBudget_ = MaxTick;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t numExecuted_ = 0;
     std::size_t liveEvents_ = 0;

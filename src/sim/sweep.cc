@@ -190,8 +190,8 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
     // event kernel (run.threads >= 1), shrink the job pool so the
     // product of pools stays within the requested thread count
     // instead of oversubscribing the machine.
-    if (spec.base.runThreads > 1)
-        pool = std::max(1u, num_threads / spec.base.runThreads);
+    if (spec.base.resolvedRunThreads() > 1)
+        pool = std::max(1u, num_threads / spec.base.resolvedRunThreads());
 
     std::atomic<std::size_t> next{0};
     std::atomic<unsigned> done{0};
@@ -265,7 +265,9 @@ runSweep(const SweepSpec &spec, unsigned num_threads,
                 r.seed = job.params.seed;
                 r.faultPlan = job.config.fault.plan;
                 r.faultSeed = job.config.fault.seed;
-                r.runThreads = job.config.runThreads;
+                // Rerun identity wants what actually ran, so "auto"
+                // is recorded as its resolution on this host.
+                r.runThreads = job.config.resolvedRunThreads();
                 const TopologyParams shape = job.config.shape();
                 r.topologySummary = cstr(
                     "cores=", shape.cores, " smt=", shape.smt,

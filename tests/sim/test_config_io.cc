@@ -142,6 +142,44 @@ TEST(ConfigIo, SaveLoadRoundTrip)
     EXPECT_TRUE(b.enableWbReuseTracker);
 }
 
+TEST(ConfigIo, RunThreadsParsesCountsAndAuto)
+{
+    SystemConfig cfg;
+    mustApply(cfg, "run.threads", "4");
+    EXPECT_EQ(cfg.runThreads, 4u);
+    EXPECT_EQ(cfg.resolvedRunThreads(), 4u);
+
+    mustApply(cfg, "run.threads", "auto");
+    EXPECT_EQ(cfg.runThreads, SystemConfig::RunThreadsAuto);
+    // Resolution is host-dependent but always a concrete count
+    // bounded by the machine shape.
+    EXPECT_NE(cfg.resolvedRunThreads(), SystemConfig::RunThreadsAuto);
+    EXPECT_LE(cfg.resolvedRunThreads(), cfg.numL2s());
+
+    const auto bad = applyConfigOption(cfg, "run.threads", "several");
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(ConfigIo, RunThreadsAutoSavesAsAuto)
+{
+    SystemConfig a;
+    a.runThreads = SystemConfig::RunThreadsAuto;
+    a.runFastpath = false;
+    a.obs.schedGauges = true;
+
+    std::stringstream ss;
+    saveConfig(a, ss);
+    EXPECT_NE(ss.str().find("run.threads = auto"), std::string::npos)
+        << ss.str();
+
+    SystemConfig b;
+    const auto r = loadConfig(b, ss);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(b.runThreads, SystemConfig::RunThreadsAuto);
+    EXPECT_FALSE(b.runFastpath);
+    EXPECT_TRUE(b.obs.schedGauges);
+}
+
 TEST(ConfigIo, KeyListNonEmptyAndSorted)
 {
     const auto &keys = configKeys();

@@ -137,11 +137,26 @@ tag(const char *what, unsigned d, Tick t)
  * at the minimum legal distance. Returns the transcript.
  */
 std::vector<std::string>
-runChainWorkload(unsigned cores, unsigned workers, unsigned steps)
+runChainWorkload(unsigned cores, unsigned workers, unsigned steps,
+                 bool probed = false)
 {
     constexpr Tick La = 4;
     constexpr Tick I2l = 2;
     Harness h(cores, workers, La, I2l);
+    if (probed) {
+        // A sound probe for this synthetic machine: every uncore
+        // event here can bear a global (they all schedule one at
+        // + lookahead), so the earliest global-bearing uncore tick is
+        // simply the uncore head, and no launch floor applies. The
+        // probed cut must therefore equal the static one and the
+        // transcript must not move by a byte.
+        h.sched->setLookaheadProbeFn(
+            [&h](Tick &drain_at, Tick &launch_floor) {
+                EventQueue::PeekResult u;
+                drain_at = h.uncore.peekNext(u) ? u.when : MaxTick;
+                launch_floor = 0;
+            });
+    }
 
     struct Chain
     {
@@ -457,6 +472,159 @@ TEST(DomainSchedulerProps, BudgetStopsAndResumesLikeSerialRun)
     // Drained exit aligns every clock with the last executed event.
     EXPECT_EQ(h.uncore.curTick(), 500u);
     EXPECT_EQ(h.coreQs[0]->curTick(), 500u);
+}
+
+TEST(DomainSchedulerProps, LookaheadProbeKeepsSerialOrder)
+{
+    // The adaptive cut path (probe installed) must reproduce the
+    // static-term transcript exactly, at any worker count.
+    const auto unprobed = runChainWorkload(4, 1, 24);
+    EXPECT_EQ(runChainWorkload(4, 1, 24, true), unprobed);
+    EXPECT_EQ(runChainWorkload(4, 4, 24, true), unprobed);
+}
+
+TEST(DomainSchedulerProps, ProbeWithNoDrainWidensTheCut)
+{
+    // Twenty uncore events pending below the core head, none bearing
+    // globals. The static uncore term caps each round's cut a
+    // lookahead past the uncore head, dribbling them out a couple per
+    // round; a probe reporting "no drain scheduled" lifts the cut to
+    // the core term and the whole backlog drains in one round. Same
+    // transcript either way -- only the round count moves.
+    const auto run = [](bool probed) {
+        Harness h(2, 2, 4, 2);
+        if (probed) {
+            h.sched->setLookaheadProbeFn(
+                [](Tick &drain_at, Tick &floor) {
+                    drain_at = MaxTick;
+                    floor = 0;
+                });
+        }
+        std::vector<std::unique_ptr<EventFunctionWrapper>> evs;
+        for (Tick t = 2; t <= 40; t += 2) {
+            evs.push_back(std::make_unique<EventFunctionWrapper>(
+                [&h] {
+                    h.logMain(tag("uncore", 0, h.uncore.curTick()));
+                },
+                "bg"));
+            h.uncore.schedule(evs.back().get(), t);
+        }
+        EventFunctionWrapper core(
+            [&h] { h.logCore(0, tag("core", 0,
+                                    h.coreQs[0]->curTick())); },
+            "core");
+        h.coreQs[0]->schedule(&core, 100);
+        h.sched->run();
+        EXPECT_EQ(h.sched->totalPending(), 0u);
+        return std::make_pair(h.transcript(), h.sched->rounds());
+    };
+    const auto [static_log, static_rounds] = run(false);
+    const auto [probed_log, probed_rounds] = run(true);
+    EXPECT_EQ(probed_log, static_log);
+    EXPECT_EQ(static_log.size(), 21u);
+    EXPECT_LT(probed_rounds, static_rounds);
+    EXPECT_LE(probed_rounds, 2u);
+}
+
+TEST(DomainSchedulerProps, IdleDomainsSkippedAndSoloRoundsElideFanOut)
+{
+    // One busy domain next to three idle ones: every round is a solo
+    // round -- the idle domains never enter the claim list and the
+    // worker pool is never woken.
+    Harness h(4, 4, 4, 2);
+    unsigned left = 10;
+    EventFunctionWrapper chain(
+        [&h, &left, &chain] {
+            h.logCore(0, tag("core", 0, h.coreQs[0]->curTick()));
+            if (--left > 0)
+                h.coreQs[0]->schedule(&chain,
+                                      h.coreQs[0]->curTick() + 3);
+        },
+        "solo-chain");
+    h.coreQs[0]->schedule(&chain, 5);
+    h.sched->run();
+    EXPECT_EQ(h.coreLogs[0].size(), 10u);
+    const auto &ps = h.sched->phaseStats();
+    EXPECT_GT(ps.rounds, 0u);
+    EXPECT_GT(ps.soloRounds, 0u);
+    EXPECT_EQ(ps.fanOutRounds, 0u);
+}
+
+TEST(DomainSchedulerProps, RenumberSortElidedForSingleDirtyQueue)
+{
+    // A self-rescheduling chain bears into exactly one queue per
+    // round, in pop order: the cross-queue sort must never run even
+    // though every round renumbers a birth.
+    Harness h(2, 2, 4, 2);
+    unsigned left = 12;
+    EventFunctionWrapper chain(
+        [&h, &left, &chain] {
+            if (--left > 0)
+                h.coreQs[0]->schedule(&chain,
+                                      h.coreQs[0]->curTick() + 2);
+        },
+        "rechain");
+    h.coreQs[0]->schedule(&chain, 4);
+    h.sched->run();
+    const auto &ps = h.sched->phaseStats();
+    EXPECT_GT(ps.birthRecords, 0u);
+    EXPECT_EQ(ps.renumberSorts, 0u);
+}
+
+TEST(DomainSchedulerProps, RenumberSortRunsForCrossQueueBirths)
+{
+    // Two domains bearing in the same round dirty two queues; the
+    // serial birth order then genuinely needs the cross-queue sort.
+    Harness h(2, 2, 4, 2);
+    unsigned left0 = 8, left1 = 8;
+    EventFunctionWrapper c0(
+        [&h, &left0, &c0] {
+            if (--left0 > 0)
+                h.coreQs[0]->schedule(&c0,
+                                      h.coreQs[0]->curTick() + 2);
+        },
+        "c0");
+    EventFunctionWrapper c1(
+        [&h, &left1, &c1] {
+            if (--left1 > 0)
+                h.coreQs[1]->schedule(&c1,
+                                      h.coreQs[1]->curTick() + 2);
+        },
+        "c1");
+    h.coreQs[0]->schedule(&c0, 4);
+    h.coreQs[1]->schedule(&c1, 4);
+    h.sched->run();
+    const auto &ps = h.sched->phaseStats();
+    EXPECT_GT(ps.renumberSorts, 0u);
+    EXPECT_GT(ps.birthRecords, 0u);
+}
+
+TEST(DomainSchedulerConfig, AutoThreadsValidatesLikeExplicit)
+{
+    // run.threads=auto may resolve to the serial kernel on this host,
+    // but the config must be valid on every host: the zero-lookahead
+    // rejection applies and names "auto".
+    SystemConfig cfg;
+    cfg.runThreads = SystemConfig::RunThreadsAuto;
+    cfg.ring.snoopLatency = 0;
+    const auto errs = cfg.validationErrors();
+    EXPECT_TRUE(std::any_of(
+        errs.begin(), errs.end(), [](const std::string &e) {
+            return e.find("run.threads (auto)") != std::string::npos;
+        }));
+
+    // Resolution never leaks the sentinel and never exceeds the
+    // machine shape.
+    cfg.ring.snoopLatency = 33;
+    const unsigned resolved = cfg.resolvedRunThreads();
+    EXPECT_NE(resolved, SystemConfig::RunThreadsAuto);
+    EXPECT_LE(resolved, cfg.numL2s());
+
+    // Explicit counts resolve to themselves.
+    cfg.runThreads = 3;
+    EXPECT_EQ(cfg.resolvedRunThreads(), 3u);
+    cfg.runThreads = 0;
+    EXPECT_EQ(cfg.resolvedRunThreads(), 0u);
 }
 
 TEST(DomainSchedulerProps, AggregateCountersMatchWork)

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Differential harness for the L2-hit fast path (run.fastpath,
+ * TraceCpu::batchHits): batching consecutive hits without an event
+ * per reference must be invisible in every output byte. The oracle is
+ * the fully unbatched serial kernel (fastpath off, run.threads = 0);
+ * every combination of {fastpath on/off} x {run.threads 0, 2, 4} must
+ * reproduce its result JSON, per-cell stats dumps, invariant counts
+ * and executed-event totals exactly -- the virtual-event accounting
+ * keeps even the event counters identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "parallel_diff.hh"
+#include "sim/sweep.hh"
+
+using namespace cmpcache;
+using namespace cmpcache::paralleldiff;
+
+namespace
+{
+
+/**
+ * The acceptance bar: the spec with the fast path disabled under the
+ * serial kernel is the oracle; the fast path must not change a byte
+ * under any kernel.
+ */
+void
+expectFastpathInvariant(SweepSpec spec, const std::string &label)
+{
+    spec.base.runThreads = 0;
+    spec.base.runFastpath = false;
+    const auto ref = runSweep(spec, 1);
+    const std::string ref_json = resultsJson(spec, ref);
+
+    for (const bool fast : {false, true}) {
+        for (const unsigned workers : {0u, 2u, 4u}) {
+            if (!fast && workers == 0)
+                continue; // the oracle itself
+            SweepSpec alt = spec;
+            alt.base.runFastpath = fast;
+            alt.base.runThreads = workers;
+            const auto results = runSweep(alt, 1);
+            const std::string what =
+                label + ": run.fastpath=" + (fast ? "on" : "off")
+                + " run.threads=" + std::to_string(workers);
+            ASSERT_EQ(results.size(), ref.size()) << what;
+            EXPECT_EQ(resultsJson(alt, results), ref_json)
+                << what << ": result JSON differs";
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                EXPECT_EQ(results[i].statsDump, ref[i].statsDump)
+                    << what << " cell " << i
+                    << ": stats dump differs";
+                EXPECT_EQ(results[i].coherenceViolations,
+                          ref[i].coherenceViolations)
+                    << what << " cell " << i;
+                EXPECT_EQ(results[i].eventsExecuted,
+                          ref[i].eventsExecuted)
+                    << what << " cell " << i
+                    << ": virtual-event accounting diverged";
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(FastpathDifferential, HitHeavyLongBatches)
+{
+    // A roomy L2 over small working sets: hits dominate, so the fast
+    // path spends most of the run inside long batches.
+    SweepSpec spec;
+    spec.workloads = {"TP", "CPW2"};
+    spec.policies = {WbPolicy::Baseline, WbPolicy::Combined};
+    spec.outstanding = {6};
+    spec.recordsPerThread = 800;
+    spec.seed = 13;
+    spec.base.l2.sizeBytes = 256 * 1024;
+    spec.base.l2.assoc = 8;
+    spec.base.check.oracle = true;
+    spec.statsFormat = StatsFormat::Json;
+    expectFastpathInvariant(spec, "hit-heavy");
+}
+
+TEST(FastpathDifferential, MissHeavyShortBatches)
+{
+    // A thrashing L2: batches break on misses and blocked retries
+    // constantly, exercising every loop exit.
+    SweepSpec spec;
+    spec.workloads = {"thrash", "pingpong"};
+    spec.policies = {WbPolicy::Baseline, WbPolicy::Snarf};
+    spec.outstanding = {2};
+    spec.recordsPerThread = 700;
+    spec.seed = 29;
+    spec.base.l2.sizeBytes = 16 * 1024;
+    spec.base.l2.assoc = 4;
+    spec.base.l3.sizeBytes = 128 * 1024;
+    spec.statsFormat = StatsFormat::Json;
+    expectFastpathInvariant(spec, "miss-heavy");
+}
+
+TEST(FastpathDifferential, SampledRunsBreakBatches)
+{
+    // Sampler events sit in the queue the batch bound watches; the
+    // fast path must stop exactly at each sampling tick so the gauges
+    // read identical machine state.
+    SweepSpec spec;
+    spec.workloads = {"TP"};
+    spec.policies = {WbPolicy::Wbht};
+    spec.outstanding = {4};
+    spec.recordsPerThread = 900;
+    spec.seed = 5;
+    spec.base.l2.sizeBytes = 128 * 1024;
+    spec.base.obs.sampleEvery = 256;
+    spec.checkCoherence = true;
+    spec.statsFormat = StatsFormat::Json;
+    expectFastpathInvariant(spec, "sampled");
+}
+
+TEST(FastpathDifferential, OpenLoopArrivalClock)
+{
+    // Open-loop issue times come from the absolute arrival clock, not
+    // curTick(); the batch must follow the same clamp-to-now rule the
+    // event path uses.
+    SweepSpec spec;
+    spec.workloads = {"TP"};
+    spec.policies = {WbPolicy::Baseline};
+    spec.outstanding = {6};
+    spec.recordsPerThread = 600;
+    spec.seed = 17;
+    spec.base.l2.sizeBytes = 128 * 1024;
+    spec.base.arrival.model = ArrivalModel::Open;
+    spec.base.arrival.rate = 0.05;
+    spec.statsFormat = StatsFormat::Json;
+    expectFastpathInvariant(spec, "open-loop");
+}
+
+TEST(FastpathDifferential, SampledConfigsQuickSubset)
+{
+    // A different slice of the fuzz space than the parallel
+    // differential uses, pinning the fast path across the mixed
+    // {workload, policy, fault plan, sampling} grid.
+    for (std::uint64_t i = 16; i < 20; ++i) {
+        expectFastpathInvariant(
+            sampleSpec(i), "sampled-" + std::to_string(i));
+    }
+}
